@@ -1,0 +1,209 @@
+// Robustness ablations for the dataset substitution and the pipeline
+// (DESIGN.md Sec. 6):
+//
+//   A. Structural check — rerun the core CQR claims on the STA-derived
+//      dataset (silicon/structural): if coverage calibration and monitor
+//      value only held on the closed-form generator, the reproduction would
+//      be circular.
+//   B. Dataset-size sweep — how interval length and coverage move as the
+//      population shrinks from 156 chips (paper scale) to 60.
+//   C. Embedded vs filter feature selection — elastic net (embedded L1)
+//      against the paper's CFS + LR pipeline at time 0.
+#include "bench_common.hpp"
+
+#include "conformal/cqr.hpp"
+#include "data/feature_select.hpp"
+#include "models/elastic_net.hpp"
+#include "silicon/structural.hpp"
+#include "stats/metrics.hpp"
+
+using namespace vmincqr;
+
+namespace {
+
+struct CellScore {
+  double length_mv = 0.0;
+  double coverage_pct = 0.0;
+  double r2 = 0.0;
+};
+
+CellScore run_cqr_cv(const data::Dataset& ds, const core::Scenario& scenario,
+                     models::ModelKind kind, std::size_t n_features,
+                     std::size_t n_folds = 4) {
+  const auto data = core::assemble_scenario(ds, scenario);
+  rng::Rng cv_rng(2024);
+  const auto folds = data::k_fold(data.x.rows(), n_folds, cv_rng);
+  CellScore score;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    const auto x_train = data.x.take_rows(folds[f].train);
+    const auto x_test = data.x.take_rows(folds[f].test);
+    linalg::Vector y_train(folds[f].train.size()), y_test(folds[f].test.size());
+    for (std::size_t i = 0; i < folds[f].train.size(); ++i) {
+      y_train[i] = data.y[folds[f].train[i]];
+    }
+    for (std::size_t i = 0; i < folds[f].test.size(); ++i) {
+      y_test[i] = data.y[folds[f].test[i]];
+    }
+    const auto cols = data::top_correlated(x_train, y_train, n_features);
+    conformal::CqrConfig config;
+    config.seed = 42 + f;
+    conformal::ConformalizedQuantileRegressor cqr(
+        0.1, models::make_quantile_pair(kind, 0.1), config);
+    cqr.fit(x_train.take_cols(cols), y_train);
+    const auto band = cqr.predict_interval(x_test.take_cols(cols));
+    score.length_mv +=
+        stats::mean_interval_length(band.lower, band.upper) * 1e3;
+    score.coverage_pct +=
+        stats::interval_coverage(y_test, band.lower, band.upper) * 100.0;
+  }
+  score.length_mv /= static_cast<double>(folds.size());
+  score.coverage_pct /= static_cast<double>(folds.size());
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  bench::Stopwatch watch;
+
+  std::printf("=== Ablation A: structural (STA-derived) dataset ===\n");
+  {
+    silicon::StructuralConfig config;
+    config.n_chips = 120;
+    const auto structural = silicon::generate_structural_dataset(config);
+    std::printf("design: %zu gates, clock %.3f ns, %zu chips, %zu features\n",
+                config.design.n_gates, structural.clock_period_ns,
+                structural.dataset.n_chips(),
+                structural.dataset.n_features());
+
+    core::TextTable table({"Scenario", "Features", "CQR len (mV)",
+                           "CQR cov (%)"});
+    for (double t : {0.0, 504.0, 1008.0}) {
+      for (auto set : {core::FeatureSet::kBoth,
+                       core::FeatureSet::kParametricOnly}) {
+        const core::Scenario scenario{t, 25.0, set};
+        const auto score = run_cqr_cv(structural.dataset, scenario,
+                                      models::ModelKind::kLinear, 12);
+        table.add_row({bench::hours_label(t) + " @25C",
+                       core::to_string(set),
+                       core::format_double(score.length_mv, 2),
+                       core::format_double(score.coverage_pct, 2)});
+      }
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf(
+        "shape check: coverage ~90%% and monitors shrink intervals on the\n"
+        "timing-closure dataset too (not an artifact of the closed form).\n\n");
+  }
+
+  std::printf("=== Ablation B: population-size sweep (CQR CatBoost, 25C, 168h) ===\n");
+  {
+    core::TextTable table({"Chips", "Length (mV)", "Coverage (%)"});
+    for (std::size_t n : {60u, 100u, 156u, 240u}) {
+      silicon::GeneratorConfig config;
+      config.n_chips = n;
+      const auto generated = silicon::generate_dataset(config);
+      const core::Scenario scenario{168.0, 25.0, core::FeatureSet::kBoth};
+      const auto score = run_cqr_cv(generated.dataset, scenario,
+                                    models::ModelKind::kCatboost, 32);
+      table.add_row({std::to_string(n),
+                     core::format_double(score.length_mv, 2),
+                     core::format_double(score.coverage_pct, 2)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf(
+        "shape check: coverage holds at every size (finite-sample\n"
+        "guarantee); length shrinks as data grows.\n\n");
+  }
+
+  std::printf("=== Ablation C: CFS+LR vs embedded elastic net (time-0 points) ===\n");
+  {
+    const auto generated = bench::make_paper_dataset();
+    core::TextTable table({"Temp", "CFS(10)+LR R2", "ElasticNet R2",
+                           "EN features"});
+    for (double temp : silicon::standard_temperatures()) {
+      const core::Scenario scenario{0.0, temp, core::FeatureSet::kBoth};
+      const auto data = core::assemble_scenario(generated.dataset, scenario);
+      rng::Rng cv_rng(2024);
+      const auto folds = data::k_fold(data.x.rows(), 4, cv_rng);
+      double lr_r2 = 0.0, en_r2 = 0.0, en_features = 0.0;
+      for (const auto& fold : folds) {
+        const auto x_train = data.x.take_rows(fold.train);
+        const auto x_test = data.x.take_rows(fold.test);
+        linalg::Vector y_train(fold.train.size()), y_test(fold.test.size());
+        for (std::size_t i = 0; i < fold.train.size(); ++i) {
+          y_train[i] = data.y[fold.train[i]];
+        }
+        for (std::size_t i = 0; i < fold.test.size(); ++i) {
+          y_test[i] = data.y[fold.test[i]];
+        }
+        const auto cols = data::cfs_select(x_train, y_train, 10);
+        auto lr = models::make_point_regressor(models::ModelKind::kLinear);
+        lr->fit(x_train.take_cols(cols), y_train);
+        lr_r2 += stats::r_squared(y_test, lr->predict(x_test.take_cols(cols)));
+
+        // Elastic net on a pre-thinned column set (coordinate descent over
+        // all ~2000 raw columns x 4 folds is wasteful; 256 keeps it honest).
+        const auto wide = data::top_correlated(x_train, y_train, 256);
+        const auto en = models::elastic_net_cv(
+            x_train.take_cols(wide), y_train, {1e-3, 3e-3, 1e-2, 3e-2, 0.1},
+            0.9, 4, 7);
+        en_r2 += stats::r_squared(y_test,
+                                  en.predict(x_test.take_cols(wide)));
+        en_features += static_cast<double>(en.selected_features().size());
+      }
+      table.add_row({bench::temp_label(temp),
+                     core::format_double(lr_r2 / 4.0, 3),
+                     core::format_double(en_r2 / 4.0, 3),
+                     core::format_double(en_features / 4.0, 1)});
+    }
+    std::printf("%s", table.to_string().c_str());
+  }
+
+  std::printf("\n=== Ablation D: forecast horizon (predict 1008h Vmin @25C, CQR LR) ===\n");
+  {
+    const auto generated = bench::make_paper_dataset();
+    core::TextTable table({"Monitor history", "Length (mV)", "Coverage (%)"});
+    for (double horizon : {0.0, 24.0, 48.0, 168.0, 504.0, 1008.0}) {
+      const core::Scenario scenario{1008.0, 25.0, core::FeatureSet::kBoth,
+                                    horizon};
+      const auto data = core::assemble_scenario(generated.dataset, scenario);
+      rng::Rng cv_rng(2024);
+      const auto folds = data::k_fold(data.x.rows(), 4, cv_rng);
+      double len = 0.0, cov = 0.0;
+      for (std::size_t f = 0; f < folds.size(); ++f) {
+        const auto x_train = data.x.take_rows(folds[f].train);
+        const auto x_test = data.x.take_rows(folds[f].test);
+        linalg::Vector y_train(folds[f].train.size()),
+            y_test(folds[f].test.size());
+        for (std::size_t i = 0; i < folds[f].train.size(); ++i) {
+          y_train[i] = data.y[folds[f].train[i]];
+        }
+        for (std::size_t i = 0; i < folds[f].test.size(); ++i) {
+          y_test[i] = data.y[folds[f].test[i]];
+        }
+        const auto cols = data::cfs_select(x_train, y_train, 8);
+        conformal::CqrConfig config;
+        config.seed = 42 + f;
+        conformal::ConformalizedQuantileRegressor cqr(
+            0.1, models::make_quantile_pair(models::ModelKind::kLinear, 0.1),
+            config);
+        cqr.fit(x_train.take_cols(cols), y_train);
+        const auto band = cqr.predict_interval(x_test.take_cols(cols));
+        len += stats::mean_interval_length(band.lower, band.upper) * 1e3;
+        cov += stats::interval_coverage(y_test, band.lower, band.upper) * 100.0;
+      }
+      table.add_row({bench::hours_label(horizon),
+                     core::format_double(len / 4.0, 2),
+                     core::format_double(cov / 4.0, 2)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf(
+        "shape check: the end-of-life forecast stays calibrated at every\n"
+        "horizon and tightens monotonically as monitor history accrues —\n"
+        "the paper's in-field failure-prediction use (Sec. V future work).\n");
+  }
+
+  std::printf("\n[ablation_design] done in %.1f s\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the reproduction bench binaries: the default synthetic
+// dataset (156 chips, Table II shape), the scenario grids the paper sweeps,
+// and small printing utilities.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "silicon/dataset_gen.hpp"
+
+namespace vmincqr::bench {
+
+/// The full-size synthetic industrial dataset used by every reproduction
+/// bench (regenerated deterministically; ~0.1 s).
+inline silicon::GeneratedDataset make_paper_dataset() {
+  return silicon::generate_dataset(silicon::GeneratorConfig{});
+}
+
+/// Default experiment configuration: alpha = 0.1, 4-fold CV, 75/25
+/// conformal split — the paper's Sec. IV-B settings.
+inline core::ExperimentConfig paper_experiment_config() {
+  return core::ExperimentConfig{};
+}
+
+/// All (read point, temperature) cells of Table III / Fig. 2.
+inline std::vector<core::Scenario> paper_scenario_grid(
+    core::FeatureSet feature_set) {
+  std::vector<core::Scenario> scenarios;
+  for (double t : silicon::standard_read_points()) {
+    for (double temp : silicon::standard_temperatures()) {
+      scenarios.push_back({t, temp, feature_set});
+    }
+  }
+  return scenarios;
+}
+
+/// Wall-clock helper for bench footers.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline std::string temp_label(double temperature_c) {
+  return std::to_string(static_cast<int>(temperature_c)) + "C";
+}
+
+inline std::string hours_label(double hours) {
+  return std::to_string(static_cast<int>(hours)) + "h";
+}
+
+}  // namespace vmincqr::bench

@@ -1,0 +1,71 @@
+// Reproduces Fig. 2 of the paper: R^2 of SCAN Vmin point prediction for the
+// five regressors (LR, GP, XGBoost, CatBoost, NN) at every stress read point
+// and test temperature, with the Sec. IV-C feature-selection protocol
+// (CFS 1..10 for LR/GP/NN, intrinsic selection for the tree models).
+//
+// Also prints the RMSE table backing the Sec. IV-D claims (good models in
+// the 2.5-7 mV band; GP notably worse).
+#include "bench_common.hpp"
+
+using namespace vmincqr;
+
+int main() {
+  bench::Stopwatch watch;
+  const auto generated = bench::make_paper_dataset();
+  const auto config = bench::paper_experiment_config();
+  const auto scenarios = bench::paper_scenario_grid(core::FeatureSet::kBoth);
+
+  std::printf("=== Fig. 2: SCAN Vmin point prediction (R^2, 4-fold CV) ===\n");
+  std::printf("dataset: %zu chips, %zu features\n\n",
+              generated.dataset.n_chips(), generated.dataset.n_features());
+
+  const auto results = core::parallel_map<std::vector<core::PointModelScore>>(
+      scenarios.size(), [&](std::size_t i) {
+        return core::evaluate_point_models(generated.dataset, scenarios[i],
+                                           config);
+      });
+
+  const auto& zoo = models::point_model_zoo();
+  core::TextTable r2_table(
+      {"Read point", "Temp", "LR", "GP", "XGBoost", "CatBoost", "NN"});
+  core::TextTable rmse_table(
+      {"Read point", "Temp", "LR", "GP", "XGBoost", "CatBoost", "NN"});
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    std::vector<std::string> r2_row = {
+        bench::hours_label(scenarios[i].read_point_hours),
+        bench::temp_label(scenarios[i].temperature_c)};
+    std::vector<std::string> rmse_row = r2_row;
+    for (std::size_t m = 0; m < zoo.size(); ++m) {
+      r2_row.push_back(core::format_double(results[i][m].r2, 3));
+      rmse_row.push_back(core::format_double(results[i][m].rmse * 1e3, 2));
+    }
+    r2_table.add_row(r2_row);
+    rmse_table.add_row(rmse_row);
+  }
+  std::printf("%s\n", r2_table.to_string().c_str());
+  std::printf("=== RMSE (mV) — Sec. IV-D ===\n%s\n",
+              rmse_table.to_string().c_str());
+
+  // Paper-shape checks (Sec. IV-D narrative).
+  double lr_mean_r2 = 0.0, gp_mean_rmse = 0.0, best_nongp_rmse = 0.0;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    lr_mean_r2 += results[i][0].r2;
+    gp_mean_rmse += results[i][1].rmse;
+    double cell_best = 1e18;
+    for (std::size_t m = 0; m < zoo.size(); ++m) {
+      if (m == 1) continue;  // skip GP
+      cell_best = std::min(cell_best, results[i][m].rmse);
+    }
+    best_nongp_rmse += cell_best;
+  }
+  const auto n = static_cast<double>(scenarios.size());
+  std::printf("shape checks:\n");
+  std::printf("  LR mean R^2 across all cells           : %.3f (paper: competitive overall)\n",
+              lr_mean_r2 / n);
+  std::printf("  best non-GP RMSE, mean across cells    : %.2f mV (paper: 2.5-7 mV)\n",
+              best_nongp_rmse / n * 1e3);
+  std::printf("  GP RMSE, mean across cells             : %.2f mV (paper: 12-22 mV, worst)\n",
+              gp_mean_rmse / n * 1e3);
+  std::printf("\n[fig2_point_prediction] done in %.1f s\n", watch.seconds());
+  return 0;
+}

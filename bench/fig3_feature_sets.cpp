@@ -1,0 +1,86 @@
+// Reproduces Fig. 3 of the paper: average interval length of CQR CatBoost
+// for SCAN Vmin prediction under three feature sets — (1) on-chip +
+// parametric, (2) parametric only, (3) on-chip only — per stress read point
+// and temperature. The series with monitors should sit below the
+// parametric-only series, and monitors alone should beat parametric alone
+// despite having ~10x fewer raw features.
+#include "bench_common.hpp"
+
+using namespace vmincqr;
+
+int main() {
+  bench::Stopwatch watch;
+  const auto generated = bench::make_paper_dataset();
+  const auto config = bench::paper_experiment_config();
+  const core::RegionMethodSpec cqr_catboost{
+      core::RegionMethodSpec::Family::kCqr, models::ModelKind::kCatboost};
+
+  const core::FeatureSet feature_sets[] = {core::FeatureSet::kBoth,
+                                           core::FeatureSet::kParametricOnly,
+                                           core::FeatureSet::kOnChipOnly};
+
+  std::printf(
+      "=== Fig. 3: CQR CatBoost interval length (mV) by feature set ===\n\n");
+
+  struct Cell {
+    core::Scenario scenario;
+  };
+  std::vector<Cell> cells;
+  for (auto set : feature_sets) {
+    for (const auto& s : bench::paper_scenario_grid(set)) {
+      cells.push_back({s});
+    }
+  }
+  const auto results = core::parallel_map<core::RegionMethodScore>(
+      cells.size(), [&](std::size_t i) {
+        return core::evaluate_region_method(generated.dataset,
+                                            cells[i].scenario, cqr_catboost,
+                                            config);
+      });
+
+  const auto find_length = [&](core::FeatureSet set, double t, double temp) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto& s = cells[i].scenario;
+      if (s.feature_set == set && s.read_point_hours == t &&
+          s.temperature_c == temp) {
+        return results[i].mean_length_mv;
+      }
+    }
+    return -1.0;
+  };
+
+  for (double temp : silicon::standard_temperatures()) {
+    core::TextTable table({"Temp", "Read point", "on-chip+parametric (mV)",
+                           "parametric only (mV)", "on-chip only (mV)"});
+    for (double t : silicon::standard_read_points()) {
+      table.add_row(
+          {bench::temp_label(temp), bench::hours_label(t),
+           core::format_double(find_length(core::FeatureSet::kBoth, t, temp), 2),
+           core::format_double(
+               find_length(core::FeatureSet::kParametricOnly, t, temp), 2),
+           core::format_double(
+               find_length(core::FeatureSet::kOnChipOnly, t, temp), 2)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  // Shape check: during stress (t > 0), the feature set with monitors should
+  // win more cells than parametric-only.
+  int both_wins = 0, cells_counted = 0;
+  for (double temp : silicon::standard_temperatures()) {
+    for (double t : silicon::standard_read_points()) {
+      if (t == 0.0) continue;
+      ++cells_counted;
+      if (find_length(core::FeatureSet::kBoth, t, temp) <
+          find_length(core::FeatureSet::kParametricOnly, t, temp)) {
+        ++both_wins;
+      }
+    }
+  }
+  std::printf(
+      "shape check: on-chip+parametric beats parametric-only in %d/%d "
+      "stress cells (paper: consistently shorter)\n",
+      both_wins, cells_counted);
+  std::printf("\n[fig3_feature_sets] done in %.1f s\n", watch.seconds());
+  return 0;
+}

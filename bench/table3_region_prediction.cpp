@@ -1,0 +1,103 @@
+// Reproduces Table III of the paper: average interval length (mV) and
+// coverage (%) of SCAN Vmin prediction intervals for GP, QR x {LR, NN,
+// XGBoost, CatBoost}, and CQR x {same}, at alpha = 0.1, across all six
+// stress read points and three test temperatures, under 4-fold CV.
+//
+// Expected shape (paper Sec. IV-F): GP and raw QR undercover; every CQR
+// variant restores ~90%+ coverage; CQR CatBoost gives the shortest
+// calibrated intervals.
+#include "bench_common.hpp"
+
+using namespace vmincqr;
+
+int main() {
+  bench::Stopwatch watch;
+  const auto generated = bench::make_paper_dataset();
+  const auto config = bench::paper_experiment_config();
+  const auto scenarios = bench::paper_scenario_grid(core::FeatureSet::kBoth);
+  const auto methods = core::table3_methods();
+
+  std::printf(
+      "=== Table III: interval length (mV) & coverage (%%) of SCAN Vmin, "
+      "alpha=0.1 ===\n\n");
+
+  // Parallelize over (scenario x method) cells.
+  struct Cell {
+    std::size_t scenario;
+    std::size_t method;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    for (std::size_t m = 0; m < methods.size(); ++m) cells.push_back({s, m});
+  }
+  const auto results = core::parallel_map<core::RegionMethodScore>(
+      cells.size(), [&](std::size_t i) {
+        return core::evaluate_region_method(generated.dataset,
+                                            scenarios[cells[i].scenario],
+                                            methods[cells[i].method], config);
+      });
+
+  // Group rows by read point, as in the paper's table.
+  for (double t : silicon::standard_read_points()) {
+    core::TextTable table({"Stress", "Method", "-45C len", "-45C cov",
+                           "25C len", "25C cov", "125C len", "125C cov"});
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      std::vector<std::string> row = {bench::hours_label(t),
+                                      methods[m].label()};
+      for (double temp : silicon::standard_temperatures()) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          const auto& sc = scenarios[cells[i].scenario];
+          if (cells[i].method == m && sc.read_point_hours == t &&
+              sc.temperature_c == temp) {
+            row.push_back(core::format_double(results[i].mean_length_mv, 2));
+            row.push_back(core::format_double(results[i].coverage_pct, 2));
+          }
+        }
+      }
+      table.add_row(row);
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  // Shape checks over all cells.
+  double qr_cov = 0.0, cqr_cov = 0.0, gp_cov = 0.0;
+  double cqr_cb_len = 0.0, cqr_other_len = 0.0;
+  std::size_t n_qr = 0, n_cqr = 0, n_gp = 0, n_cb = 0, n_other = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& spec = methods[cells[i].method];
+    const auto& r = results[i];
+    switch (spec.family) {
+      case core::RegionMethodSpec::Family::kGp:
+        gp_cov += r.coverage_pct;
+        ++n_gp;
+        break;
+      case core::RegionMethodSpec::Family::kQr:
+        qr_cov += r.coverage_pct;
+        ++n_qr;
+        break;
+      case core::RegionMethodSpec::Family::kCqr:
+        cqr_cov += r.coverage_pct;
+        ++n_cqr;
+        if (spec.base == models::ModelKind::kCatboost) {
+          cqr_cb_len += r.mean_length_mv;
+          ++n_cb;
+        } else {
+          cqr_other_len += r.mean_length_mv;
+          ++n_other;
+        }
+        break;
+    }
+  }
+  std::printf("shape checks (averages across all 18 cells):\n");
+  std::printf("  GP coverage          : %.1f%%  (paper: undercovers, ~77-95%%)\n",
+              gp_cov / n_gp);
+  std::printf("  QR coverage          : %.1f%%  (paper: undercovers, often <90%%)\n",
+              qr_cov / n_qr);
+  std::printf("  CQR coverage         : %.1f%%  (paper: ~90%%+, calibrated)\n",
+              cqr_cov / n_cqr);
+  std::printf("  CQR CatBoost length  : %.1f mV (paper: shortest CQR variant)\n",
+              cqr_cb_len / n_cb);
+  std::printf("  other CQR mean length: %.1f mV\n", cqr_other_len / n_other);
+  std::printf("\n[table3_region_prediction] done in %.1f s\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Table IV of the paper: CQR CatBoost interval length averaged
+// across all stress read points, per temperature and feature set, plus the
+// "on-chip monitor gain" row — the relative reduction in interval length
+// when monitor data is added to parametric data (paper: 19.0% / 19.1% /
+// 25.8% per temperature, 21.0% average).
+#include "bench_common.hpp"
+
+using namespace vmincqr;
+
+int main() {
+  bench::Stopwatch watch;
+  const auto generated = bench::make_paper_dataset();
+  const auto config = bench::paper_experiment_config();
+  const core::RegionMethodSpec cqr_catboost{
+      core::RegionMethodSpec::Family::kCqr, models::ModelKind::kCatboost};
+
+  const core::FeatureSet feature_sets[] = {core::FeatureSet::kParametricOnly,
+                                           core::FeatureSet::kOnChipOnly,
+                                           core::FeatureSet::kBoth};
+
+  std::vector<core::Scenario> cells;
+  for (auto set : feature_sets) {
+    for (const auto& s : bench::paper_scenario_grid(set)) cells.push_back(s);
+  }
+  const auto results = core::parallel_map<core::RegionMethodScore>(
+      cells.size(), [&](std::size_t i) {
+        return core::evaluate_region_method(generated.dataset, cells[i],
+                                            cqr_catboost, config);
+      });
+
+  // Average over read points per (feature set, temperature).
+  const auto mean_length = [&](core::FeatureSet set, double temp) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].feature_set == set && cells[i].temperature_c == temp) {
+        acc += results[i].mean_length_mv;
+        ++n;
+      }
+    }
+    return acc / static_cast<double>(n);
+  };
+
+  std::printf(
+      "=== Table IV: CQR CatBoost interval length (mV), averaged over all "
+      "read points ===\n\n");
+  core::TextTable table(
+      {"Feature type", "-45C", "25C", "125C", "Average"});
+  std::vector<double> gains;
+  double par_avg = 0.0, both_avg = 0.0;
+  for (auto set : feature_sets) {
+    std::vector<std::string> row = {core::to_string(set)};
+    double avg = 0.0;
+    for (double temp : silicon::standard_temperatures()) {
+      const double len = mean_length(set, temp);
+      row.push_back(core::format_double(len, 2));
+      avg += len;
+    }
+    avg /= 3.0;
+    row.push_back(core::format_double(avg, 2));
+    table.add_row(row);
+    if (set == core::FeatureSet::kParametricOnly) par_avg = avg;
+    if (set == core::FeatureSet::kBoth) both_avg = avg;
+  }
+  // Gain row: (parametric - both) / parametric, per temperature.
+  std::vector<std::string> gain_row = {"on-chip monitor gain"};
+  double gain_avg = 0.0;
+  for (double temp : silicon::standard_temperatures()) {
+    const double par = mean_length(core::FeatureSet::kParametricOnly, temp);
+    const double both = mean_length(core::FeatureSet::kBoth, temp);
+    const double gain = (par - both) / par * 100.0;
+    gain_row.push_back(core::format_double(gain, 2) + "%");
+    gain_avg += gain;
+  }
+  gain_row.push_back(core::format_double(gain_avg / 3.0, 2) + "%");
+  table.add_row(gain_row);
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("shape checks:\n");
+  std::printf("  overall monitor gain: %.1f%% (paper: 21.0%%)\n",
+              (par_avg - both_avg) / par_avg * 100.0);
+  const double onchip_avg =
+      (mean_length(core::FeatureSet::kOnChipOnly, -45.0) +
+       mean_length(core::FeatureSet::kOnChipOnly, 25.0) +
+       mean_length(core::FeatureSet::kOnChipOnly, 125.0)) /
+      3.0;
+  std::printf(
+      "  on-chip only (%.1f mV) vs parametric only (%.1f mV): %s (paper: "
+      "on-chip wins despite ~10x fewer features)\n",
+      onchip_avg, par_avg, onchip_avg < par_avg ? "on-chip wins" : "parametric wins");
+  std::printf("\n[table4_monitor_gain] done in %.1f s\n", watch.seconds());
+  return 0;
+}

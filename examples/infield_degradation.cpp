@@ -1,0 +1,127 @@
+// In-field Vmin degradation prediction (paper Sec. III-A, second scenario):
+// once chips ship, parametric tests are impossible — only time-0 parametric
+// data plus the on-chip monitor history up to the current read point are
+// available. This example walks one simulated fleet through the stress read
+// points and prints, at each point, the predicted Vmin interval versus the
+// measured truth, flagging chips whose interval crosses min_spec.
+#include <cstdio>
+
+#include "conformal/cqr.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "data/feature_select.hpp"
+#include "models/factory.hpp"
+#include "silicon/dataset_gen.hpp"
+#include "stats/metrics.hpp"
+
+using namespace vmincqr;
+
+int main() {
+  const auto generated = silicon::generate_dataset(silicon::GeneratorConfig{});
+  const data::Dataset& ds = generated.dataset;
+  const double alpha = 0.1;
+  const double temp = 125.0;     // hottest corner for in-field reliability
+  const double min_spec = 0.62;  // reliability limit (V)
+
+  // Fleet split: 120 characterized chips train the predictor; 36 deployed
+  // chips are tracked in the field.
+  std::vector<std::size_t> train_rows, field_rows;
+  for (std::size_t i = 0; i < ds.n_chips(); ++i) {
+    (i < 120 ? train_rows : field_rows).push_back(i);
+  }
+
+  std::printf(
+      "in-field degradation tracking @ %.0fC, alpha=%.2f, min_spec=%.0f mV\n"
+      "fleet: %zu training chips, %zu deployed chips\n\n",
+      temp, alpha, min_spec * 1e3, train_rows.size(), field_rows.size());
+  std::printf("%-8s %-14s %-14s %-10s %s\n", "read pt", "mean width", "coverage",
+              "flagged", "note");
+
+  for (double t : silicon::standard_read_points()) {
+    const core::Scenario scenario{t, temp, core::FeatureSet::kBoth};
+    const auto data = core::assemble_scenario(ds, scenario);
+
+    const auto x_train = data.x.take_rows(train_rows);
+    linalg::Vector y_train(train_rows.size());
+    for (std::size_t i = 0; i < train_rows.size(); ++i) {
+      y_train[i] = data.y[train_rows[i]];
+    }
+    const auto x_field = data.x.take_rows(field_rows);
+    linalg::Vector y_field(field_rows.size());
+    for (std::size_t i = 0; i < field_rows.size(); ++i) {
+      y_field[i] = data.y[field_rows[i]];
+    }
+
+    const auto cols = data::cfs_select(x_train, y_train, 8);
+    conformal::ConformalizedQuantileRegressor cqr(
+        alpha, models::make_quantile_pair(models::ModelKind::kLinear, alpha));
+    cqr.fit(x_train.take_cols(cols), y_train);
+    const auto band = cqr.predict_interval(x_field.take_cols(cols));
+
+    // Chips whose upper bound crosses the reliability limit get flagged for
+    // preventive action (the paper's "secure long-term reliability" use).
+    int flagged = 0;
+    for (std::size_t i = 0; i < field_rows.size(); ++i) {
+      flagged += band.upper[i] > min_spec;
+    }
+    const double width =
+        stats::mean_interval_length(band.lower, band.upper) * 1e3;
+    const double coverage =
+        stats::interval_coverage(y_field, band.lower, band.upper) * 100.0;
+    std::printf("%-8s %-14s %-14s %-10d %s\n",
+                (std::to_string(static_cast<int>(t)) + "h").c_str(),
+                (core::format_double(width, 2) + " mV").c_str(),
+                (core::format_double(coverage, 1) + " %").c_str(), flagged,
+                t == 0.0 ? "(shipment baseline)" : "");
+  }
+
+  std::printf(
+      "\nMonitor history keeps the interval width stable out to 1008 h —\n"
+      "the Sec. IV-D observation that on-chip sensors track the gate-level\n"
+      "aging state driving system-level Vmin.\n\n");
+
+  // Forecasting: predict END-OF-LIFE Vmin (1008 h) from progressively
+  // shorter monitor histories — the paper's in-field failure-prediction
+  // use. The interval should tighten as more history arrives.
+  std::printf("forecasting Vmin @ 1008h from partial monitor history:\n");
+  std::printf("%-16s %-14s %s\n", "history up to", "mean width", "coverage");
+  for (double horizon : {0.0, 24.0, 168.0, 504.0, 1008.0}) {
+    const core::Scenario forecast{1008.0, temp, core::FeatureSet::kBoth,
+                                  horizon};
+    const auto data = core::assemble_scenario(ds, forecast);
+    const auto x_train = data.x.take_rows(train_rows);
+    linalg::Vector y_train(train_rows.size());
+    for (std::size_t i = 0; i < train_rows.size(); ++i) {
+      y_train[i] = data.y[train_rows[i]];
+    }
+    const auto x_field = data.x.take_rows(field_rows);
+    linalg::Vector y_field(field_rows.size());
+    for (std::size_t i = 0; i < field_rows.size(); ++i) {
+      y_field[i] = data.y[field_rows[i]];
+    }
+    const auto cols = data::cfs_select(x_train, y_train, 8);
+    conformal::ConformalizedQuantileRegressor cqr(
+        alpha, models::make_quantile_pair(models::ModelKind::kLinear, alpha));
+    cqr.fit(x_train.take_cols(cols), y_train);
+    const auto band = cqr.predict_interval(x_field.take_cols(cols));
+    std::printf("%-16s %-14s %s\n",
+                (std::to_string(static_cast<int>(horizon)) + "h").c_str(),
+                (core::format_double(stats::mean_interval_length(
+                                         band.lower, band.upper) *
+                                         1e3,
+                                     2) +
+                 " mV")
+                    .c_str(),
+                (core::format_double(
+                     stats::interval_coverage(y_field, band.lower,
+                                              band.upper) *
+                         100.0,
+                     1) +
+                 " %")
+                    .c_str());
+  }
+  std::printf(
+      "\nEven a 24-168 h monitor prefix supports a calibrated end-of-life\n"
+      "forecast; the band tightens as the aging trajectory reveals itself.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: generate a synthetic chip population, fit CQR on top of
+// linear quantile regression, and print calibrated Vmin intervals.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "conformal/cqr.hpp"
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "data/feature_select.hpp"
+#include "silicon/dataset_gen.hpp"
+#include "stats/metrics.hpp"
+
+using namespace vmincqr;
+
+int main() {
+  // 1. Generate the synthetic industrial dataset (156 chips, Table II shape).
+  silicon::GeneratorConfig gen_config;
+  const auto generated = silicon::generate_dataset(gen_config);
+  const data::Dataset& ds = generated.dataset;
+  std::printf("dataset: %zu chips x %zu features, %zu label series\n",
+              ds.n_chips(), ds.n_features(), ds.labels().size());
+
+  // 2. Pick a scenario: Vmin at 25C after 168 h of stress, all features.
+  core::Scenario scenario{168.0, 25.0, core::FeatureSet::kBoth};
+  const core::ScenarioData data = core::assemble_scenario(ds, scenario);
+  std::printf("scenario %s: %zu legal feature columns\n",
+              core::describe(scenario).c_str(), data.columns.size());
+
+  // 3. Split chips: train on the first 120, test on the rest.
+  std::vector<std::size_t> train_rows, test_rows;
+  for (std::size_t i = 0; i < ds.n_chips(); ++i) {
+    (i < 120 ? train_rows : test_rows).push_back(i);
+  }
+  const auto x_train = data.x.take_rows(train_rows);
+  linalg::Vector y_train(train_rows.size());
+  for (std::size_t i = 0; i < train_rows.size(); ++i) {
+    y_train[i] = data.y[train_rows[i]];
+  }
+  const auto x_test = data.x.take_rows(test_rows);
+  linalg::Vector y_test(test_rows.size());
+  for (std::size_t i = 0; i < test_rows.size(); ++i) {
+    y_test[i] = data.y[test_rows[i]];
+  }
+
+  // 4. CFS feature selection (8 features), then CQR over linear QR.
+  const auto cols = data::cfs_select(x_train, y_train, 8);
+  const double alpha = 0.1;  // 90% target coverage
+  conformal::ConformalizedQuantileRegressor cqr(
+      alpha, models::make_quantile_pair(models::ModelKind::kLinear, alpha));
+  cqr.fit(x_train.take_cols(cols), y_train);
+
+  // 5. Predict intervals for the held-out chips.
+  const auto band = cqr.predict_interval(x_test.take_cols(cols));
+  const double coverage =
+      stats::interval_coverage(y_test, band.lower, band.upper);
+  const double length = stats::mean_interval_length(band.lower, band.upper);
+  std::printf("\nCQR Linear Regression @ alpha=%.2f\n", alpha);
+  std::printf("  calibration shift q_hat = %+.2f mV\n", cqr.q_hat() * 1e3);
+  std::printf("  test coverage  = %.1f%% (target >= %.0f%%)\n",
+              coverage * 100.0, (1.0 - alpha) * 100.0);
+  std::printf("  mean interval  = %.2f mV\n\n", length * 1e3);
+
+  std::printf("first 8 held-out chips:\n");
+  std::printf("  %-6s %-12s %-12s %-12s %s\n", "chip", "true (V)", "lo (V)",
+              "hi (V)", "covered");
+  for (std::size_t i = 0; i < 8 && i < y_test.size(); ++i) {
+    const bool hit = y_test[i] >= band.lower[i] && y_test[i] <= band.upper[i];
+    std::printf("  %-6zu %-12.4f %-12.4f %-12.4f %s\n", test_rows[i],
+                y_test[i], band.lower[i], band.upper[i], hit ? "yes" : "NO");
+  }
+  return 0;
+}

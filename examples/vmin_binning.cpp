@@ -1,0 +1,114 @@
+// ML-assisted Vmin binning (the application of the paper's ref. [4]):
+// assign each chip the lowest supply bin its predicted Vmin supports.
+//
+// Compares two schemes at equal safety (field-violation rate):
+//   * interval binning — bin by the CQR upper bound (per-chip adaptive);
+//   * point binning    — bin by point prediction + one global guard band,
+//     with the guard band calibrated on held-out data to match the interval
+//     scheme's violation rate.
+// The adaptive scheme should save supply voltage on easy chips while
+// spending it only where the uncertainty is real.
+#include <cstdio>
+
+#include "conformal/cqr.hpp"
+#include "core/binning.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "data/feature_select.hpp"
+#include "models/factory.hpp"
+#include "silicon/dataset_gen.hpp"
+
+using namespace vmincqr;
+
+int main() {
+  silicon::GeneratorConfig gen_config;
+  gen_config.n_chips = 400;
+  const auto generated = silicon::generate_dataset(gen_config);
+  const data::Dataset& ds = generated.dataset;
+
+  const core::Scenario scenario{0.0, 25.0, core::FeatureSet::kBoth};
+  const auto data = core::assemble_scenario(ds, scenario);
+
+  // 250 train / 75 guard-band calibration / 75 production.
+  std::vector<std::size_t> train_rows, tune_rows, prod_rows;
+  for (std::size_t i = 0; i < ds.n_chips(); ++i) {
+    if (i < 250) {
+      train_rows.push_back(i);
+    } else if (i < 325) {
+      tune_rows.push_back(i);
+    } else {
+      prod_rows.push_back(i);
+    }
+  }
+  const auto take_y = [&](const std::vector<std::size_t>& rows) {
+    linalg::Vector y(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) y[i] = data.y[rows[i]];
+    return y;
+  };
+  const auto x_train = data.x.take_rows(train_rows);
+  const auto y_train = take_y(train_rows);
+  const auto cols = data::top_correlated(x_train, y_train, 32);
+
+  const double alpha = 0.1;
+  conformal::ConformalizedQuantileRegressor cqr(
+      alpha, models::make_quantile_pair(models::ModelKind::kCatboost, alpha));
+  cqr.fit(x_train.take_cols(cols), y_train);
+
+  auto point = models::make_point_regressor(models::ModelKind::kLinear);
+  point->fit(x_train.take_cols(cols), y_train);
+
+  // Voltage bins: 10 mV steps around the healthy population.
+  core::BinningConfig bins;
+  for (double v = 0.54; v <= 0.75 + 1e-9; v += 0.01) bins.bin_voltages.push_back(v);
+
+  // Calibrate the point scheme's guard band on the tune split so both
+  // schemes run at (approximately) the same violation rate.
+  const auto x_tune = data.x.take_rows(tune_rows).take_cols(cols);
+  const auto y_tune = take_y(tune_rows);
+  const auto tune_band = cqr.predict_interval(x_tune);
+  const auto interval_tune =
+      core::bin_by_interval(tune_band.upper, y_tune, bins);
+  const auto pred_tune = point->predict(x_tune);
+  double guard = 0.0;
+  for (double g = 0.0; g <= 0.08; g += 0.002) {
+    if (core::bin_by_point(pred_tune, g, y_tune, bins).violation_rate <=
+        interval_tune.violation_rate + 1e-9) {
+      guard = g;
+      break;
+    }
+    guard = g;
+  }
+
+  // Production comparison.
+  const auto x_prod = data.x.take_rows(prod_rows).take_cols(cols);
+  const auto y_prod = take_y(prod_rows);
+  const auto prod_band = cqr.predict_interval(x_prod);
+  const auto interval_bins =
+      core::bin_by_interval(prod_band.upper, y_prod, bins);
+  const auto point_bins =
+      core::bin_by_point(point->predict(x_prod), guard, y_prod, bins);
+
+  std::printf("Vmin binning @ %s — %zu production chips, %zu bins, "
+              "guard band (point scheme) = %.0f mV\n\n",
+              core::describe(scenario).c_str(), prod_rows.size(),
+              bins.bin_voltages.size(), guard * 1e3);
+  core::TextTable table({"Scheme", "mean bin V", "violations", "unbinnable"});
+  table.add_row({"interval (CQR upper bound)",
+                 core::format_double(interval_bins.mean_voltage, 4),
+                 core::format_double(interval_bins.violation_rate * 100, 2) + "%",
+                 std::to_string(interval_bins.n_unbinnable)});
+  table.add_row({"point + guard band",
+                 core::format_double(point_bins.mean_voltage, 4),
+                 core::format_double(point_bins.violation_rate * 100, 2) + "%",
+                 std::to_string(point_bins.n_unbinnable)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  const double saving =
+      core::mean_voltage_saving(interval_bins, point_bins, bins);
+  std::printf("mean supply saving of the interval scheme: %+.1f mV/chip\n",
+              saving * 1e3);
+  std::printf(
+      "(positive = the adaptive CQR bound lets typical chips run in lower\n"
+      " bins at the same field-violation budget)\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "conformal/cqr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "conformal/scores.hpp"
+#include "data/split.hpp"
+#include "stats/quantile.hpp"
+
+namespace vmincqr::conformal {
+
+ConformalizedQuantileRegressor::ConformalizedQuantileRegressor(
+    double alpha, std::unique_ptr<IntervalRegressor> base, CqrConfig config)
+    : alpha_(alpha), base_(std::move(base)), config_(config) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument(
+        "ConformalizedQuantileRegressor: alpha outside (0, 1)");
+  }
+  if (!base_) {
+    throw std::invalid_argument("ConformalizedQuantileRegressor: null base");
+  }
+  if (std::abs(base_->alpha() - alpha) > 1e-9) {
+    throw std::invalid_argument(
+        "ConformalizedQuantileRegressor: base model alpha mismatch");
+  }
+  if (!(config_.train_fraction > 0.0) || !(config_.train_fraction < 1.0)) {
+    throw std::invalid_argument(
+        "ConformalizedQuantileRegressor: train_fraction outside (0, 1)");
+  }
+}
+
+void ConformalizedQuantileRegressor::fit(const Matrix& x, const Vector& y) {
+  if (x.rows() < 3) {
+    throw std::invalid_argument(
+        "ConformalizedQuantileRegressor::fit: need at least 3 samples");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument(
+        "ConformalizedQuantileRegressor::fit: shape mismatch");
+  }
+  std::vector<std::size_t> indices(x.rows());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng::Rng rng(config_.seed);
+  const auto split =
+      data::train_calibration_split(indices, config_.train_fraction, rng);
+
+  Vector y_train(split.train.size()), y_calib(split.calibration.size());
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    y_train[i] = y[split.train[i]];
+  }
+  for (std::size_t i = 0; i < split.calibration.size(); ++i) {
+    y_calib[i] = y[split.calibration[i]];
+  }
+  fit_with_split(x.take_rows(split.train), y_train,
+                 x.take_rows(split.calibration), y_calib);
+}
+
+void ConformalizedQuantileRegressor::fit_with_split(const Matrix& x_train,
+                                                    const Vector& y_train,
+                                                    const Matrix& x_calib,
+                                                    const Vector& y_calib) {
+  if (x_calib.rows() == 0) {
+    throw std::invalid_argument(
+        "ConformalizedQuantileRegressor: empty calibration set");
+  }
+  base_->fit(x_train, y_train);
+  const IntervalPrediction band = base_->predict_interval(x_calib);
+  if (config_.mode == CqrMode::kSymmetric) {
+    const auto scores = cqr_scores(y_calib, band.lower, band.upper);
+    q_hat_lo_ = q_hat_hi_ = stats::conformal_quantile(scores, alpha_);
+  } else {
+    // Per-tail calibration at level alpha/2 each (union bound -> 1 - alpha).
+    std::vector<double> lo_scores(y_calib.size()), hi_scores(y_calib.size());
+    for (std::size_t i = 0; i < y_calib.size(); ++i) {
+      lo_scores[i] = band.lower[i] - y_calib[i];
+      hi_scores[i] = y_calib[i] - band.upper[i];
+    }
+    q_hat_lo_ = stats::conformal_quantile(lo_scores, alpha_ / 2.0);
+    q_hat_hi_ = stats::conformal_quantile(hi_scores, alpha_ / 2.0);
+  }
+  calibrated_ = true;
+}
+
+IntervalPrediction ConformalizedQuantileRegressor::predict_interval(
+    const Matrix& x) const {
+  if (!calibrated_) {
+    throw std::logic_error("ConformalizedQuantileRegressor: not calibrated");
+  }
+  IntervalPrediction out = base_->predict_interval(x);
+  for (std::size_t i = 0; i < out.lower.size(); ++i) {
+    out.lower[i] -= q_hat_lo_;
+    out.upper[i] += q_hat_hi_;
+    // A strongly negative q_hat could invert a very tight band; clamp to the
+    // degenerate point interval at the band centre.
+    if (out.lower[i] > out.upper[i]) {
+      const double mid = 0.5 * (out.lower[i] + out.upper[i]);
+      out.lower[i] = mid;
+      out.upper[i] = mid;
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<IntervalRegressor> ConformalizedQuantileRegressor::clone_config()
+    const {
+  return std::make_unique<ConformalizedQuantileRegressor>(
+      alpha_, base_->clone_config(), config_);
+}
+
+std::string ConformalizedQuantileRegressor::name() const {
+  // "QR CatBoost" -> "CQR CatBoost"; other bases get a "CQR " prefix.
+  const std::string base_name = base_->name();
+  std::string name = base_name.rfind("QR ", 0) == 0 ? "C" + base_name
+                                                    : "CQR " + base_name;
+  if (config_.mode == CqrMode::kAsymmetric) name += " (asym)";
+  return name;
+}
+
+double ConformalizedQuantileRegressor::q_hat() const {
+  if (!calibrated_) {
+    throw std::logic_error("ConformalizedQuantileRegressor: not calibrated");
+  }
+  return 0.5 * (q_hat_lo_ + q_hat_hi_);
+}
+
+double ConformalizedQuantileRegressor::q_hat_lower() const {
+  if (!calibrated_) {
+    throw std::logic_error("ConformalizedQuantileRegressor: not calibrated");
+  }
+  return q_hat_lo_;
+}
+
+double ConformalizedQuantileRegressor::q_hat_upper() const {
+  if (!calibrated_) {
+    throw std::logic_error("ConformalizedQuantileRegressor: not calibrated");
+  }
+  return q_hat_hi_;
+}
+
+}  // namespace vmincqr::conformal

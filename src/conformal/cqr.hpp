@@ -1,0 +1,79 @@
+// Conformalized Quantile Regression (Romano, Patterson & Candes 2019) —
+// the paper's method, Sec. III-C.
+//
+// Wraps ANY IntervalRegressor (normally the QuantilePairRegressor of
+// Sec. II-B.2, but conformalizing a GP band also works): the base interval
+// model is fitted on the proper-training part, the CQR score of Eq. (9) is
+// evaluated on the calibration part, and Eq. (10) shifts both bounds by the
+// calibrated quantile q_hat. Because the score is signed, q_hat can be
+// negative — CQR both widens under-covering bands and *shrinks* over-wide
+// ones while keeping the Eq. (6) finite-sample guarantee.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "models/region.hpp"
+
+namespace vmincqr::conformal {
+
+using models::IntervalPrediction;
+using models::IntervalRegressor;
+using models::Matrix;
+using models::Vector;
+
+/// Calibration mode.
+///  * kSymmetric  — the paper's Eq. (9)-(10): one q_hat shifts both bounds.
+///  * kAsymmetric — CQR-m (Romano et al. appendix; Sesia & Candes 2020):
+///    lower and upper bounds calibrated separately at level alpha/2 each,
+///    giving per-tail validity at the cost of typically wider bands.
+enum class CqrMode { kSymmetric, kAsymmetric };
+
+struct CqrConfig {
+  double train_fraction = 0.75;  ///< the paper's 75/25 split (Sec. IV-B)
+  std::uint64_t seed = 42;
+  CqrMode mode = CqrMode::kSymmetric;
+};
+
+class ConformalizedQuantileRegressor final : public IntervalRegressor {
+ public:
+  /// Takes ownership of an unfitted interval-regressor prototype whose own
+  /// alpha should match `alpha` (checked; throws std::invalid_argument on
+  /// mismatch > 1e-9, null model, or alpha outside (0, 1)).
+  ConformalizedQuantileRegressor(double alpha,
+                                 std::unique_ptr<IntervalRegressor> base,
+                                 CqrConfig config = {});
+
+  /// Splits internally (75/25 by default), fits, and calibrates.
+  void fit(const Matrix& x, const Vector& y) override;
+
+  /// Explicit-split variant for callers that manage the split.
+  void fit_with_split(const Matrix& x_train, const Vector& y_train,
+                      const Matrix& x_calib, const Vector& y_calib);
+
+  IntervalPrediction predict_interval(const Matrix& x) const override;
+
+  std::unique_ptr<IntervalRegressor> clone_config() const override;
+  std::string name() const override;
+  double alpha() const override { return alpha_; }
+
+  /// Calibrated band adjustment (volts); negative means the raw QR band was
+  /// conservative and has been tightened. In asymmetric mode this is the
+  /// mean of the two per-tail adjustments.
+  double q_hat() const;
+  /// Per-tail adjustments (equal in symmetric mode).
+  double q_hat_lower() const;
+  double q_hat_upper() const;
+
+  const IntervalRegressor& base() const { return *base_; }
+
+ private:
+  double alpha_;
+  std::unique_ptr<IntervalRegressor> base_;
+  CqrConfig config_;
+  double q_hat_lo_ = 0.0;
+  double q_hat_hi_ = 0.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace vmincqr::conformal

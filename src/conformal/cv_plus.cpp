@@ -1,0 +1,97 @@
+#include "conformal/cv_plus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/split.hpp"
+
+namespace vmincqr::conformal {
+
+CvPlusRegressor::CvPlusRegressor(double alpha, std::unique_ptr<Regressor> model,
+                                 CvPlusConfig config)
+    : alpha_(alpha), prototype_(std::move(model)), config_(config) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument("CvPlusRegressor: alpha outside (0, 1)");
+  }
+  if (!prototype_) throw std::invalid_argument("CvPlusRegressor: null model");
+  if (config_.n_folds < 2) {
+    throw std::invalid_argument("CvPlusRegressor: n_folds < 2");
+  }
+}
+
+void CvPlusRegressor::fit(const Matrix& x, const Vector& y) {
+  if (x.rows() < config_.n_folds || x.rows() != y.size()) {
+    throw std::invalid_argument("CvPlusRegressor::fit: bad shapes");
+  }
+  rng::Rng rng(config_.seed);
+  const auto folds = data::k_fold(x.rows(), config_.n_folds, rng);
+
+  fold_models_.clear();
+  fold_models_.reserve(folds.size());
+  fold_of_sample_.assign(x.rows(), 0);
+  residuals_.assign(x.rows(), 0.0);
+
+  for (std::size_t k = 0; k < folds.size(); ++k) {
+    Vector y_train(folds[k].train.size());
+    for (std::size_t i = 0; i < folds[k].train.size(); ++i) {
+      y_train[i] = y[folds[k].train[i]];
+    }
+    auto model = prototype_->clone_config();
+    model->fit(x.take_rows(folds[k].train), y_train);
+
+    const Matrix x_test = x.take_rows(folds[k].test);
+    const Vector pred = model->predict(x_test);
+    for (std::size_t i = 0; i < folds[k].test.size(); ++i) {
+      const std::size_t sample = folds[k].test[i];
+      fold_of_sample_[sample] = k;
+      residuals_[sample] = std::abs(y[sample] - pred[i]);
+    }
+    fold_models_.push_back(std::move(model));
+  }
+  calibrated_ = true;
+}
+
+IntervalPrediction CvPlusRegressor::predict_interval(const Matrix& x) const {
+  if (!calibrated_) throw std::logic_error("CvPlusRegressor: not calibrated");
+  const std::size_t n = residuals_.size();
+  const std::size_t n_test = x.rows();
+
+  // Precompute each fold model's predictions on all test rows.
+  std::vector<Vector> fold_preds;
+  fold_preds.reserve(fold_models_.size());
+  for (const auto& model : fold_models_) fold_preds.push_back(model->predict(x));
+
+  IntervalPrediction out;
+  out.lower.resize(n_test);
+  out.upper.resize(n_test);
+
+  std::vector<double> lo(n), hi(n);
+  for (std::size_t t = 0; t < n_test; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mu = fold_preds[fold_of_sample_[i]][t];
+      lo[i] = mu - residuals_[i];
+      hi[i] = mu + residuals_[i];
+    }
+    // Jackknife+/CV+ order statistics: lower = floor(alpha (n+1))-th
+    // smallest of lo; upper = ceil((1-alpha)(n+1))-th smallest of hi.
+    const auto k_lo_rank = static_cast<std::size_t>(
+        std::floor(alpha_ * (static_cast<double>(n) + 1.0)));
+    const auto k_hi_rank = static_cast<std::size_t>(
+        std::ceil((1.0 - alpha_) * (static_cast<double>(n) + 1.0)));
+    std::sort(lo.begin(), lo.end());
+    std::sort(hi.begin(), hi.end());
+    out.lower[t] = k_lo_rank >= 1 && k_lo_rank <= n ? lo[k_lo_rank - 1]
+                                                    : lo.front();
+    out.upper[t] = k_hi_rank >= 1 && k_hi_rank <= n ? hi[k_hi_rank - 1]
+                                                    : hi.back();
+  }
+  return out;
+}
+
+std::unique_ptr<IntervalRegressor> CvPlusRegressor::clone_config() const {
+  return std::make_unique<CvPlusRegressor>(alpha_, prototype_->clone_config(),
+                                           config_);
+}
+
+}  // namespace vmincqr::conformal

@@ -1,0 +1,93 @@
+#include "conformal/mondrian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "conformal/scores.hpp"
+#include "data/split.hpp"
+#include "stats/quantile.hpp"
+
+namespace vmincqr::conformal {
+
+MondrianCqr::MondrianCqr(double alpha, std::unique_ptr<IntervalRegressor> base,
+                         GroupFn group_fn, MondrianConfig config)
+    : alpha_(alpha),
+      base_(std::move(base)),
+      group_fn_(std::move(group_fn)),
+      config_(config) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument("MondrianCqr: alpha outside (0, 1)");
+  }
+  if (!base_) throw std::invalid_argument("MondrianCqr: null base");
+  if (!group_fn_) throw std::invalid_argument("MondrianCqr: null group_fn");
+  if (std::abs(base_->alpha() - alpha) > 1e-9) {
+    throw std::invalid_argument("MondrianCqr: base model alpha mismatch");
+  }
+}
+
+void MondrianCqr::fit(const Matrix& x, const Vector& y) {
+  if (x.rows() < 3 || x.rows() != y.size()) {
+    throw std::invalid_argument("MondrianCqr::fit: bad shapes");
+  }
+  std::vector<std::size_t> indices(x.rows());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng::Rng rng(config_.seed);
+  const auto split =
+      data::train_calibration_split(indices, config_.train_fraction, rng);
+
+  Vector y_train(split.train.size());
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    y_train[i] = y[split.train[i]];
+  }
+  base_->fit(x.take_rows(split.train), y_train);
+
+  const Matrix x_calib = x.take_rows(split.calibration);
+  Vector y_calib(split.calibration.size());
+  for (std::size_t i = 0; i < split.calibration.size(); ++i) {
+    y_calib[i] = y[split.calibration[i]];
+  }
+  const IntervalPrediction band = base_->predict_interval(x_calib);
+  const auto scores = cqr_scores(y_calib, band.lower, band.upper);
+
+  pooled_q_hat_ = stats::conformal_quantile(scores, alpha_);
+
+  std::map<int, std::vector<double>> group_scores;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const int g = group_fn_(x_calib.row_ptr(i), x_calib.cols());
+    group_scores[g].push_back(scores[i]);
+  }
+  group_q_hat_.clear();
+  for (auto& [group, s] : group_scores) {
+    if (s.size() < config_.min_group_size) {
+      group_q_hat_[group] = pooled_q_hat_;
+    } else {
+      group_q_hat_[group] = stats::conformal_quantile(s, alpha_);
+    }
+  }
+  calibrated_ = true;
+}
+
+IntervalPrediction MondrianCqr::predict_interval(const Matrix& x) const {
+  if (!calibrated_) throw std::logic_error("MondrianCqr: not calibrated");
+  IntervalPrediction out = base_->predict_interval(x);
+  for (std::size_t i = 0; i < out.lower.size(); ++i) {
+    const int g = group_fn_(x.row_ptr(i), x.cols());
+    const auto it = group_q_hat_.find(g);
+    const double q = it != group_q_hat_.end() ? it->second : pooled_q_hat_;
+    out.lower[i] -= q;
+    out.upper[i] += q;
+    if (out.lower[i] > out.upper[i]) {
+      const double mid = 0.5 * (out.lower[i] + out.upper[i]);
+      out.lower[i] = mid;
+      out.upper[i] = mid;
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<IntervalRegressor> MondrianCqr::clone_config() const {
+  return std::make_unique<MondrianCqr>(alpha_, base_->clone_config(),
+                                       group_fn_, config_);
+}
+
+}  // namespace vmincqr::conformal

@@ -1,0 +1,107 @@
+#include "conformal/normalized.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "conformal/scores.hpp"
+#include "data/split.hpp"
+#include "stats/quantile.hpp"
+
+namespace vmincqr::conformal {
+
+NormalizedConformalRegressor::NormalizedConformalRegressor(
+    double alpha, std::unique_ptr<Regressor> mean_model,
+    std::unique_ptr<Regressor> sigma_model, NormalizedConfig config)
+    : alpha_(alpha),
+      mean_model_(std::move(mean_model)),
+      sigma_model_(std::move(sigma_model)),
+      config_(config) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument(
+        "NormalizedConformalRegressor: alpha outside (0, 1)");
+  }
+  if (!mean_model_ || !sigma_model_) {
+    throw std::invalid_argument("NormalizedConformalRegressor: null model");
+  }
+}
+
+void NormalizedConformalRegressor::fit(const Matrix& x, const Vector& y) {
+  if (x.rows() < 3 || x.rows() != y.size()) {
+    throw std::invalid_argument("NormalizedConformalRegressor::fit: bad shapes");
+  }
+  std::vector<std::size_t> indices(x.rows());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng::Rng rng(config_.seed);
+  const auto split =
+      data::train_calibration_split(indices, config_.train_fraction, rng);
+
+  const Matrix x_train = x.take_rows(split.train);
+  Vector y_train(split.train.size());
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    y_train[i] = y[split.train[i]];
+  }
+  mean_model_->fit(x_train, y_train);
+
+  // Difficulty model: absolute residuals of the mean model on its own
+  // training data (standard locally-weighted CP recipe).
+  const Vector mu_train = mean_model_->predict(x_train);
+  Vector abs_res(y_train.size());
+  for (std::size_t i = 0; i < y_train.size(); ++i) {
+    abs_res[i] = std::abs(y_train[i] - mu_train[i]);
+  }
+  sigma_model_->fit(x_train, abs_res);
+
+  const Matrix x_calib = x.take_rows(split.calibration);
+  Vector y_calib(split.calibration.size());
+  for (std::size_t i = 0; i < split.calibration.size(); ++i) {
+    y_calib[i] = y[split.calibration[i]];
+  }
+  const Vector mu = mean_model_->predict(x_calib);
+  const Vector sigma = predict_sigma(x_calib);
+  std::vector<double> scores(y_calib.size());
+  for (std::size_t i = 0; i < y_calib.size(); ++i) {
+    scores[i] = normalized_residual_score(y_calib[i], mu[i], sigma[i]);
+  }
+  q_hat_ = stats::conformal_quantile(scores, alpha_);
+  calibrated_ = true;
+}
+
+Vector NormalizedConformalRegressor::predict_sigma(const Matrix& x) const {
+  Vector sigma = sigma_model_->predict(x);
+  for (auto& s : sigma) s = std::max(s, config_.sigma_floor);
+  return sigma;
+}
+
+IntervalPrediction NormalizedConformalRegressor::predict_interval(
+    const Matrix& x) const {
+  if (!calibrated_) {
+    throw std::logic_error("NormalizedConformalRegressor: not calibrated");
+  }
+  const Vector mu = mean_model_->predict(x);
+  const Vector sigma = predict_sigma(x);
+  IntervalPrediction out;
+  out.lower.resize(mu.size());
+  out.upper.resize(mu.size());
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    out.lower[i] = mu[i] - q_hat_ * sigma[i];
+    out.upper[i] = mu[i] + q_hat_ * sigma[i];
+  }
+  return out;
+}
+
+std::unique_ptr<IntervalRegressor> NormalizedConformalRegressor::clone_config()
+    const {
+  return std::make_unique<NormalizedConformalRegressor>(
+      alpha_, mean_model_->clone_config(), sigma_model_->clone_config(),
+      config_);
+}
+
+double NormalizedConformalRegressor::q_hat() const {
+  if (!calibrated_) {
+    throw std::logic_error("NormalizedConformalRegressor: not calibrated");
+  }
+  return q_hat_;
+}
+
+}  // namespace vmincqr::conformal

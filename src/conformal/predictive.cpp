@@ -1,0 +1,115 @@
+#include "conformal/predictive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/split.hpp"
+
+namespace vmincqr::conformal {
+
+ConformalPredictiveDistribution::ConformalPredictiveDistribution(
+    std::unique_ptr<Regressor> model, PredictiveConfig config)
+    : model_(std::move(model)), config_(config) {
+  if (!model_) {
+    throw std::invalid_argument("ConformalPredictiveDistribution: null model");
+  }
+  if (!(config_.train_fraction > 0.0) || !(config_.train_fraction < 1.0)) {
+    throw std::invalid_argument(
+        "ConformalPredictiveDistribution: train_fraction outside (0, 1)");
+  }
+}
+
+void ConformalPredictiveDistribution::fit(const Matrix& x, const Vector& y) {
+  if (x.rows() < 3 || x.rows() != y.size()) {
+    throw std::invalid_argument(
+        "ConformalPredictiveDistribution::fit: bad shapes");
+  }
+  std::vector<std::size_t> indices(x.rows());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng::Rng rng(config_.seed);
+  const auto split =
+      data::train_calibration_split(indices, config_.train_fraction, rng);
+  Vector y_train(split.train.size()), y_calib(split.calibration.size());
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    y_train[i] = y[split.train[i]];
+  }
+  for (std::size_t i = 0; i < split.calibration.size(); ++i) {
+    y_calib[i] = y[split.calibration[i]];
+  }
+  fit_with_split(x.take_rows(split.train), y_train,
+                 x.take_rows(split.calibration), y_calib);
+}
+
+void ConformalPredictiveDistribution::fit_with_split(const Matrix& x_train,
+                                                     const Vector& y_train,
+                                                     const Matrix& x_calib,
+                                                     const Vector& y_calib) {
+  if (x_calib.rows() == 0) {
+    throw std::invalid_argument(
+        "ConformalPredictiveDistribution: empty calibration set");
+  }
+  model_->fit(x_train, y_train);
+  const Vector mu = model_->predict(x_calib);
+  residuals_.resize(y_calib.size());
+  for (std::size_t i = 0; i < y_calib.size(); ++i) {
+    residuals_[i] = y_calib[i] - mu[i];
+  }
+  std::sort(residuals_.begin(), residuals_.end());
+  calibrated_ = true;
+}
+
+double ConformalPredictiveDistribution::predict_one(const Vector& x_row) const {
+  Matrix x(1, x_row.size());
+  x.set_row(0, x_row);
+  return model_->predict(x)[0];
+}
+
+double ConformalPredictiveDistribution::cdf(const Vector& x_row,
+                                            double y) const {
+  if (!calibrated_) {
+    throw std::logic_error("ConformalPredictiveDistribution: not calibrated");
+  }
+  const double mu = predict_one(x_row);
+  const double score = y - mu;
+  // rank = #{ r_i <= score }
+  const auto rank = static_cast<double>(
+      std::upper_bound(residuals_.begin(), residuals_.end(), score) -
+      residuals_.begin());
+  const auto m = static_cast<double>(residuals_.size());
+  // Clamp into (0, 1): finite calibration can never certify certainty.
+  const double q = (rank + 0.5) / (m + 1.0);
+  return std::clamp(q, 1.0 / (m + 1.0), m / (m + 1.0));
+}
+
+double ConformalPredictiveDistribution::quantile(const Vector& x_row,
+                                                 double beta) const {
+  if (!calibrated_) {
+    throw std::logic_error("ConformalPredictiveDistribution: not calibrated");
+  }
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    throw std::invalid_argument(
+        "ConformalPredictiveDistribution::quantile: beta outside (0, 1)");
+  }
+  const double mu = predict_one(x_row);
+  const auto m = static_cast<double>(residuals_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(beta * (m + 1.0)));
+  rank = std::clamp<std::size_t>(rank, 1, residuals_.size());
+  return mu + residuals_[rank - 1];
+}
+
+double ConformalPredictiveDistribution::exceedance_probability(
+    const Vector& x_row, double threshold) const {
+  return 1.0 - cdf(x_row, threshold);
+}
+
+Vector ConformalPredictiveDistribution::exceedance_probabilities(
+    const Matrix& x, double threshold) const {
+  Vector out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = exceedance_probability(x.row(i), threshold);
+  }
+  return out;
+}
+
+}  // namespace vmincqr::conformal

@@ -1,0 +1,73 @@
+// Split-conformal predictive distribution (Vovk's conformal predictive
+// system, split variant) — an extension beyond the paper that upgrades the
+// interval to a full calibrated CDF.
+//
+// For a fitted point model mu and calibration residuals r_1..r_M, the
+// predictive CDF at a query x is
+//   Q(y | x) = rank of (y - mu(x)) among the residuals / (M + 1),
+// which is a valid p-value system: for a fresh exchangeable sample,
+// P(Y <= q_beta(x)) is within 1/(M+1) of beta.
+//
+// The Vmin use case: exceedance_probability(x, min_spec) is a calibrated
+// estimate of P(Vmin > min_spec) — a per-chip shipping-risk number, rather
+// than a binary pass/fail.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "models/regressor.hpp"
+
+namespace vmincqr::conformal {
+
+using models::Matrix;
+using models::Regressor;
+using models::Vector;
+
+struct PredictiveConfig {
+  double train_fraction = 0.75;
+  std::uint64_t seed = 42;
+};
+
+class ConformalPredictiveDistribution {
+ public:
+  /// Takes ownership of an unfitted point-model prototype.
+  /// Throws std::invalid_argument on a null model.
+  explicit ConformalPredictiveDistribution(std::unique_ptr<Regressor> model,
+                                           PredictiveConfig config = {});
+
+  /// Splits internally, fits the model, stores sorted calibration residuals.
+  /// Throws std::invalid_argument on fewer than 3 samples.
+  void fit(const Matrix& x, const Vector& y);
+
+  /// Explicit-split variant.
+  void fit_with_split(const Matrix& x_train, const Vector& y_train,
+                      const Matrix& x_calib, const Vector& y_calib);
+
+  /// Calibrated CDF value Q(y | x) in [1/(M+1), M/(M+1)] (never exactly 0
+  /// or 1 — finite-sample honesty). x_row is one feature row.
+  /// Throws std::logic_error if not fitted.
+  double cdf(const Vector& x_row, double y) const;
+
+  /// Calibrated quantile: smallest value v with cdf(x, v) >= beta.
+  /// beta in (0, 1); throws std::invalid_argument otherwise.
+  double quantile(const Vector& x_row, double beta) const;
+
+  /// P(Y > threshold | x), calibrated: 1 - cdf(x, threshold).
+  double exceedance_probability(const Vector& x_row, double threshold) const;
+
+  /// Vectorized exceedance over the rows of x.
+  Vector exceedance_probabilities(const Matrix& x, double threshold) const;
+
+  std::size_t calibration_size() const noexcept { return residuals_.size(); }
+
+ private:
+  double predict_one(const Vector& x_row) const;
+
+  std::unique_ptr<Regressor> model_;
+  PredictiveConfig config_;
+  Vector residuals_;  ///< sorted signed calibration residuals y - mu(x)
+  bool calibrated_ = false;
+};
+
+}  // namespace vmincqr::conformal

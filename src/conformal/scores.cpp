@@ -1,0 +1,49 @@
+#include "conformal/scores.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vmincqr::conformal {
+
+double absolute_residual_score(double y, double y_hat) {
+  return std::abs(y - y_hat);
+}
+
+double cqr_score(double y, double lo, double hi) {
+  return std::max(lo - y, y - hi);
+}
+
+double normalized_residual_score(double y, double y_hat, double sigma_hat) {
+  if (!(sigma_hat > 0.0)) {
+    throw std::invalid_argument("normalized_residual_score: sigma_hat <= 0");
+  }
+  return std::abs(y - y_hat) / sigma_hat;
+}
+
+std::vector<double> absolute_residual_scores(
+    const std::vector<double>& y, const std::vector<double>& y_hat) {
+  if (y.size() != y_hat.size()) {
+    throw std::invalid_argument("absolute_residual_scores: length mismatch");
+  }
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    out[i] = absolute_residual_score(y[i], y_hat[i]);
+  }
+  return out;
+}
+
+std::vector<double> cqr_scores(const std::vector<double>& y,
+                               const std::vector<double>& lo,
+                               const std::vector<double>& hi) {
+  if (y.size() != lo.size() || y.size() != hi.size()) {
+    throw std::invalid_argument("cqr_scores: length mismatch");
+  }
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    out[i] = cqr_score(y[i], lo[i], hi[i]);
+  }
+  return out;
+}
+
+}  // namespace vmincqr::conformal

@@ -1,0 +1,31 @@
+// Conformal score functions.
+//
+// Split CP uses the absolute residual (Eq. 7); CQR uses the signed distance
+// outside the quantile band (Eq. 9); normalized CP divides the residual by a
+// per-sample difficulty estimate. Each score comes with the inverse map that
+// expands a heuristic interval by the calibrated quantile q_hat.
+#pragma once
+
+#include <vector>
+
+namespace vmincqr::conformal {
+
+/// Eq. (7): s(x, y) = |y - y_hat|.
+double absolute_residual_score(double y, double y_hat);
+
+/// Eq. (9): s(x, y) = max(lo - y, y - hi). Negative when y is strictly
+/// inside the band — CQR can therefore *shrink* over-wide QR bands.
+double cqr_score(double y, double lo, double hi);
+
+/// Normalized residual |y - y_hat| / sigma_hat; sigma_hat must be > 0
+/// (callers floor it). Throws std::invalid_argument if sigma_hat <= 0.
+double normalized_residual_score(double y, double y_hat, double sigma_hat);
+
+/// Vectorized helpers used by the calibrators.
+std::vector<double> absolute_residual_scores(const std::vector<double>& y,
+                                             const std::vector<double>& y_hat);
+std::vector<double> cqr_scores(const std::vector<double>& y,
+                               const std::vector<double>& lo,
+                               const std::vector<double>& hi);
+
+}  // namespace vmincqr::conformal

@@ -1,0 +1,103 @@
+#include "conformal/split_cp.hpp"
+
+#include <stdexcept>
+
+#include "conformal/scores.hpp"
+#include "data/split.hpp"
+#include "stats/quantile.hpp"
+
+namespace vmincqr::conformal {
+
+SplitConformalRegressor::SplitConformalRegressor(
+    double alpha, std::unique_ptr<Regressor> model, SplitConfig config)
+    : alpha_(alpha), model_(std::move(model)), config_(config) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument(
+        "SplitConformalRegressor: alpha outside (0, 1)");
+  }
+  if (!model_) {
+    throw std::invalid_argument("SplitConformalRegressor: null model");
+  }
+  if (!(config_.train_fraction > 0.0) || !(config_.train_fraction < 1.0)) {
+    throw std::invalid_argument(
+        "SplitConformalRegressor: train_fraction outside (0, 1)");
+  }
+}
+
+void SplitConformalRegressor::fit(const Matrix& x, const Vector& y) {
+  if (x.rows() < 3) {
+    throw std::invalid_argument(
+        "SplitConformalRegressor::fit: need at least 3 samples");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("SplitConformalRegressor::fit: shape mismatch");
+  }
+  std::vector<std::size_t> indices(x.rows());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng::Rng rng(config_.seed);
+  const auto split =
+      data::train_calibration_split(indices, config_.train_fraction, rng);
+
+  Vector y_train(split.train.size()), y_calib(split.calibration.size());
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    y_train[i] = y[split.train[i]];
+  }
+  for (std::size_t i = 0; i < split.calibration.size(); ++i) {
+    y_calib[i] = y[split.calibration[i]];
+  }
+  fit_with_split(x.take_rows(split.train), y_train,
+                 x.take_rows(split.calibration), y_calib);
+}
+
+void SplitConformalRegressor::fit_with_split(const Matrix& x_train,
+                                             const Vector& y_train,
+                                             const Matrix& x_calib,
+                                             const Vector& y_calib) {
+  if (x_calib.rows() == 0) {
+    throw std::invalid_argument(
+        "SplitConformalRegressor: empty calibration set");
+  }
+  model_->fit(x_train, y_train);
+  const Vector y_hat = model_->predict(x_calib);
+  const auto scores = absolute_residual_scores(y_calib, y_hat);
+  q_hat_ = stats::conformal_quantile(scores, alpha_);
+  calibrated_ = true;
+}
+
+IntervalPrediction SplitConformalRegressor::predict_interval(
+    const Matrix& x) const {
+  if (!calibrated_) {
+    throw std::logic_error("SplitConformalRegressor: not calibrated");
+  }
+  const Vector centre = model_->predict(x);
+  IntervalPrediction out;
+  out.lower.resize(centre.size());
+  out.upper.resize(centre.size());
+  for (std::size_t i = 0; i < centre.size(); ++i) {
+    out.lower[i] = centre[i] - q_hat_;
+    out.upper[i] = centre[i] + q_hat_;
+  }
+  return out;
+}
+
+Vector SplitConformalRegressor::predict_point(const Matrix& x) const {
+  if (!calibrated_) {
+    throw std::logic_error("SplitConformalRegressor: not calibrated");
+  }
+  return model_->predict(x);
+}
+
+std::unique_ptr<IntervalRegressor> SplitConformalRegressor::clone_config()
+    const {
+  return std::make_unique<SplitConformalRegressor>(
+      alpha_, model_->clone_config(), config_);
+}
+
+double SplitConformalRegressor::q_hat() const {
+  if (!calibrated_) {
+    throw std::logic_error("SplitConformalRegressor: not calibrated");
+  }
+  return q_hat_;
+}
+
+}  // namespace vmincqr::conformal

@@ -1,0 +1,67 @@
+// Split Conformal Prediction (paper Sec. III-B).
+//
+// Wraps ANY point regressor: the training set is split into a proper
+// training part and a calibration part; the point model is fitted on the
+// former, and the ceil((M+1)(1-alpha))/M-th quantile q_hat of the absolute
+// calibration residuals (Eq. 7) widens every prediction into
+// [y_hat - q_hat, y_hat + q_hat] (Eq. 8). The interval width is constant
+// across inputs — the limitation CQR removes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "models/region.hpp"
+#include "models/regressor.hpp"
+
+namespace vmincqr::conformal {
+
+using models::IntervalPrediction;
+using models::IntervalRegressor;
+using models::Matrix;
+using models::Regressor;
+using models::Vector;
+
+struct SplitConfig {
+  double train_fraction = 0.75;  ///< the paper's 75/25 split (Sec. IV-B)
+  std::uint64_t seed = 42;       ///< split randomization
+};
+
+class SplitConformalRegressor final : public IntervalRegressor {
+ public:
+  /// Takes ownership of an unfitted point-regressor prototype.
+  /// Throws std::invalid_argument on null model or alpha outside (0, 1).
+  SplitConformalRegressor(double alpha, std::unique_ptr<Regressor> model,
+                          SplitConfig config = {});
+
+  /// Splits (x, y) internally, fits, and calibrates.
+  /// Throws std::invalid_argument if fewer than 3 samples.
+  void fit(const Matrix& x, const Vector& y) override;
+
+  /// Calibrates on an explicit, already-disjoint split (no internal
+  /// randomization). Used when the caller manages the split.
+  void fit_with_split(const Matrix& x_train, const Vector& y_train,
+                      const Matrix& x_calib, const Vector& y_calib);
+
+  IntervalPrediction predict_interval(const Matrix& x) const override;
+
+  /// The underlying point prediction (centre of the interval).
+  Vector predict_point(const Matrix& x) const;
+
+  std::unique_ptr<IntervalRegressor> clone_config() const override;
+  std::string name() const override { return "CP " + model_->name(); }
+  double alpha() const override { return alpha_; }
+
+  /// Calibrated half-width q_hat (volts); +inf when the calibration set was
+  /// too small for the requested coverage.
+  double q_hat() const;
+
+ private:
+  double alpha_;
+  std::unique_ptr<Regressor> model_;
+  SplitConfig config_;
+  double q_hat_ = 0.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace vmincqr::conformal

@@ -1,0 +1,62 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "data/feature_select.hpp"
+
+namespace vmincqr::core {
+
+ScenarioData assemble_scenario(const data::Dataset& ds,
+                               const Scenario& scenario) {
+  ScenarioData out;
+  out.columns = scenario_feature_columns(ds, scenario);
+  if (out.columns.empty()) {
+    throw std::invalid_argument("assemble_scenario: no legal feature columns");
+  }
+  out.x = ds.features().take_cols(out.columns);
+  out.y = scenario_labels(ds, scenario);
+  return out;
+}
+
+std::vector<std::size_t> select_features_for_model(
+    const Matrix& x_train, const Vector& y_train, models::ModelKind kind,
+    const PipelineConfig& config, std::size_t n_features) {
+  switch (kind) {
+    case models::ModelKind::kLinear:
+    case models::ModelKind::kGp:
+    case models::ModelKind::kMlp:
+      return data::cfs_select(x_train, y_train, n_features);
+    case models::ModelKind::kXgboost:
+    case models::ModelKind::kCatboost:
+      return data::top_correlated(x_train, y_train, config.tree_prefilter);
+  }
+  throw std::invalid_argument("select_features_for_model: unknown kind");
+}
+
+std::vector<std::size_t> cfs_sweep_for_model(models::ModelKind kind,
+                                             const PipelineConfig& config) {
+  const std::size_t cap = config.cfs_max_features;
+  auto clip = [cap](std::vector<std::size_t> v) {
+    std::vector<std::size_t> out;
+    for (auto k : v) {
+      if (k <= cap) out.push_back(k);
+    }
+    if (out.empty()) out.push_back(cap);
+    return out;
+  };
+  switch (kind) {
+    case models::ModelKind::kLinear:
+      return clip({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+    case models::ModelKind::kGp:
+      return clip({2, 4, 6, 8, 10});
+    case models::ModelKind::kMlp:
+      return clip({4, 8, 10});
+    case models::ModelKind::kXgboost:
+    case models::ModelKind::kCatboost:
+      // Intrinsic selection; single configuration (the prefilter width).
+      return {config.tree_prefilter};
+  }
+  throw std::invalid_argument("cfs_sweep_for_model: unknown kind");
+}
+
+}  // namespace vmincqr::core

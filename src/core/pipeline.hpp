@@ -1,0 +1,58 @@
+// VminPipeline: feature assembly + model-specific dimensionality reduction.
+//
+// Mirrors the paper's protocol (Sec. IV-C): CFS with Pearson correlation
+// selects 1..10 features for LR / GP / NN; the tree ensembles (XGBoost,
+// CatBoost) rely on their intrinsic feature selection and receive the raw
+// features. Because our from-scratch exact-split trees are slower than the
+// tuned packages the paper calls into, the pipeline applies a top-|r|
+// correlation prefilter before the tree models (default 48 columns) — a
+// documented compute substitution (DESIGN.md Sec. 6) that leaves the trees'
+// intrinsic selection to do the real work.
+#pragma once
+
+#include <cstdint>
+
+#include "core/scenario.hpp"
+#include "data/dataset.hpp"
+#include "models/factory.hpp"
+
+namespace vmincqr::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+struct PipelineConfig {
+  double alpha = 0.1;              ///< target miscoverage (paper Sec. IV-E)
+  std::size_t cfs_max_features = 10;
+  std::size_t tree_prefilter = 32;
+  double train_fraction = 0.75;    ///< conformal train/calibration split
+  std::uint64_t seed = 42;
+};
+
+/// The assembled design for one scenario: the legal feature columns and the
+/// label vector, over all chips (callers then index rows by fold).
+struct ScenarioData {
+  Matrix x;
+  Vector y;
+  std::vector<std::size_t> columns;  ///< dataset column index per x column
+};
+
+/// Assembles features/labels for a scenario. Throws if the dataset lacks the
+/// scenario's label series or no feature column is legal.
+ScenarioData assemble_scenario(const data::Dataset& ds,
+                               const Scenario& scenario);
+
+/// Model-appropriate feature selection, computed on TRAINING data only.
+/// Returns indices into the ScenarioData columns: CFS-selected (up to
+/// `n_features`) for LR / GP / NN, top-|r| prefilter for the tree models.
+std::vector<std::size_t> select_features_for_model(
+    const Matrix& x_train, const Vector& y_train, models::ModelKind kind,
+    const PipelineConfig& config, std::size_t n_features);
+
+/// Default CFS sweep sizes per model (paper: best of 1..10). The heavier
+/// models get a sparser sweep to keep the benchmark harness tractable; see
+/// DESIGN.md Sec. 6.
+std::vector<std::size_t> cfs_sweep_for_model(models::ModelKind kind,
+                                             const PipelineConfig& config);
+
+}  // namespace vmincqr::core

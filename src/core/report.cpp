@@ -1,0 +1,58 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace vmincqr::core {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: empty header");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(
+             static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace vmincqr::core

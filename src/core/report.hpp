@@ -1,0 +1,32 @@
+// Plain-text table rendering for the benchmark harnesses, so each bench
+// binary prints rows in the same shape as the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vmincqr::core {
+
+/// Fixed-width text table with a header row and a separator line.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have the same number of cells as the header.
+  /// Throws std::invalid_argument otherwise.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with columns padded to their widest cell.
+  std::string to_string() const;
+
+  std::size_t n_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting, e.g. format_double(12.3456, 2) == "12.35".
+std::string format_double(double value, int precision);
+
+}  // namespace vmincqr::core

@@ -1,0 +1,58 @@
+// Prediction scenarios (paper Sec. III-A / Fig. 1).
+//
+// A scenario fixes WHAT is predicted — SCAN Vmin at a given stress read
+// point and test temperature — and WHICH features are legal to use:
+//   * time 0 (production flow): parametric tests + on-chip data at time 0;
+//   * read point t > 0 (simulated in-field): parametric data from time 0
+//     plus on-chip monitor data from ALL read points <= t (parametric tests
+//     are impossible once the chip has shipped).
+// The feature-set switch (parametric / on-chip / both) drives the Fig. 3 and
+// Table IV ablation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace vmincqr::core {
+
+enum class FeatureSet {
+  kParametricOnly,
+  kOnChipOnly,
+  kBoth,
+};
+
+std::string to_string(FeatureSet set);
+
+struct Scenario {
+  double read_point_hours = 0.0;   ///< Vmin label read point
+  double temperature_c = 25.0;     ///< Vmin test temperature
+  FeatureSet feature_set = FeatureSet::kBoth;
+  /// Monitor-history cutoff for FORECASTING: when >= 0, only monitor data
+  /// from read points <= this horizon is legal even though the label is at
+  /// read_point_hours (e.g. predict Vmin at 1008 h from monitors up to
+  /// 168 h — the paper's in-field failure-prediction use). Negative (the
+  /// default) means "up to the label's own read point".
+  double monitor_horizon_hours = -1.0;
+
+  double effective_horizon() const {
+    return monitor_horizon_hours >= 0.0 ? monitor_horizon_hours
+                                        : read_point_hours;
+  }
+};
+
+/// Column indices legal for the scenario, per the rules above.
+/// Throws std::invalid_argument for a negative read point.
+std::vector<std::size_t> scenario_feature_columns(const data::Dataset& ds,
+                                                  const Scenario& scenario);
+
+/// The scenario's label vector. Throws std::out_of_range if the dataset has
+/// no matching series.
+const linalg::Vector& scenario_labels(const data::Dataset& ds,
+                                      const Scenario& scenario);
+
+/// "t=24h, T=25C, features=both" — used in reports and logs.
+std::string describe(const Scenario& scenario);
+
+}  // namespace vmincqr::core

@@ -1,0 +1,105 @@
+#include "core/screening.hpp"
+
+#include <stdexcept>
+
+namespace vmincqr::core {
+
+std::string to_string(ScreenDecision decision) {
+  switch (decision) {
+    case ScreenDecision::kPass:
+      return "pass";
+    case ScreenDecision::kFail:
+      return "fail";
+    case ScreenDecision::kRetest:
+      return "retest";
+  }
+  return "unknown";
+}
+
+ScreenDecision screen_interval(double lower, double upper, double min_spec) {
+  if (lower > upper) {
+    throw std::invalid_argument("screen_interval: lower > upper");
+  }
+  if (upper <= min_spec) return ScreenDecision::kPass;
+  if (lower > min_spec) return ScreenDecision::kFail;
+  return ScreenDecision::kRetest;
+}
+
+ScreenDecision screen_point(double prediction, double guard_band,
+                            double min_spec) {
+  if (guard_band < 0.0) {
+    throw std::invalid_argument("screen_point: negative guard band");
+  }
+  return prediction + guard_band <= min_spec ? ScreenDecision::kPass
+                                             : ScreenDecision::kFail;
+}
+
+namespace {
+
+void check_batch(const Vector& truth, const Vector& a, const char* who) {
+  if (truth.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty batch");
+  }
+  if (truth.size() != a.size()) {
+    throw std::invalid_argument(std::string(who) + ": length mismatch");
+  }
+}
+
+void record(ScreeningReport& report, ScreenDecision decision, bool bad) {
+  report.n_truly_bad += bad;
+  switch (decision) {
+    case ScreenDecision::kPass:
+      ++report.n_pass;
+      if (bad) ++report.n_underkill;
+      break;
+    case ScreenDecision::kFail:
+      ++report.n_fail;
+      if (!bad) ++report.n_overkill;
+      break;
+    case ScreenDecision::kRetest:
+      ++report.n_retest;
+      break;
+  }
+}
+
+}  // namespace
+
+ScreeningReport screen_batch_interval(const Vector& truth, const Vector& lower,
+                                      const Vector& upper, double min_spec) {
+  check_batch(truth, lower, "screen_batch_interval");
+  check_batch(truth, upper, "screen_batch_interval");
+  ScreeningReport report;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    record(report, screen_interval(lower[i], upper[i], min_spec),
+           truth[i] > min_spec);
+  }
+  return report;
+}
+
+ScreeningReport screen_batch_point(const Vector& truth, const Vector& predicted,
+                                   double guard_band, double min_spec) {
+  check_batch(truth, predicted, "screen_batch_point");
+  ScreeningReport report;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    record(report, screen_point(predicted[i], guard_band, min_spec),
+           truth[i] > min_spec);
+  }
+  return report;
+}
+
+double calibrate_guard_band(const Vector& truth, const Vector& predicted,
+                            double min_spec,
+                            const std::vector<double>& candidates,
+                            double max_underkill) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("calibrate_guard_band: no candidates");
+  }
+  for (double guard : candidates) {
+    const auto report =
+        screen_batch_point(truth, predicted, guard, min_spec);
+    if (report.underkill_rate() <= max_underkill) return guard;
+  }
+  return candidates.back();
+}
+
+}  // namespace vmincqr::core

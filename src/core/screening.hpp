@@ -1,0 +1,84 @@
+// Production-test screening policies (paper Sec. I / II-B): decide
+// pass / fail / retest against the min_spec limit from either a calibrated
+// prediction interval or a guard-banded point estimate, with explicit
+// overkill / underkill accounting.
+//
+// Terminology (Sec. II-B): overkill = a spec-compliant chip rejected
+// (yield loss); underkill = an out-of-spec chip shipped (quality/safety
+// escape).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace vmincqr::core {
+
+using linalg::Vector;
+
+enum class ScreenDecision {
+  kPass,    ///< confidently within spec
+  kFail,    ///< confidently out of spec
+  kRetest,  ///< uncertain: route to (costly) real Vmin measurement
+};
+
+std::string to_string(ScreenDecision decision);
+
+/// Interval rule for one chip: pass iff the whole interval is below
+/// min_spec, fail iff the whole interval is above, retest otherwise.
+/// Throws std::invalid_argument if lower > upper.
+ScreenDecision screen_interval(double lower, double upper, double min_spec);
+
+/// Guard-banded point rule: pass iff prediction + guard_band <= min_spec.
+/// (The industry-standard alternative to intervals; never retests.)
+/// Throws std::invalid_argument if guard_band < 0.
+ScreenDecision screen_point(double prediction, double guard_band,
+                            double min_spec);
+
+/// Aggregate outcome of screening a batch against known truth.
+struct ScreeningReport {
+  std::size_t n_pass = 0;
+  std::size_t n_fail = 0;
+  std::size_t n_retest = 0;
+  std::size_t n_overkill = 0;   ///< failed but truth <= min_spec
+  std::size_t n_underkill = 0;  ///< passed but truth > min_spec
+  std::size_t n_truly_bad = 0;  ///< chips with truth > min_spec
+
+  std::size_t total() const noexcept { return n_pass + n_fail + n_retest; }
+  double retest_rate() const {
+    return total() ? static_cast<double>(n_retest) / static_cast<double>(total())
+                   : 0.0;
+  }
+  double overkill_rate() const {
+    const auto good = total() - n_truly_bad;
+    return good ? static_cast<double>(n_overkill) / static_cast<double>(good)
+                : 0.0;
+  }
+  double underkill_rate() const {
+    return n_truly_bad ? static_cast<double>(n_underkill) /
+                             static_cast<double>(n_truly_bad)
+                       : 0.0;
+  }
+};
+
+/// Evaluates the interval rule over a batch. All vectors must have equal,
+/// non-zero length; throws std::invalid_argument otherwise.
+ScreeningReport screen_batch_interval(const Vector& truth, const Vector& lower,
+                                      const Vector& upper, double min_spec);
+
+/// Evaluates the guard-banded point rule over a batch.
+ScreeningReport screen_batch_point(const Vector& truth, const Vector& predicted,
+                                   double guard_band, double min_spec);
+
+/// Smallest guard band (searched over the given candidates, ascending) whose
+/// point rule achieves underkill_rate <= max_underkill on the batch; returns
+/// the last candidate if none qualifies. Used to compare "interval + retest"
+/// against "how big a guard band would you need instead".
+double calibrate_guard_band(const Vector& truth, const Vector& predicted,
+                            double min_spec,
+                            const std::vector<double>& candidates,
+                            double max_underkill);
+
+}  // namespace vmincqr::core

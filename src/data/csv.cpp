@@ -1,0 +1,107 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vmincqr::data {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+double parse_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+    if (pos != s.size()) throw std::runtime_error("trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("read_csv: cannot parse field '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const Matrix& m,
+               const std::vector<std::string>& header) {
+  if (!header.empty()) {
+    if (header.size() != m.cols()) {
+      throw std::invalid_argument("write_csv: header length mismatch");
+    }
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      if (c) os << ',';
+      os << header[c];
+    }
+    os << '\n';
+  }
+  os.precision(17);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c) os << ',';
+      os << m(r, c);
+    }
+    os << '\n';
+  }
+}
+
+Matrix read_csv(std::istream& is, bool has_header,
+                std::vector<std::string>* header) {
+  std::string line;
+  if (has_header) {
+    if (!std::getline(is, line)) {
+      throw std::runtime_error("read_csv: missing header line");
+    }
+    if (header) *header = split_line(line);
+  }
+  std::vector<double> data;
+  std::size_t cols = 0;
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_line(line);
+    if (rows == 0) {
+      cols = fields.size();
+    } else if (fields.size() != cols) {
+      throw std::runtime_error("read_csv: ragged row " + std::to_string(rows));
+    }
+    for (const auto& f : fields) data.push_back(parse_double(f));
+    ++rows;
+  }
+  return Matrix::from_rows(rows, cols, std::move(data));
+}
+
+void write_dataset_csv(std::ostream& os, const Dataset& ds) {
+  // Header.
+  for (std::size_t j = 0; j < ds.n_features(); ++j) {
+    if (j) os << ',';
+    os << ds.feature_info(j).name;
+  }
+  for (const auto& series : ds.labels()) {
+    os << ",vmin_t" << series.read_point_hours << "_T" << series.temperature_c;
+  }
+  os << '\n';
+  os.precision(17);
+  for (std::size_t r = 0; r < ds.n_chips(); ++r) {
+    for (std::size_t j = 0; j < ds.n_features(); ++j) {
+      if (j) os << ',';
+      os << ds.features()(r, j);
+    }
+    for (const auto& series : ds.labels()) os << ',' << series.values[r];
+    os << '\n';
+  }
+}
+
+}  // namespace vmincqr::data

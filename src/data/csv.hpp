@@ -1,0 +1,29 @@
+// Minimal CSV I/O for exporting generated datasets and experiment tables,
+// and re-importing matrices (round-trip tested).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+
+namespace vmincqr::data {
+
+/// Writes a matrix with an optional header row. Column count must match the
+/// header length when a header is given.
+void write_csv(std::ostream& os, const Matrix& m,
+               const std::vector<std::string>& header = {});
+
+/// Parses a CSV of doubles. If has_header is true the first line is placed
+/// in *header (when non-null) and skipped. Throws std::runtime_error on
+/// ragged rows or unparsable fields.
+Matrix read_csv(std::istream& is, bool has_header = false,
+                std::vector<std::string>* header = nullptr);
+
+/// Writes the dataset's feature table (with a feature-name header) plus each
+/// label series as extra columns named "vmin_t<hours>_T<temp>".
+void write_dataset_csv(std::ostream& os, const Dataset& ds);
+
+}  // namespace vmincqr::data

@@ -1,0 +1,131 @@
+#include "data/feature_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace vmincqr::data {
+
+namespace {
+
+// Absolute Pearson correlation between column j of x and v.
+double abs_corr_col(const Matrix& x, std::size_t j, const Vector& v) {
+  return std::abs(stats::pearson(x.col(j), v));
+}
+
+}  // namespace
+
+double cfs_merit(const Matrix& x, const Vector& y,
+                 const std::vector<std::size_t>& subset) {
+  if (subset.empty()) throw std::invalid_argument("cfs_merit: empty subset");
+  for (auto j : subset) {
+    if (j >= x.cols()) throw std::invalid_argument("cfs_merit: bad index");
+  }
+  const auto k = static_cast<double>(subset.size());
+  double rcf = 0.0;
+  for (auto j : subset) rcf += abs_corr_col(x, j, y);
+  rcf /= k;
+
+  double rff = 0.0;
+  if (subset.size() > 1) {
+    std::size_t pairs = 0;
+    for (std::size_t a = 0; a < subset.size(); ++a) {
+      const Vector ca = x.col(subset[a]);
+      for (std::size_t b = a + 1; b < subset.size(); ++b) {
+        rff += std::abs(stats::pearson(ca, x.col(subset[b])));
+        ++pairs;
+      }
+    }
+    rff /= static_cast<double>(pairs);
+  }
+
+  const double denom = std::sqrt(k + k * (k - 1.0) * rff);
+  if (denom <= 0.0) return 0.0;
+  return k * rcf / denom;
+}
+
+std::vector<std::size_t> cfs_select(const Matrix& x, const Vector& y,
+                                    std::size_t max_features) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("cfs_select: dimension mismatch");
+  }
+  if (x.empty() || max_features == 0) return {};
+  const std::size_t budget = std::min<std::size_t>(max_features, x.cols());
+
+  // Precompute |r_cf| for all columns; cache columns to avoid repeated copies.
+  std::vector<double> rcf(x.cols());
+  for (std::size_t j = 0; j < x.cols(); ++j) rcf[j] = abs_corr_col(x, j, y);
+
+  std::vector<std::size_t> selected;
+  std::vector<bool> used(x.cols(), false);
+
+  // Seed with the single most label-correlated feature.
+  std::size_t best0 = 0;
+  for (std::size_t j = 1; j < x.cols(); ++j) {
+    if (rcf[j] > rcf[best0]) best0 = j;
+  }
+  selected.push_back(best0);
+  used[best0] = true;
+
+  // Incremental merit bookkeeping: track sum of |r_cf| over the subset and
+  // the sum of pairwise |r_ff|, updating both when a candidate is added.
+  double sum_rcf = rcf[best0];
+  double sum_rff = 0.0;
+  std::vector<Vector> selected_cols = {x.col(best0)};
+
+  while (selected.size() < budget) {
+    double best_merit = -1.0;
+    std::size_t best_j = x.cols();
+    double best_add_rff = 0.0;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      if (used[j]) continue;
+      const Vector cj = x.col(j);
+      double add_rff = 0.0;
+      for (const auto& cs : selected_cols) {
+        add_rff += std::abs(stats::pearson(cj, cs));
+      }
+      const auto k = static_cast<double>(selected.size() + 1);
+      const double mean_rcf = (sum_rcf + rcf[j]) / k;
+      const double pairs = k * (k - 1.0) / 2.0;
+      const double mean_rff = pairs > 0.0 ? (sum_rff + add_rff) / pairs : 0.0;
+      const double denom = std::sqrt(k + k * (k - 1.0) * mean_rff);
+      const double merit = denom > 0.0 ? k * mean_rcf / denom : 0.0;
+      if (merit > best_merit) {
+        best_merit = merit;
+        best_j = j;
+        best_add_rff = add_rff;
+      }
+    }
+    if (best_j == x.cols()) break;  // no candidates left
+    used[best_j] = true;
+    selected.push_back(best_j);
+    selected_cols.push_back(x.col(best_j));
+    sum_rcf += rcf[best_j];
+    sum_rff += best_add_rff;
+  }
+  return selected;
+}
+
+std::vector<std::size_t> top_correlated(const Matrix& x, const Vector& y,
+                                        std::size_t k) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("top_correlated: dimension mismatch");
+  }
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(x.cols());
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    scored.emplace_back(abs_corr_col(x, j, y), j);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::size_t> out;
+  out.reserve(std::min<std::size_t>(k, scored.size()));
+  for (std::size_t i = 0; i < scored.size() && i < k; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace vmincqr::data

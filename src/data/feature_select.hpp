@@ -1,0 +1,37 @@
+// Correlation Feature Selection (CFS) — Hall (1999) — with Pearson
+// correlation, as used by the paper (Sec. IV-C) to pick 1..10 features for
+// LR / GP / NN from the ~2000-dimensional raw input.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace vmincqr::data {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// CFS merit of a feature subset:
+///   merit = k * mean|r_cf| / sqrt(k + k(k-1) * mean|r_ff|)
+/// where r_cf are feature-label correlations and r_ff pairwise
+/// feature-feature correlations within the subset.
+/// Throws std::invalid_argument on an empty subset or bad indices.
+double cfs_merit(const Matrix& x, const Vector& y,
+                 const std::vector<std::size_t>& subset);
+
+/// Greedy forward CFS: starting from the single best-correlated feature,
+/// repeatedly adds the feature maximizing the subset merit, up to
+/// max_features. Returns selected column indices in selection order (size
+/// min(max_features, x.cols())). Throws on dimension mismatch / empty data.
+std::vector<std::size_t> cfs_select(const Matrix& x, const Vector& y,
+                                    std::size_t max_features);
+
+/// Columns ranked by |Pearson correlation with y|, descending; returns the
+/// first k (or all, if k >= cols). Simple filter baseline used in tests and
+/// the feature-selection ablation.
+std::vector<std::size_t> top_correlated(const Matrix& x, const Vector& y,
+                                        std::size_t k);
+
+}  // namespace vmincqr::data

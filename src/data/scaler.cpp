@@ -1,0 +1,98 @@
+#include "data/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace vmincqr::data {
+
+void StandardScaler::fit(const Matrix& x) {
+  if (x.empty()) throw std::invalid_argument("StandardScaler::fit: empty");
+  means_.assign(x.cols(), 0.0);
+  scales_.assign(x.cols(), 1.0);
+  const auto n = static_cast<double>(x.rows());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) m += x(r, c);
+    m /= n;
+    double var = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      var += (x(r, c) - m) * (x(r, c) - m);
+    }
+    var /= n;
+    means_[c] = m;
+    const double sd = std::sqrt(var);
+    scales_[c] = sd > 1e-300 ? sd : 1.0;
+  }
+  fitted_ = true;
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  if (!fitted_) throw std::logic_error("StandardScaler::transform: not fitted");
+  if (x.cols() != means_.size()) {
+    throw std::invalid_argument("StandardScaler::transform: column mismatch");
+  }
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+Matrix StandardScaler::inverse_transform(const Matrix& x) const {
+  if (!fitted_) {
+    throw std::logic_error("StandardScaler::inverse_transform: not fitted");
+  }
+  if (x.cols() != means_.size()) {
+    throw std::invalid_argument(
+        "StandardScaler::inverse_transform: column mismatch");
+  }
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = x(r, c) * scales_[c] + means_[c];
+    }
+  }
+  return out;
+}
+
+void LabelScaler::fit(const Vector& y) {
+  if (y.empty()) throw std::invalid_argument("LabelScaler::fit: empty");
+  mean_ = stats::mean(y);
+  const double sd = stats::stddev(y);
+  scale_ = sd > 1e-300 ? sd : 1.0;
+  fitted_ = true;
+}
+
+Vector LabelScaler::transform(const Vector& y) const {
+  if (!fitted_) throw std::logic_error("LabelScaler::transform: not fitted");
+  Vector out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = (y[i] - mean_) / scale_;
+  return out;
+}
+
+Vector LabelScaler::inverse_transform(const Vector& y) const {
+  if (!fitted_) {
+    throw std::logic_error("LabelScaler::inverse_transform: not fitted");
+  }
+  Vector out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = y[i] * scale_ + mean_;
+  return out;
+}
+
+double LabelScaler::inverse_transform(double y) const {
+  if (!fitted_) {
+    throw std::logic_error("LabelScaler::inverse_transform: not fitted");
+  }
+  return y * scale_ + mean_;
+}
+
+}  // namespace vmincqr::data

@@ -1,0 +1,58 @@
+// Column-wise z-score standardization. Fit on training data, apply to any
+// matrix with the same column count (never fit on test data).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace vmincqr::data {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Standardizes each column to zero mean / unit variance. Constant columns
+/// are centred but left unscaled (scale 1), so they map to exactly zero.
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation.
+  /// Throws std::invalid_argument on an empty matrix.
+  void fit(const Matrix& x);
+
+  /// Applies the learned transform. Throws std::logic_error if not fitted,
+  /// std::invalid_argument on column-count mismatch.
+  Matrix transform(const Matrix& x) const;
+
+  /// fit + transform in one step.
+  Matrix fit_transform(const Matrix& x);
+
+  /// Inverse transform (for diagnostics).
+  Matrix inverse_transform(const Matrix& x) const;
+
+  bool fitted() const noexcept { return fitted_; }
+  const Vector& means() const noexcept { return means_; }
+  const Vector& scales() const noexcept { return scales_; }
+
+ private:
+  Vector means_;
+  Vector scales_;
+  bool fitted_ = false;
+};
+
+/// Scalar standardizer for the label vector; remembers mean/scale so model
+/// outputs can be mapped back to volts.
+class LabelScaler {
+ public:
+  void fit(const Vector& y);
+  Vector transform(const Vector& y) const;
+  Vector inverse_transform(const Vector& y) const;
+  double inverse_transform(double y) const;
+  /// Scale factor alone (for mapping residual widths back to volts).
+  double scale() const noexcept { return scale_; }
+  bool fitted() const noexcept { return fitted_; }
+
+ private:
+  double mean_ = 0.0;
+  double scale_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace vmincqr::data

@@ -1,0 +1,229 @@
+#include "linalg/decomp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/ops.hpp"
+
+namespace vmincqr::linalg {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky: matrix must be square, got " +
+                                shape_string(a));
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      const double* li = l.row_ptr(i);
+      const double* lj = l.row_ptr(j);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+Matrix cholesky_jittered(Matrix a, double initial_jitter, int max_tries) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky_jittered: matrix must be square");
+  }
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    Matrix trial = a;
+    if (jitter > 0.0) {
+      for (std::size_t i = 0; i < trial.rows(); ++i) trial(i, i) += jitter;
+    }
+    if (auto l = cholesky(trial)) return *std::move(l);
+    jitter = (jitter == 0.0) ? initial_jitter : jitter * 10.0;
+  }
+  throw std::runtime_error(
+      "cholesky_jittered: matrix not positive definite after max jitter");
+}
+
+Vector forward_substitute(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  if (l.cols() != n || b.size() != n) {
+    throw std::invalid_argument("forward_substitute: dimension mismatch");
+  }
+  Vector x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* row = l.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) s -= row[k] * x[k];
+    x[i] = s / row[i];
+  }
+  return x;
+}
+
+Vector backward_substitute_transposed(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  if (l.cols() != n || b.size() != n) {
+    throw std::invalid_argument(
+        "backward_substitute_transposed: dimension mismatch");
+  }
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+Vector solve_spd(const Matrix& a, const Vector& b) {
+  auto l = cholesky(a);
+  if (!l) throw std::runtime_error("solve_spd: matrix not positive definite");
+  return backward_substitute_transposed(*l, forward_substitute(*l, b));
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b) {
+  auto l = cholesky(a);
+  if (!l) throw std::runtime_error("solve_spd: matrix not positive definite");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    Vector xc =
+        backward_substitute_transposed(*l, forward_substitute(*l, b.col(c)));
+    x.set_col(c, xc);
+  }
+  return x;
+}
+
+namespace {
+
+// Householder QR with column pivoting, applied in place.
+// Returns the solution of min ||A x - b||, zeroing coefficients beyond the
+// numerical rank.
+Vector qr_least_squares(Matrix a, Vector b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+
+  // Column squared norms for pivoting.
+  Vector col_norms(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* row = a.row_ptr(r);
+    for (std::size_t c = 0; c < n; ++c) col_norms[c] += row[c] * row[c];
+  }
+
+  const std::size_t kmax = std::min(m, n);
+  std::size_t rank = kmax;
+  double max_diag = 0.0;
+
+  for (std::size_t k = 0; k < kmax; ++k) {
+    // Pivot: bring the column with the largest remaining norm to position k.
+    std::size_t pivot = k;
+    for (std::size_t c = k + 1; c < n; ++c) {
+      if (col_norms[c] > col_norms[pivot]) pivot = c;
+    }
+    if (pivot != k) {
+      std::swap(perm[k], perm[pivot]);
+      std::swap(col_norms[k], col_norms[pivot]);
+      for (std::size_t r = 0; r < m; ++r) std::swap(a(r, k), a(r, pivot));
+    }
+
+    // Householder vector for column k, rows k..m-1.
+    double norm_x = 0.0;
+    for (std::size_t r = k; r < m; ++r) norm_x += a(r, k) * a(r, k);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) {
+      rank = k;
+      break;
+    }
+    const double alpha = (a(k, k) >= 0.0) ? -norm_x : norm_x;
+    Vector v(m - k, 0.0);
+    v[0] = a(k, k) - alpha;
+    for (std::size_t r = k + 1; r < m; ++r) v[r - k] = a(r, k);
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv == 0.0) {
+      rank = k;
+      break;
+    }
+
+    // Apply reflector to A(k:, k:) and b(k:).
+    for (std::size_t c = k; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t r = k; r < m; ++r) s += v[r - k] * a(r, c);
+      const double factor = 2.0 * s / vtv;
+      for (std::size_t r = k; r < m; ++r) a(r, c) -= factor * v[r - k];
+    }
+    {
+      double s = 0.0;
+      for (std::size_t r = k; r < m; ++r) s += v[r - k] * b[r];
+      const double factor = 2.0 * s / vtv;
+      for (std::size_t r = k; r < m; ++r) b[r] -= factor * v[r - k];
+    }
+
+    max_diag = std::max(max_diag, std::abs(a(k, k)));
+    // Downdate remaining column norms.
+    for (std::size_t c = k + 1; c < n; ++c) {
+      col_norms[c] -= a(k, c) * a(k, c);
+      if (col_norms[c] < 0.0) col_norms[c] = 0.0;
+    }
+  }
+
+  // Determine numerical rank from the R diagonal.
+  const double tol = max_diag * 1e-12 * static_cast<double>(std::max(m, n));
+  std::size_t eff_rank = 0;
+  for (std::size_t k = 0; k < rank; ++k) {
+    if (std::abs(a(k, k)) > tol) {
+      ++eff_rank;
+    } else {
+      break;
+    }
+  }
+
+  // Back substitution on the leading eff_rank x eff_rank triangle.
+  Vector z(n, 0.0);
+  for (std::size_t ii = eff_rank; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t c = ii + 1; c < eff_rank; ++c) s -= a(ii, c) * z[c];
+    z[ii] = s / a(ii, ii);
+  }
+
+  // Undo the permutation.
+  Vector x(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) x[perm[k]] = z[k];
+  return x;
+}
+
+}  // namespace
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("least_squares: dimension mismatch");
+  }
+  if (a.cols() == 0) return {};
+  return qr_least_squares(a, b);
+}
+
+Vector ridge_solve(const Matrix& a, const Vector& b, double lambda) {
+  if (lambda < 0.0) {
+    throw std::invalid_argument("ridge_solve: lambda must be >= 0");
+  }
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("ridge_solve: dimension mismatch");
+  }
+  if (lambda == 0.0) return least_squares(a, b);
+  Matrix g = gram(a);
+  for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += lambda;
+  return solve_spd(g, transpose_matvec(a, b));
+}
+
+double log_det_from_cholesky(const Matrix& l) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace vmincqr::linalg

@@ -1,0 +1,52 @@
+// Matrix decompositions and solvers: Cholesky (SPD), Householder QR
+// least-squares, and convenience wrappers used by the regression models.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace vmincqr::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+///
+/// Returns std::nullopt if the matrix is not (numerically) positive definite.
+/// Only the lower triangle of `a` is read.
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Cholesky with additive diagonal jitter: retries with jitter
+/// {0, eps, 10 eps, ...} up to `max_tries` times until factorization
+/// succeeds. Throws std::runtime_error if it never succeeds.
+/// Used by the Gaussian-process model where the kernel matrix may be
+/// numerically semi-definite.
+Matrix cholesky_jittered(Matrix a, double initial_jitter = 1e-10,
+                         int max_tries = 10);
+
+/// Solves L x = b where L is lower triangular. Throws on mismatch.
+Vector forward_substitute(const Matrix& l, const Vector& b);
+
+/// Solves L^T x = b where L is lower triangular. Throws on mismatch.
+Vector backward_substitute_transposed(const Matrix& l, const Vector& b);
+
+/// Solves A x = b for SPD A via Cholesky. Throws std::runtime_error if A is
+/// not positive definite.
+Vector solve_spd(const Matrix& a, const Vector& b);
+
+/// Solves A X = B for SPD A, column by column.
+Matrix solve_spd(const Matrix& a, const Matrix& b);
+
+/// Minimum-norm least squares: minimizes ||A x - b||_2 via Householder QR
+/// with column pivoting; rank-deficient columns get zero coefficients.
+/// Throws std::invalid_argument on dimension mismatch.
+Vector least_squares(const Matrix& a, const Vector& b);
+
+/// Ridge regression solve: (A^T A + lambda I) x = A^T b, lambda >= 0.
+/// With lambda == 0 this falls back to least_squares (QR), which is
+/// rank-safe. Throws std::invalid_argument if lambda < 0.
+Vector ridge_solve(const Matrix& a, const Vector& b, double lambda);
+
+/// Log-determinant of an SPD matrix given its Cholesky factor L:
+/// log det(A) = 2 * sum_i log L_ii.
+double log_det_from_cholesky(const Matrix& l);
+
+}  // namespace vmincqr::linalg

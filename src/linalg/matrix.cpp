@@ -1,0 +1,133 @@
+#include "linalg/matrix.hpp"
+
+#include <utility>
+
+namespace vmincqr::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::from_rows(std::size_t rows, std::size_t cols, Vector data) {
+  if (data.size() != rows * cols) {
+    throw std::invalid_argument("Matrix::from_rows: data size " +
+                                std::to_string(data.size()) +
+                                " != " + std::to_string(rows * cols));
+  }
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::at: (" + std::to_string(r) + ", " +
+                            std::to_string(c) + ") out of " + shape_string(*this));
+  }
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::at: (" + std::to_string(r) + ", " +
+                            std::to_string(c) + ") out of " + shape_string(*this));
+  }
+  return data_[r * cols_ + c];
+}
+
+Vector Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row: index out of range");
+  return Vector(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector Matrix::col(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::col: index out of range");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& values) {
+  if (r >= rows_) throw std::out_of_range("Matrix::set_row: index out of range");
+  if (values.size() != cols_) {
+    throw std::invalid_argument("Matrix::set_row: length mismatch");
+  }
+  std::copy(values.begin(), values.end(), row_ptr(r));
+}
+
+void Matrix::set_col(std::size_t c, const Vector& values) {
+  if (c >= cols_) throw std::out_of_range("Matrix::set_col: index out of range");
+  if (values.size() != rows_) {
+    throw std::invalid_argument("Matrix::set_col: length mismatch");
+  }
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = values[r];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::take_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) {
+      throw std::out_of_range("Matrix::take_rows: index out of range");
+    }
+    std::copy(row_ptr(indices[i]), row_ptr(indices[i]) + cols_, out.row_ptr(i));
+  }
+  return out;
+}
+
+Matrix Matrix::take_cols(const std::vector<std::size_t>& indices) const {
+  Matrix out(rows_, indices.size());
+  for (std::size_t c = 0; c < indices.size(); ++c) {
+    if (indices[c] >= cols_) {
+      throw std::out_of_range("Matrix::take_cols: index out of range");
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < indices.size(); ++c) {
+      out(r, c) = (*this)(r, indices[c]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::with_intercept() const {
+  Matrix out(rows_, cols_ + 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out(r, 0) = 1.0;
+    std::copy(row_ptr(r), row_ptr(r) + cols_, out.row_ptr(r) + 1);
+  }
+  return out;
+}
+
+std::string shape_string(const Matrix& m) {
+  return "(" + std::to_string(m.rows()) + " x " + std::to_string(m.cols()) + ")";
+}
+
+}  // namespace vmincqr::linalg

@@ -1,0 +1,102 @@
+// Dense row-major matrix of doubles.
+//
+// This is the numeric workhorse shared by every model in the library. It is
+// deliberately small: the library only needs dense real matrices up to a few
+// thousand rows, so we favour a simple, bounds-checked, exception-safe value
+// type over a full BLAS wrapper.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vmincqr::linalg {
+
+/// A real-valued vector. Plain std::vector<double> keeps interop trivial.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix.
+///
+/// Invariants: data_.size() == rows_ * cols_. Dimensions may be zero (an
+/// empty matrix), in which case data_ is empty.
+class Matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Creates a matrix from nested initializer lists; all rows must have the
+  /// same length. Throws std::invalid_argument on ragged input.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds a matrix from row-major contiguous storage.
+  /// Throws std::invalid_argument if data.size() != rows * cols.
+  static Matrix from_rows(std::size_t rows, std::size_t cols, Vector data);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  /// Unchecked element access (hot paths).
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access. Throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Pointer to the first element of row r (row-major contiguity contract).
+  double* row_ptr(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
+  /// Copies row r into a Vector. Throws std::out_of_range.
+  Vector row(std::size_t r) const;
+  /// Copies column c into a Vector. Throws std::out_of_range.
+  Vector col(std::size_t c) const;
+
+  /// Overwrites row r. Throws on dimension mismatch.
+  void set_row(std::size_t r, const Vector& values);
+  /// Overwrites column c. Throws on dimension mismatch.
+  void set_col(std::size_t c, const Vector& values);
+
+  /// Returns the transpose.
+  Matrix transposed() const;
+
+  /// Returns the submatrix given by the listed row indices (in order),
+  /// keeping all columns. Indices may repeat. Throws std::out_of_range.
+  Matrix take_rows(const std::vector<std::size_t>& indices) const;
+
+  /// Returns the submatrix given by the listed column indices (in order).
+  Matrix take_cols(const std::vector<std::size_t>& indices) const;
+
+  /// Appends a column of ones on the left (intercept augmentation).
+  Matrix with_intercept() const;
+
+  /// Raw storage (row-major). Useful for serialization and tests.
+  const Vector& data() const noexcept { return data_; }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vector data_;
+};
+
+/// Human-readable shape string, e.g. "(156 x 1978)".
+std::string shape_string(const Matrix& m);
+
+}  // namespace vmincqr::linalg

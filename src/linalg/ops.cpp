@@ -1,0 +1,119 @@
+#include "linalg/ops.hpp"
+
+#include <cmath>
+
+namespace vmincqr::linalg {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: " + shape_string(a) + " * " +
+                                shape_string(b));
+  }
+  Matrix out(a.rows(), b.cols(), 0.0);
+  // i-k-j ordering keeps the inner loop contiguous in both b and out.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row_ptr(k);
+      double* orow = out.row_ptr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("matvec: " + shape_string(a) + " * vector of " +
+                                std::to_string(x.size()));
+  }
+  Vector out(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix out(a.cols(), a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_ptr(r);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      double* orow = out.row_ptr(i);
+      for (std::size_t j = i; j < a.cols(); ++j) orow[j] += ri * row[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) out(j, i) = out(i, j);
+  }
+  return out;
+}
+
+Vector transpose_matvec(const Matrix& a, const Vector& y) {
+  if (a.rows() != y.size()) {
+    throw std::invalid_argument("transpose_matvec: dimension mismatch");
+  }
+  Vector out(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double yr = y[r];
+    if (yr == 0.0) continue;
+    const double* row = a.row_ptr(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) out[c] += yr * row[c];
+  }
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: length mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+Vector add(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("add: length mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("sub: length mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector scale(const Vector& v, double s) {
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] * s;
+  return out;
+}
+
+void axpy(double s, const Vector& b, Vector& a) {
+  if (a.size() != b.size()) throw std::invalid_argument("axpy: length mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+double row_sq_dist(const Matrix& a, std::size_t i, const Matrix& b,
+                   std::size_t j) {
+  const double* ra = a.row_ptr(i);
+  const double* rb = b.row_ptr(j);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const double d = ra[c] - rb[c];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace vmincqr::linalg

@@ -1,0 +1,42 @@
+// Free-function linear-algebra operations on Matrix / Vector.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace vmincqr::linalg {
+
+/// Matrix product A * B. Throws std::invalid_argument on inner-dim mismatch.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product A * x. Throws std::invalid_argument on mismatch.
+Vector matvec(const Matrix& a, const Vector& x);
+
+/// A^T * A (Gram matrix), computed without materializing the transpose.
+Matrix gram(const Matrix& a);
+
+/// A^T * y. Throws std::invalid_argument on mismatch.
+Vector transpose_matvec(const Matrix& a, const Vector& y);
+
+/// Dot product. Throws std::invalid_argument on length mismatch.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// Elementwise a + b / a - b. Throw on length mismatch.
+Vector add(const Vector& a, const Vector& b);
+Vector sub(const Vector& a, const Vector& b);
+
+/// Scalar multiply.
+Vector scale(const Vector& v, double s);
+
+/// In-place a += s * b (axpy). Throws on length mismatch.
+void axpy(double s, const Vector& b, Vector& a);
+
+/// Squared Euclidean distance between two rows of (possibly different)
+/// matrices; used by kernel evaluations. No bounds checks (hot path);
+/// matrices must share their column count.
+double row_sq_dist(const Matrix& a, std::size_t i, const Matrix& b,
+                   std::size_t j);
+
+}  // namespace vmincqr::linalg

@@ -1,0 +1,43 @@
+// Model-zoo factory: the five point regressors the paper evaluates
+// (Sec. IV-C) and their quantile-regression variants (Sec. IV-E).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/losses.hpp"
+#include "models/region.hpp"
+#include "models/regressor.hpp"
+
+namespace vmincqr::models {
+
+enum class ModelKind {
+  kLinear,    ///< Linear Regression
+  kGp,        ///< Gaussian Process
+  kXgboost,   ///< second-order gradient boosting
+  kCatboost,  ///< oblivious trees + ordered boosting
+  kMlp,       ///< 1x16 ReLU neural network
+};
+
+/// Display name matching the paper's tables ("Linear Regression", ...).
+std::string model_name(ModelKind kind);
+
+/// Creates a point regressor with the given loss and the paper's default
+/// hyperparameters. Throws std::invalid_argument for kGp with a pinball
+/// loss (GP has no quantile-loss variant; its intervals come from Eq. (4)).
+std::unique_ptr<Regressor> make_point_regressor(ModelKind kind,
+                                                Loss loss = Loss::squared());
+
+/// Creates the QR interval model of Sec. II-B.2: two copies of `kind`
+/// trained at quantiles alpha/2 and 1 - alpha/2.
+std::unique_ptr<QuantilePairRegressor> make_quantile_pair(ModelKind kind,
+                                                          double alpha);
+
+/// All five point-prediction models (Fig. 2).
+const std::vector<ModelKind>& point_model_zoo();
+
+/// The four models used as QR / CQR bases in Table III (all but GP).
+const std::vector<ModelKind>& quantile_model_zoo();
+
+}  // namespace vmincqr::models

@@ -1,0 +1,100 @@
+#include "models/gbt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/quantile.hpp"
+
+namespace vmincqr::models {
+
+GradientBoostedTrees::GradientBoostedTrees(GbtConfig config)
+    : config_(config) {
+  if (config_.n_rounds <= 0) {
+    throw std::invalid_argument("GradientBoostedTrees: n_rounds <= 0");
+  }
+  if (config_.learning_rate <= 0.0) {
+    throw std::invalid_argument("GradientBoostedTrees: learning_rate <= 0");
+  }
+}
+
+void GradientBoostedTrees::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  n_features_ = x.cols();
+  trees_.clear();
+  const std::size_t n = x.rows();
+
+  // Initialize with the unconditional optimum of the loss.
+  if (config_.loss.kind == LossKind::kPinball) {
+    base_score_ = stats::quantile_linear(y, config_.loss.quantile);
+  } else {
+    base_score_ = stats::mean(y);
+  }
+
+  Vector pred(n, base_score_);
+  Vector grad(n), hess(n);
+  trees_.reserve(static_cast<std::size_t>(config_.n_rounds));
+
+  for (int round = 0; round < config_.n_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      grad[i] = config_.loss.gradient(y[i], pred[i]);
+      hess[i] = config_.loss.hessian(y[i], pred[i]);
+    }
+    RegressionTree tree;
+    tree.fit(x, grad, hess, config_.tree);
+
+    if (config_.loss.kind == LossKind::kPinball) {
+      // Leaf-quantile refit: set each leaf to the loss-optimal constant for
+      // the samples it contains (the q-quantile of current residuals).
+      const auto& leaf_ids = tree.train_leaf_ids();
+      std::vector<std::vector<double>> residuals(tree.n_leaves());
+      for (std::size_t i = 0; i < n; ++i) {
+        residuals[static_cast<std::size_t>(leaf_ids[i])].push_back(y[i] -
+                                                                   pred[i]);
+      }
+      for (std::size_t leaf = 0; leaf < tree.n_leaves(); ++leaf) {
+        if (residuals[leaf].empty()) continue;
+        tree.set_leaf_value(
+            static_cast<std::int32_t>(leaf),
+            stats::quantile_linear(residuals[leaf], config_.loss.quantile));
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] += config_.learning_rate * tree.predict_row(x.row_ptr(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+Vector GradientBoostedTrees::predict(const Matrix& x) const {
+  check_predict_args(x, n_features_, fitted_);
+  Vector out(x.rows(), base_score_);
+  for (const auto& tree : trees_) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out[r] += config_.learning_rate * tree.predict_row(x.row_ptr(r));
+    }
+  }
+  return out;
+}
+
+Vector GradientBoostedTrees::feature_importance() const {
+  if (!fitted_) {
+    throw std::logic_error("GradientBoostedTrees: not fitted");
+  }
+  std::vector<double> gains(n_features_, 0.0);
+  for (const auto& tree : trees_) tree.accumulate_feature_gains(gains);
+  double total = 0.0;
+  for (double g : gains) total += g;
+  if (total > 0.0) {
+    for (auto& g : gains) g /= total;
+  }
+  return gains;
+}
+
+std::unique_ptr<Regressor> GradientBoostedTrees::clone_config() const {
+  return std::make_unique<GradientBoostedTrees>(config_);
+}
+
+}  // namespace vmincqr::models

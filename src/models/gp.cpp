@@ -1,0 +1,141 @@
+#include "models/gp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/decomp.hpp"
+#include "linalg/ops.hpp"
+
+namespace vmincqr::models {
+
+namespace {
+
+std::vector<double> log_spaced(double lo, double hi, std::size_t n) {
+  std::vector<double> out(n);
+  const double llo = std::log(lo), lhi = std::log(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = n == 1 ? 0.0
+                            : static_cast<double>(i) /
+                                  static_cast<double>(n - 1);
+    out[i] = std::exp(llo + (lhi - llo) * f);
+  }
+  return out;
+}
+
+}  // namespace
+
+GaussianProcessRegressor::GaussianProcessRegressor(GpConfig config)
+    : config_(std::move(config)) {
+  if (config_.length_scale_grid.empty()) {
+    config_.length_scale_grid = log_spaced(0.3, 30.0, 10);
+  }
+  if (config_.noise_grid.empty()) {
+    config_.noise_grid = log_spaced(1e-4, 0.5, 8);
+  }
+  if (config_.signal_variance <= 0.0) {
+    throw std::invalid_argument("GaussianProcessRegressor: signal_variance <= 0");
+  }
+}
+
+Matrix GaussianProcessRegressor::kernel(const Matrix& a, const Matrix& b,
+                                        double length_scale) const {
+  Matrix k(a.rows(), b.rows());
+  const double inv_two_l2 = 1.0 / (2.0 * length_scale * length_scale);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      k(i, j) = config_.signal_variance *
+                std::exp(-linalg::row_sq_dist(a, i, b, j) * inv_two_l2);
+    }
+  }
+  return k;
+}
+
+double GaussianProcessRegressor::compute_lml(const Matrix& k, const Vector& ys,
+                                             Matrix* chol_out,
+                                             Vector* alpha_out) const {
+  const std::size_t n = k.rows();
+  Matrix l;
+  try {
+    l = linalg::cholesky_jittered(k, 1e-10, 8);
+  } catch (const std::runtime_error&) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  Vector alpha = linalg::backward_substitute_transposed(
+      l, linalg::forward_substitute(l, ys));
+  const double fit_term = -0.5 * linalg::dot(ys, alpha);
+  const double det_term = -0.5 * linalg::log_det_from_cholesky(l);
+  const double const_term =
+      -0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+  if (chol_out) *chol_out = std::move(l);
+  if (alpha_out) *alpha_out = std::move(alpha);
+  return fit_term + det_term + const_term;
+}
+
+void GaussianProcessRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  n_features_ = x.cols();
+  x_train_ = scaler_.fit_transform(x);
+  label_scaler_.fit(y);
+  const Vector ys = label_scaler_.transform(y);
+  const std::size_t n = x_train_.rows();
+
+  best_lml_ = -std::numeric_limits<double>::infinity();
+  for (double ls : config_.length_scale_grid) {
+    Matrix k_base = kernel(x_train_, x_train_, ls);
+    for (double sn2 : config_.noise_grid) {
+      Matrix k = k_base;
+      for (std::size_t i = 0; i < n; ++i) k(i, i) += sn2;
+      const double lml = compute_lml(k, ys, nullptr, nullptr);
+      if (lml > best_lml_) {
+        best_lml_ = lml;
+        length_scale_ = ls;
+        noise_variance_ = sn2;
+      }
+    }
+  }
+  if (!std::isfinite(best_lml_)) {
+    throw std::runtime_error(
+        "GaussianProcessRegressor::fit: no hyperparameter setting produced a "
+        "positive-definite kernel");
+  }
+
+  // Refit at the selected hyperparameters, keeping the factorization.
+  Matrix k = kernel(x_train_, x_train_, length_scale_);
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += noise_variance_;
+  compute_lml(k, ys, &chol_, &alpha_);
+  fitted_ = true;
+}
+
+Vector GaussianProcessRegressor::predict(const Matrix& x) const {
+  return posterior(x).mean;
+}
+
+GpPosterior GaussianProcessRegressor::posterior(const Matrix& x) const {
+  check_predict_args(x, n_features_, fitted_);
+  const Matrix xs = scaler_.transform(x);
+  const Matrix k_star = kernel(xs, x_train_, length_scale_);
+
+  GpPosterior post;
+  post.mean = linalg::matvec(k_star, alpha_);
+  post.variance.resize(xs.rows());
+  for (std::size_t i = 0; i < xs.rows(); ++i) {
+    // v = L^{-1} k_star_i ; var = k(x,x) + sn2 - v^T v
+    const Vector v = linalg::forward_substitute(chol_, k_star.row(i));
+    double var = config_.signal_variance + noise_variance_ - linalg::dot(v, v);
+    post.variance[i] = std::max(var, 1e-12);
+  }
+
+  // Back to label units.
+  const double s = label_scaler_.scale();
+  for (auto& m : post.mean) m = label_scaler_.inverse_transform(m);
+  for (auto& v : post.variance) v *= s * s;
+  return post;
+}
+
+std::unique_ptr<Regressor> GaussianProcessRegressor::clone_config() const {
+  return std::make_unique<GaussianProcessRegressor>(config_);
+}
+
+}  // namespace vmincqr::models

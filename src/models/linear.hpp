@@ -1,0 +1,64 @@
+// Linear regression — the paper's recommended low-cost point predictor
+// (Sec. IV-D: "linear regression is competitive overall ... viable option
+// for in-field prediction with an on-chip hardware accelerator").
+//
+// Squared loss  -> closed-form ridge / QR least squares.
+// Pinball loss  -> Adam on the quantile-loss subgradient (quantile
+//                  regression; identical minimizer to the LP formulation at
+//                  this data scale, no LP solver dependency).
+#pragma once
+
+#include "data/scaler.hpp"
+#include "models/losses.hpp"
+#include "models/regressor.hpp"
+
+namespace vmincqr::models {
+
+struct LinearConfig {
+  Loss loss = Loss::squared();
+  double ridge_lambda = 1e-6;  ///< small default keeps near-collinear CFS
+                               ///< subsets numerically stable
+  // Pinball-mode optimizer settings.
+  int pinball_epochs = 4000;
+  double pinball_lr = 0.05;
+};
+
+class LinearRegressor final : public Regressor {
+ public:
+  explicit LinearRegressor(LinearConfig config = {});
+
+  void fit(const Matrix& x, const Vector& y) override;
+  Vector predict(const Matrix& x) const override;
+  std::unique_ptr<Regressor> clone_config() const override;
+  std::string name() const override { return "Linear Regression"; }
+  bool fitted() const override { return fitted_; }
+
+  /// Coefficients in the standardized feature space; [0] is the intercept.
+  const Vector& coefficients() const { return coef_; }
+
+  /// The fitted model as a raw-feature-space affine function
+  /// y = intercept + weights . x — the form an on-chip hardware accelerator
+  /// would implement (paper Sec. IV-D: "implementing a linear regression
+  /// model with an on-chip hardware accelerator"). Exact: evaluating this
+  /// affine reproduces predict() to rounding error.
+  struct Affine {
+    Vector weights;
+    double intercept = 0.0;
+    double evaluate(const Vector& x) const;
+  };
+  /// Throws std::logic_error if not fitted.
+  Affine raw_affine() const;
+
+ private:
+  void fit_squared(const Matrix& xs, const Vector& ys);
+  void fit_pinball(const Matrix& xs, const Vector& ys);
+
+  LinearConfig config_;
+  data::StandardScaler scaler_;
+  data::LabelScaler label_scaler_;
+  Vector coef_;  // intercept + weights (standardized space)
+  std::size_t n_features_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace vmincqr::models

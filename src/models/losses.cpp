@@ -1,0 +1,52 @@
+#include "models/losses.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vmincqr::models {
+
+Loss Loss::pinball(double q) {
+  if (!(q > 0.0) || !(q < 1.0)) {
+    throw std::invalid_argument("Loss::pinball: quantile outside (0, 1)");
+  }
+  return {LossKind::kPinball, q};
+}
+
+double Loss::value(double y, double y_hat) const {
+  const double diff = y - y_hat;
+  switch (kind) {
+    case LossKind::kSquared:
+      return 0.5 * diff * diff;
+    case LossKind::kPinball:
+      return std::max(quantile * diff, (quantile - 1.0) * diff);
+  }
+  return 0.0;
+}
+
+double Loss::gradient(double y, double y_hat) const {
+  switch (kind) {
+    case LossKind::kSquared:
+      return y_hat - y;
+    case LossKind::kPinball:
+      // d/dy_hat max(q(y - y_hat), (q-1)(y - y_hat))
+      return (y > y_hat) ? -quantile : (1.0 - quantile);
+  }
+  return 0.0;
+}
+
+double Loss::hessian(double /*y*/, double /*y_hat*/) const {
+  // Squared: exact. Pinball: unit surrogate (see header).
+  return 1.0;
+}
+
+std::string Loss::describe() const {
+  switch (kind) {
+    case LossKind::kSquared:
+      return "squared";
+    case LossKind::kPinball:
+      return "pinball(q=" + std::to_string(quantile) + ")";
+  }
+  return "unknown";
+}
+
+}  // namespace vmincqr::models

@@ -1,0 +1,153 @@
+#include "models/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmincqr::models {
+
+namespace {
+
+/// Adam state for one flat parameter vector.
+struct AdamState {
+  std::vector<double> m, v;
+  int t = 0;
+  explicit AdamState(std::size_t n) : m(n, 0.0), v(n, 0.0) {}
+
+  void step(std::vector<double>& params, const std::vector<double>& grads,
+            double lr) {
+    constexpr double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+    ++t;
+    const double bc1 = 1.0 - std::pow(beta1, t);
+    const double bc2 = 1.0 - std::pow(beta2, t);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m[i] = beta1 * m[i] + (1.0 - beta1) * grads[i];
+      v[i] = beta2 * v[i] + (1.0 - beta2) * grads[i] * grads[i];
+      params[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+    }
+  }
+};
+
+}  // namespace
+
+MlpRegressor::MlpRegressor(MlpConfig config) : config_(config) {
+  if (config_.hidden_units == 0) {
+    throw std::invalid_argument("MlpRegressor: hidden_units == 0");
+  }
+  if (config_.epochs <= 0 || config_.learning_rate <= 0.0) {
+    throw std::invalid_argument("MlpRegressor: bad optimizer settings");
+  }
+  if (config_.l2_penalty < 0.0) {
+    throw std::invalid_argument("MlpRegressor: negative l2_penalty");
+  }
+}
+
+void MlpRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  n_features_ = x.cols();
+  const Matrix xs = scaler_.fit_transform(x);
+  label_scaler_.fit(y);
+  const Vector ys = label_scaler_.transform(y);
+
+  const std::size_t n = xs.rows();
+  const std::size_t d = xs.cols();
+  const std::size_t h = config_.hidden_units;
+
+  // He initialization for the ReLU layer.
+  rng::Rng rng(config_.seed);
+  const double w1_scale = std::sqrt(2.0 / static_cast<double>(d));
+  const double w2_scale = std::sqrt(2.0 / static_cast<double>(h));
+  std::vector<double> params(d * h + h + h + 1, 0.0);
+  double* w1 = params.data();
+  double* b1 = w1 + d * h;
+  double* w2 = b1 + h;
+  double* b2 = w2 + h;
+  for (std::size_t i = 0; i < d * h; ++i) w1[i] = rng.normal(0.0, w1_scale);
+  for (std::size_t j = 0; j < h; ++j) w2[j] = rng.normal(0.0, w2_scale);
+
+  std::vector<double> grads(params.size(), 0.0);
+  AdamState adam(params.size());
+  std::vector<double> hidden(h, 0.0);
+  std::vector<double> relu_mask(h, 0.0);
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::fill(grads.begin(), grads.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = xs.row_ptr(i);
+      // Forward.
+      for (std::size_t j = 0; j < h; ++j) {
+        double z = b1[j];
+        for (std::size_t k = 0; k < d; ++k) z += w1[k * h + j] * row[k];
+        relu_mask[j] = z > 0.0 ? 1.0 : 0.0;
+        hidden[j] = z > 0.0 ? z : 0.0;
+      }
+      double out = *b2;
+      for (std::size_t j = 0; j < h; ++j) out += w2[j] * hidden[j];
+
+      // Backward.
+      const double dl = config_.loss.gradient(ys[i], out) * inv_n;
+      double* gw1 = grads.data();
+      double* gb1 = gw1 + d * h;
+      double* gw2 = gb1 + h;
+      double* gb2 = gw2 + h;
+      *gb2 += dl;
+      for (std::size_t j = 0; j < h; ++j) {
+        gw2[j] += dl * hidden[j];
+        const double dh = dl * w2[j] * relu_mask[j];
+        if (dh == 0.0) continue;
+        gb1[j] += dh;
+        for (std::size_t k = 0; k < d; ++k) gw1[k * h + j] += dh * row[k];
+      }
+    }
+    // L2 penalty on weights (not biases), matching torch-style weight decay.
+    if (config_.l2_penalty > 0.0) {
+      double* gw1 = grads.data();
+      double* gw2 = grads.data() + d * h + h;
+      for (std::size_t i = 0; i < d * h; ++i) {
+        gw1[i] += config_.l2_penalty * w1[i] * inv_n;
+      }
+      for (std::size_t j = 0; j < h; ++j) {
+        gw2[j] += config_.l2_penalty * w2[j] * inv_n;
+      }
+    }
+    adam.step(params, grads, config_.learning_rate);
+  }
+
+  // Persist parameters.
+  w1_ = Matrix(d, h);
+  for (std::size_t k = 0; k < d; ++k) {
+    for (std::size_t j = 0; j < h; ++j) w1_(k, j) = w1[k * h + j];
+  }
+  b1_.assign(b1, b1 + h);
+  w2_.assign(w2, w2 + h);
+  b2_ = *b2;
+  fitted_ = true;
+}
+
+Vector MlpRegressor::forward(const Matrix& xs) const {
+  const std::size_t h = config_.hidden_units;
+  Vector out(xs.rows(), b2_);
+  for (std::size_t i = 0; i < xs.rows(); ++i) {
+    const double* row = xs.row_ptr(i);
+    double acc = b2_;
+    for (std::size_t j = 0; j < h; ++j) {
+      double z = b1_[j];
+      for (std::size_t k = 0; k < xs.cols(); ++k) z += w1_(k, j) * row[k];
+      if (z > 0.0) acc += w2_[j] * z;
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+Vector MlpRegressor::predict(const Matrix& x) const {
+  check_predict_args(x, n_features_, fitted_);
+  Vector ys = forward(scaler_.transform(x));
+  return label_scaler_.inverse_transform(ys);
+}
+
+std::unique_ptr<Regressor> MlpRegressor::clone_config() const {
+  return std::make_unique<MlpRegressor>(config_);
+}
+
+}  // namespace vmincqr::models

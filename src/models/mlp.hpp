@@ -1,0 +1,52 @@
+// Shallow fully-connected MLP matching the paper's configuration
+// (Sec. IV-C.4): one hidden layer of 16 ReLU units, Adam with lr 0.01,
+// 3000 epochs, L2 weight penalty 0.1 — full-batch training, manual backprop.
+//
+// Supports both squared loss (point prediction) and pinball loss (quantile
+// regression) through the shared Loss descriptor.
+#pragma once
+
+#include <cstdint>
+
+#include "data/scaler.hpp"
+#include "models/losses.hpp"
+#include "models/regressor.hpp"
+#include "rng/rng.hpp"
+
+namespace vmincqr::models {
+
+struct MlpConfig {
+  Loss loss = Loss::squared();
+  std::size_t hidden_units = 16;
+  int epochs = 3000;
+  double learning_rate = 0.01;
+  double l2_penalty = 0.1;
+  std::uint64_t seed = 7;
+};
+
+class MlpRegressor final : public Regressor {
+ public:
+  explicit MlpRegressor(MlpConfig config = {});
+
+  void fit(const Matrix& x, const Vector& y) override;
+  Vector predict(const Matrix& x) const override;
+  std::unique_ptr<Regressor> clone_config() const override;
+  std::string name() const override { return "Neural Network"; }
+  bool fitted() const override { return fitted_; }
+
+ private:
+  Vector forward(const Matrix& xs) const;
+
+  MlpConfig config_;
+  data::StandardScaler scaler_;
+  data::LabelScaler label_scaler_;
+  // Parameters: w1 (d x h), b1 (h), w2 (h), b2 (scalar).
+  Matrix w1_;
+  Vector b1_;
+  Vector w2_;
+  double b2_ = 0.0;
+  std::size_t n_features_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace vmincqr::models

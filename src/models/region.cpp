@@ -1,0 +1,84 @@
+#include "models/region.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "stats/distributions.hpp"
+
+namespace vmincqr::models {
+
+namespace {
+void check_alpha(double alpha) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument("IntervalRegressor: alpha outside (0, 1)");
+  }
+}
+}  // namespace
+
+GpIntervalRegressor::GpIntervalRegressor(double alpha, GpConfig config)
+    : alpha_(alpha), config_(config), gp_(config) {
+  check_alpha(alpha);
+}
+
+void GpIntervalRegressor::fit(const Matrix& x, const Vector& y) {
+  gp_.fit(x, y);
+}
+
+IntervalPrediction GpIntervalRegressor::predict_interval(
+    const Matrix& x) const {
+  const GpPosterior post = gp_.posterior(x);
+  const double k_lo = stats::normal_quantile(alpha_ / 2.0);
+  const double k_hi = stats::normal_quantile(1.0 - alpha_ / 2.0);
+  IntervalPrediction out;
+  out.lower.resize(post.mean.size());
+  out.upper.resize(post.mean.size());
+  for (std::size_t i = 0; i < post.mean.size(); ++i) {
+    const double sigma = std::sqrt(post.variance[i]);
+    out.lower[i] = post.mean[i] + k_lo * sigma;
+    out.upper[i] = post.mean[i] + k_hi * sigma;
+  }
+  return out;
+}
+
+std::unique_ptr<IntervalRegressor> GpIntervalRegressor::clone_config() const {
+  return std::make_unique<GpIntervalRegressor>(alpha_, config_);
+}
+
+QuantilePairRegressor::QuantilePairRegressor(double alpha,
+                                             std::unique_ptr<Regressor> lower,
+                                             std::unique_ptr<Regressor> upper,
+                                             std::string label)
+    : alpha_(alpha),
+      lower_(std::move(lower)),
+      upper_(std::move(upper)),
+      label_(std::move(label)) {
+  check_alpha(alpha);
+  if (!lower_ || !upper_) {
+    throw std::invalid_argument("QuantilePairRegressor: null prototype");
+  }
+}
+
+void QuantilePairRegressor::fit(const Matrix& x, const Vector& y) {
+  lower_->fit(x, y);
+  upper_->fit(x, y);
+}
+
+IntervalPrediction QuantilePairRegressor::predict_interval(
+    const Matrix& x) const {
+  IntervalPrediction out;
+  out.lower = lower_->predict(x);
+  out.upper = upper_->predict(x);
+  for (std::size_t i = 0; i < out.lower.size(); ++i) {
+    if (out.lower[i] > out.upper[i]) std::swap(out.lower[i], out.upper[i]);
+  }
+  return out;
+}
+
+std::unique_ptr<IntervalRegressor> QuantilePairRegressor::clone_config() const {
+  return std::make_unique<QuantilePairRegressor>(
+      alpha_, lower_->clone_config(), upper_->clone_config(), label_);
+}
+
+}  // namespace vmincqr::models

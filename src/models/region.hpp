@@ -1,0 +1,88 @@
+// Region (interval) regressors — paper Sec. II-B.
+//
+// Two uncalibrated baselines are provided here:
+//   * GpIntervalRegressor — Gaussian-process posterior interval, Eq. (4);
+//   * QuantilePairRegressor — two pinball-loss models at quantiles alpha/2
+//     and 1 - alpha/2, Eq. (5).
+// The conformal module wraps these to obtain the finite-sample coverage
+// guarantee of Eq. (6).
+#pragma once
+
+#include <memory>
+
+#include "models/gp.hpp"
+#include "models/regressor.hpp"
+
+namespace vmincqr::models {
+
+/// Elementwise prediction interval [lower_i, upper_i].
+struct IntervalPrediction {
+  Vector lower;
+  Vector upper;
+};
+
+class IntervalRegressor {
+ public:
+  virtual ~IntervalRegressor() = default;
+
+  /// Fits on the full training set (baselines use no calibration split).
+  virtual void fit(const Matrix& x, const Vector& y) = 0;
+
+  /// One interval per row of x.
+  virtual IntervalPrediction predict_interval(const Matrix& x) const = 0;
+
+  virtual std::unique_ptr<IntervalRegressor> clone_config() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Target miscoverage rate alpha (interval aims at 1 - alpha coverage).
+  virtual double alpha() const = 0;
+};
+
+/// Eq. (4): [mu + K_lo * sigma, mu + K_hi * sigma] with K = Phi^{-1} bounds.
+class GpIntervalRegressor final : public IntervalRegressor {
+ public:
+  /// Throws std::invalid_argument if alpha outside (0, 1).
+  explicit GpIntervalRegressor(double alpha, GpConfig config = {});
+
+  void fit(const Matrix& x, const Vector& y) override;
+  IntervalPrediction predict_interval(const Matrix& x) const override;
+  std::unique_ptr<IntervalRegressor> clone_config() const override;
+  std::string name() const override { return "GP"; }
+  double alpha() const override { return alpha_; }
+
+  const GaussianProcessRegressor& gp() const { return gp_; }
+
+ private:
+  double alpha_;
+  GpConfig config_;
+  GaussianProcessRegressor gp_;
+};
+
+/// Quantile-regression interval: lower model at q = alpha/2, upper at
+/// q = 1 - alpha/2. Bound crossings (possible with independently trained
+/// models) are repaired by elementwise swap.
+class QuantilePairRegressor final : public IntervalRegressor {
+ public:
+  /// The prototypes must already be configured with pinball losses at the
+  /// matching quantiles; `make_quantile_pair` in factory.hpp does this.
+  /// Throws std::invalid_argument on null prototypes or alpha outside (0, 1).
+  QuantilePairRegressor(double alpha, std::unique_ptr<Regressor> lower,
+                        std::unique_ptr<Regressor> upper, std::string label);
+
+  void fit(const Matrix& x, const Vector& y) override;
+  IntervalPrediction predict_interval(const Matrix& x) const override;
+  std::unique_ptr<IntervalRegressor> clone_config() const override;
+  std::string name() const override { return label_; }
+  double alpha() const override { return alpha_; }
+
+  const Regressor& lower_model() const { return *lower_; }
+  const Regressor& upper_model() const { return *upper_; }
+
+ private:
+  double alpha_;
+  std::unique_ptr<Regressor> lower_;
+  std::unique_ptr<Regressor> upper_;
+  std::string label_;
+};
+
+}  // namespace vmincqr::models

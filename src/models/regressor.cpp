@@ -1,0 +1,28 @@
+#include "models/regressor.hpp"
+
+#include <stdexcept>
+
+namespace vmincqr::models {
+
+void Regressor::check_fit_args(const Matrix& x, const Vector& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    throw std::invalid_argument("Regressor::fit: empty design matrix");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("Regressor::fit: X rows != y length");
+  }
+}
+
+void Regressor::check_predict_args(const Matrix& x, std::size_t expected_cols,
+                                   bool is_fitted) {
+  if (!is_fitted) {
+    throw std::logic_error("Regressor::predict: model not fitted");
+  }
+  if (x.cols() != expected_cols) {
+    throw std::invalid_argument(
+        "Regressor::predict: feature count mismatch, expected " +
+        std::to_string(expected_cols) + ", got " + std::to_string(x.cols()));
+  }
+}
+
+}  // namespace vmincqr::models

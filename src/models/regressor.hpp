@@ -1,0 +1,47 @@
+// Point-regressor interface shared by every model in the zoo (Sec. IV-C of
+// the paper: LR, GP, XGBoost, CatBoost, NN).
+//
+// Models are value-configured, then fitted; `clone()` produces a fresh
+// unfitted model with the same configuration, which is what cross-validation
+// and conformal wrappers need to retrain per fold without aliasing state.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace vmincqr::models {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits the model. X is (n x d), y is length n.
+  /// Throws std::invalid_argument on shape mismatch or empty data.
+  virtual void fit(const Matrix& x, const Vector& y) = 0;
+
+  /// Predicts one value per row. Throws std::logic_error if not fitted,
+  /// std::invalid_argument on column-count mismatch.
+  virtual Vector predict(const Matrix& x) const = 0;
+
+  /// Fresh unfitted model with identical configuration.
+  virtual std::unique_ptr<Regressor> clone_config() const = 0;
+
+  /// Short model name for reports, e.g. "Linear Regression".
+  virtual std::string name() const = 0;
+
+  virtual bool fitted() const = 0;
+
+ protected:
+  /// Shared argument validation for fit().
+  static void check_fit_args(const Matrix& x, const Vector& y);
+  /// Shared argument validation for predict().
+  static void check_predict_args(const Matrix& x, std::size_t expected_cols,
+                                 bool is_fitted);
+};
+
+}  // namespace vmincqr::models

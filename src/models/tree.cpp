@@ -1,0 +1,175 @@
+#include "models/tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace vmincqr::models {
+
+void RegressionTree::fit(const Matrix& x, const Vector& grad,
+                         const Vector& hess, const TreeConfig& config,
+                         const std::vector<std::size_t>& rows) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    throw std::invalid_argument("RegressionTree::fit: empty design matrix");
+  }
+  if (grad.size() != x.rows() || hess.size() != x.rows()) {
+    throw std::invalid_argument("RegressionTree::fit: grad/hess size mismatch");
+  }
+  nodes_.clear();
+  leaf_node_index_.clear();
+  n_leaves_ = 0;
+  train_leaf_ids_.assign(x.rows(), -1);
+
+  std::vector<std::size_t> all_rows = rows;
+  if (all_rows.empty()) {
+    all_rows.resize(x.rows());
+    std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+  }
+  build(x, grad, hess, config, all_rows, 0);
+}
+
+std::int32_t RegressionTree::build(const Matrix& x, const Vector& grad,
+                                   const Vector& hess, const TreeConfig& config,
+                                   std::vector<std::size_t>& rows, int depth) {
+  double g_total = 0.0, h_total = 0.0;
+  for (auto r : rows) {
+    g_total += grad[r];
+    h_total += hess[r];
+  }
+
+  const auto make_leaf = [&]() {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.value = -g_total / (h_total + config.lambda);
+    leaf.leaf_id = static_cast<std::int32_t>(n_leaves_++);
+    const auto node_index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(leaf);
+    leaf_node_index_.push_back(node_index);
+    for (auto r : rows) train_leaf_ids_[r] = leaf.leaf_id;
+    return node_index;
+  };
+
+  if (depth >= config.max_depth || rows.size() < 2 * config.min_samples_leaf ||
+      rows.size() < 2) {
+    return make_leaf();
+  }
+
+  // Exact greedy split search.
+  const double parent_score = g_total * g_total / (h_total + config.lambda);
+  double best_gain = 0.0;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::size_t> sorted = rows;
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return x(a, f) < x(b, f);
+    });
+    double g_left = 0.0, h_left = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const auto r = sorted[i];
+      g_left += grad[r];
+      h_left += hess[r];
+      const double v = x(r, f);
+      const double v_next = x(sorted[i + 1], f);
+      if (v == v_next) continue;  // cannot split between equal values
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = sorted.size() - n_left;
+      if (n_left < config.min_samples_leaf || n_right < config.min_samples_leaf) {
+        continue;
+      }
+      const double g_right = g_total - g_left;
+      const double h_right = h_total - h_left;
+      if (h_left < config.min_child_weight || h_right < config.min_child_weight) {
+        continue;
+      }
+      const double gain =
+          0.5 * (g_left * g_left / (h_left + config.lambda) +
+                 g_right * g_right / (h_right + config.lambda) - parent_score) -
+          config.gamma;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_gain <= 0.0) return make_leaf();
+
+  std::vector<std::size_t> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (auto r : rows) {
+    (x(r, best_feature) <= best_threshold ? left_rows : right_rows).push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return make_leaf();
+
+  const auto node_index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();  // placeholder; children may reallocate nodes_
+  nodes_[node_index].is_leaf = false;
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  nodes_[node_index].gain = best_gain;
+
+  const std::int32_t left = build(x, grad, hess, config, left_rows, depth + 1);
+  const std::int32_t right = build(x, grad, hess, config, right_rows, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double RegressionTree::predict_row(const double* row) const {
+  std::int32_t idx = 0;
+  while (!nodes_[idx].is_leaf) {
+    idx = (row[nodes_[idx].feature] <= nodes_[idx].threshold)
+              ? nodes_[idx].left
+              : nodes_[idx].right;
+  }
+  return nodes_[idx].value;
+}
+
+std::int32_t RegressionTree::leaf_id_for_row(const double* row) const {
+  std::int32_t idx = 0;
+  while (!nodes_[idx].is_leaf) {
+    idx = (row[nodes_[idx].feature] <= nodes_[idx].threshold)
+              ? nodes_[idx].left
+              : nodes_[idx].right;
+  }
+  return nodes_[idx].leaf_id;
+}
+
+Vector RegressionTree::predict(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("RegressionTree::predict: not fitted");
+  Vector out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row_ptr(r));
+  return out;
+}
+
+void RegressionTree::set_leaf_value(std::int32_t leaf_id, double value) {
+  if (leaf_id < 0 || static_cast<std::size_t>(leaf_id) >= n_leaves_) {
+    throw std::out_of_range("RegressionTree::set_leaf_value: bad leaf id");
+  }
+  nodes_[leaf_node_index_[leaf_id]].value = value;
+}
+
+void RegressionTree::accumulate_feature_gains(
+    std::vector<double>& gains) const {
+  for (const auto& node : nodes_) {
+    if (node.is_leaf) continue;
+    if (node.feature >= gains.size()) {
+      throw std::invalid_argument(
+          "RegressionTree::accumulate_feature_gains: gains vector too small");
+    }
+    gains[node.feature] += node.gain;
+  }
+}
+
+double RegressionTree::leaf_value(std::int32_t leaf_id) const {
+  if (leaf_id < 0 || static_cast<std::size_t>(leaf_id) >= n_leaves_) {
+    throw std::out_of_range("RegressionTree::leaf_value: bad leaf id");
+  }
+  return nodes_[leaf_node_index_[leaf_id]].value;
+}
+
+}  // namespace vmincqr::models

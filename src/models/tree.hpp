@@ -1,0 +1,88 @@
+// Regression tree trained on per-sample gradient/hessian statistics with
+// exact greedy splits — the building block of both boosting models.
+//
+// Split gain and leaf weights follow the XGBoost formulation:
+//   leaf weight w* = -G / (H + lambda)
+//   gain = 1/2 [ Gl^2/(Hl+l) + Gr^2/(Hr+l) - G^2/(H+l) ] - gamma.
+// For pinball-loss boosting, leaf values can be overwritten after structure
+// fitting (leaf-quantile refit), which fit() supports via train_leaf_ids().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace vmincqr::models {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+struct TreeConfig {
+  int max_depth = 6;
+  double lambda = 1.0;          ///< L2 regularization on leaf weights
+  double gamma = 0.0;           ///< minimum gain to split
+  double min_child_weight = 1.0;  ///< minimum sum of hessians per child
+  std::size_t min_samples_leaf = 1;
+};
+
+class RegressionTree {
+ public:
+  /// Fits the tree structure to (x, grad, hess). All vectors length x.rows().
+  /// `rows` restricts training to a subset (empty -> all rows).
+  /// Throws std::invalid_argument on shape mismatch.
+  void fit(const Matrix& x, const Vector& grad, const Vector& hess,
+           const TreeConfig& config,
+           const std::vector<std::size_t>& rows = {});
+
+  /// Prediction for one feature row of length d (must equal the training
+  /// feature count; unchecked hot path).
+  double predict_row(const double* row) const;
+
+  /// Predictions for every row of x. Throws std::logic_error if not fitted.
+  Vector predict(const Matrix& x) const;
+
+  /// Leaf id per *training* row index (size = x.rows() passed to fit;
+  /// untrained rows get -1 when a row subset was used).
+  const std::vector<std::int32_t>& train_leaf_ids() const {
+    return train_leaf_ids_;
+  }
+
+  /// Leaf id a feature row would land in.
+  std::int32_t leaf_id_for_row(const double* row) const;
+
+  std::size_t n_leaves() const noexcept { return n_leaves_; }
+  bool fitted() const noexcept { return !nodes_.empty(); }
+
+  /// Overwrites the value of a leaf (by leaf id). Throws std::out_of_range.
+  void set_leaf_value(std::int32_t leaf_id, double value);
+  double leaf_value(std::int32_t leaf_id) const;
+
+  /// Adds each internal node's split gain to gains[feature]. gains must be
+  /// sized to the training feature count. Throws std::invalid_argument on a
+  /// too-small vector.
+  void accumulate_feature_gains(std::vector<double>& gains) const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;        // leaf weight
+    std::int32_t leaf_id = -1; // dense leaf numbering
+    double gain = 0.0;         // split gain (internal nodes)
+  };
+
+  std::int32_t build(const Matrix& x, const Vector& grad, const Vector& hess,
+                     const TreeConfig& config, std::vector<std::size_t>& rows,
+                     int depth);
+
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> leaf_node_index_;  // leaf_id -> node index
+  std::vector<std::int32_t> train_leaf_ids_;
+  std::size_t n_leaves_ = 0;
+};
+
+}  // namespace vmincqr::models

@@ -1,0 +1,40 @@
+#include "netlist/cell.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vmincqr::netlist {
+
+const std::vector<CellType>& standard_cell_library() {
+  static const std::vector<CellType> library = {
+      {"INV_X1", 0.012, 1.00},  {"BUF_X2", 0.018, 0.85},
+      {"NAND2_X1", 0.016, 1.10}, {"NOR2_X1", 0.019, 1.25},
+      {"AOI21_X1", 0.024, 1.30}, {"DFF_CK2Q", 0.045, 1.00},
+  };
+  return library;
+}
+
+double cell_delay(const CellType& cell, const DelayModelConfig& config,
+                  double vdd, double dvth_eff, double temp_c) {
+  if (vdd <= 0.0) throw std::invalid_argument("cell_delay: vdd <= 0");
+
+  const double vth =
+      config.vth_nominal + dvth_eff +
+      config.vth_temp_coeff * (temp_c - config.temp_ref_c);
+  const double headroom = vdd - vth;
+  if (headroom < config.min_headroom) {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  // Alpha-power law, normalized at the characterization point.
+  const double ref_headroom = config.v_nominal - config.vth_nominal;
+  const double shape =
+      (vdd / std::pow(headroom, config.alpha)) /
+      (config.v_nominal / std::pow(ref_headroom, config.alpha));
+  const double temp_factor =
+      1.0 + config.mobility_temp_coeff * (temp_c - config.temp_ref_c);
+  return cell.base_delay_ns * cell.drive_factor * shape * temp_factor;
+}
+
+}  // namespace vmincqr::netlist

@@ -1,0 +1,50 @@
+// Standard-cell library with a voltage- and temperature-aware delay model.
+//
+// Gate delay follows the alpha-power law (Sakurai-Newton):
+//   d(V) ~ V / (V - Vth_eff)^alpha,
+// normalized so that d(V_nom) with nominal Vth equals the cell's base delay.
+// Vth_eff absorbs global process shift, local (per-gate) mismatch,
+// temperature dependence, and stress-induced aging — the same knobs the
+// silicon substrate exposes — so SCAN Vmin can be *computed* from timing
+// closure instead of posited (see netlist/vmin_solver.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vmincqr::netlist {
+
+/// Global electrical constants of the delay model.
+struct DelayModelConfig {
+  double v_nominal = 0.75;      ///< characterization supply (V)
+  double vth_nominal = 0.30;    ///< nominal threshold voltage (V)
+  double alpha = 1.3;           ///< velocity-saturation exponent
+  double vth_temp_coeff = -8e-4;  ///< dVth/dT (V per deg C): Vth drops when hot
+  double temp_ref_c = 25.0;
+  /// Mobility degradation with temperature: delay *= 1 + k*(T - Tref).
+  double mobility_temp_coeff = 1.2e-3;
+  /// Minimum headroom (V) kept between supply and threshold before the
+  /// model reports "non-functional" (infinite delay).
+  double min_headroom = 0.02;
+};
+
+/// One library cell.
+struct CellType {
+  std::string name;
+  double base_delay_ns;  ///< delay at (v_nominal, vth_nominal, temp_ref)
+  double drive_factor;   ///< relative drive strength (scales delay)
+};
+
+/// A small representative library (INV, NAND2, NOR2, AOI21, DFF-CK2Q, BUF).
+const std::vector<CellType>& standard_cell_library();
+
+/// Delay (ns) of `cell` at supply `vdd`, effective threshold shift
+/// `dvth_eff` (V, added to vth_nominal), and temperature `temp_c`.
+/// Returns +infinity when the supply is within min_headroom of the
+/// effective threshold (gate no longer switches).
+/// Throws std::invalid_argument for vdd <= 0.
+double cell_delay(const CellType& cell, const DelayModelConfig& config,
+                  double vdd, double dvth_eff, double temp_c);
+
+}  // namespace vmincqr::netlist

@@ -1,0 +1,31 @@
+#include "netlist/ring_oscillator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vmincqr::netlist {
+
+double ring_oscillator_period(const RingOscillator& ro,
+                              const DelayModelConfig& config, double vdd,
+                              double dvth_eff, double temp_c) {
+  if (ro.n_stages == 0 || ro.n_stages % 2 == 0) {
+    throw std::invalid_argument(
+        "ring_oscillator_period: stage count must be odd");
+  }
+  const CellType& inverter = standard_cell_library()[0];  // INV_X1
+  const double d =
+      cell_delay(inverter, config, vdd, dvth_eff + ro.stage_mismatch, temp_c);
+  if (!std::isfinite(d)) return std::numeric_limits<double>::infinity();
+  return 2.0 * static_cast<double>(ro.n_stages) * d;
+}
+
+double ring_oscillator_frequency(const RingOscillator& ro,
+                                 const DelayModelConfig& config, double vdd,
+                                 double dvth_eff, double temp_c) {
+  const double period =
+      ring_oscillator_period(ro, config, vdd, dvth_eff, temp_c);
+  return std::isfinite(period) ? 1.0 / period : 0.0;
+}
+
+}  // namespace vmincqr::netlist

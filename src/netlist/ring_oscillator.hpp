@@ -1,0 +1,29 @@
+// Ring-oscillator model built from the same standard-cell delay law as the
+// design netlist — the structural counterpart of the ROD monitors in the
+// silicon substrate. A chain of N inverters (N odd) oscillates with period
+// 2 * N * d_inv, so the measured frequency is a direct probe of the local
+// (Vth-shifted, aged) gate delay.
+#pragma once
+
+#include "netlist/cell.hpp"
+
+namespace vmincqr::netlist {
+
+struct RingOscillator {
+  std::size_t n_stages = 31;  ///< must be odd
+  double stage_mismatch = 0.0;  ///< effective Vth offset of this RO's site (V)
+};
+
+/// Oscillation period (ns) at the given operating point; +infinity if the
+/// inverters are below the functional headroom.
+/// Throws std::invalid_argument for an even or zero stage count.
+double ring_oscillator_period(const RingOscillator& ro,
+                              const DelayModelConfig& config, double vdd,
+                              double dvth_eff, double temp_c);
+
+/// Frequency (GHz) = 1 / period; 0 when non-functional.
+double ring_oscillator_frequency(const RingOscillator& ro,
+                                 const DelayModelConfig& config, double vdd,
+                                 double dvth_eff, double temp_c);
+
+}  // namespace vmincqr::netlist

@@ -1,0 +1,58 @@
+#include "netlist/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vmincqr::netlist {
+
+TimingResult run_sta(const Netlist& netlist, const DelayModelConfig& config,
+                     double vdd, double temp_c, const GateVthShift& vth_shift) {
+  if (vdd <= 0.0) throw std::invalid_argument("run_sta: vdd <= 0");
+  const auto& library = standard_cell_library();
+
+  TimingResult result;
+  result.arrival.assign(netlist.n_nodes(), 0.0);
+  std::vector<std::int64_t> pred(netlist.n_nodes(), -1);
+
+  const auto& gates = netlist.gates();
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    const std::size_t node = netlist.n_inputs() + g;
+    double worst_in = 0.0;
+    std::int64_t worst_pred = -1;
+    for (auto fanin : gates[g].fanins) {
+      if (result.arrival[fanin] >= worst_in) {
+        worst_in = result.arrival[fanin];
+        worst_pred = static_cast<std::int64_t>(fanin);
+      }
+    }
+    const double shift = vth_shift ? vth_shift(g) : 0.0;
+    const double delay =
+        cell_delay(library[gates[g].cell], config, vdd, shift, temp_c);
+    result.arrival[node] = worst_in + delay;
+    pred[node] = worst_pred;
+  }
+
+  result.worst_arrival_ns = -1.0;
+  for (auto out : netlist.outputs()) {
+    if (result.arrival[out] > result.worst_arrival_ns) {
+      result.worst_arrival_ns = result.arrival[out];
+      result.worst_output = out;
+    }
+  }
+  result.functional = std::isfinite(result.worst_arrival_ns);
+
+  // Trace the critical path back from the worst output.
+  std::vector<std::size_t> path;
+  std::int64_t node = static_cast<std::int64_t>(result.worst_output);
+  while (node >= 0) {
+    path.push_back(static_cast<std::size_t>(node));
+    node = pred[static_cast<std::size_t>(node)];
+  }
+  std::reverse(path.begin(), path.end());
+  result.critical_path = std::move(path);
+  return result;
+}
+
+}  // namespace vmincqr::netlist

@@ -1,0 +1,35 @@
+// Static timing analysis over the netlist DAG: longest-path arrival times
+// under a given supply voltage, temperature, and per-gate effective
+// threshold shift.
+#pragma once
+
+#include <functional>
+
+#include "netlist/netlist.hpp"
+
+namespace vmincqr::netlist {
+
+/// Per-gate effective Vth shift (V) added to the nominal threshold — the
+/// hook through which chip-level process shift, local mismatch, and aging
+/// enter timing. Index is the GATE index (0-based, not the node id).
+using GateVthShift = std::function<double(std::size_t gate_index)>;
+
+struct TimingResult {
+  double worst_arrival_ns = 0.0;  ///< max arrival over primary outputs
+  std::vector<double> arrival;    ///< arrival per node (inputs are 0)
+  std::size_t worst_output = 0;   ///< node id of the limiting output
+  /// True if any gate on a used path was non-functional (infinite delay)
+  /// at this supply.
+  bool functional = true;
+
+  /// Critical path as node ids from a primary input to worst_output.
+  std::vector<std::size_t> critical_path;
+};
+
+/// Runs longest-path STA. `vth_shift` may be null for a zero shift.
+/// Throws std::invalid_argument for vdd <= 0.
+TimingResult run_sta(const Netlist& netlist, const DelayModelConfig& config,
+                     double vdd, double temp_c,
+                     const GateVthShift& vth_shift = nullptr);
+
+}  // namespace vmincqr::netlist

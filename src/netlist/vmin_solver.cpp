@@ -1,0 +1,54 @@
+#include "netlist/vmin_solver.hpp"
+
+#include <stdexcept>
+
+namespace vmincqr::netlist {
+
+VminSolution solve_vmin(const Netlist& netlist, const DelayModelConfig& config,
+                        double clock_period_ns, double temp_c,
+                        const GateVthShift& vth_shift,
+                        const VminSolverConfig& solver) {
+  if (clock_period_ns <= 0.0) {
+    throw std::invalid_argument("solve_vmin: clock period must be positive");
+  }
+  if (!(solver.v_low < solver.v_high)) {
+    throw std::invalid_argument("solve_vmin: inverted voltage bracket");
+  }
+
+  VminSolution solution;
+  const auto meets_timing = [&](double vdd) {
+    ++solution.sta_evaluations;
+    const TimingResult timing =
+        run_sta(netlist, config, vdd, temp_c, vth_shift);
+    return timing.functional && timing.worst_arrival_ns <= clock_period_ns;
+  };
+
+  if (!meets_timing(solver.v_high)) {
+    solution.feasible = false;
+    solution.vmin = solver.v_high;
+    return solution;
+  }
+  solution.feasible = true;
+
+  if (meets_timing(solver.v_low)) {
+    solution.vmin = solver.v_low;
+    return solution;
+  }
+
+  // Invariant: fails at lo, passes at hi.
+  double lo = solver.v_low;
+  double hi = solver.v_high;
+  for (int it = 0; it < solver.max_iterations && hi - lo > solver.tolerance_v;
+       ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (meets_timing(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  solution.vmin = hi;
+  return solution;
+}
+
+}  // namespace vmincqr::netlist

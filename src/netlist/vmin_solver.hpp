@@ -1,0 +1,33 @@
+// Structural Vmin: the lowest supply at which the design still meets its
+// clock period — found by bisection over the (monotone) delay-vs-voltage
+// curve produced by STA. This is the computational analogue of the ATE
+// procedure the paper describes: "testing chips at a high operating voltage
+// and decreasing step by step until they fail".
+#pragma once
+
+#include "netlist/sta.hpp"
+
+namespace vmincqr::netlist {
+
+struct VminSolverConfig {
+  double v_low = 0.35;       ///< search bracket low (V)
+  double v_high = 1.20;      ///< search bracket high (V)
+  double tolerance_v = 5e-4; ///< bisection resolution (0.5 mV)
+  int max_iterations = 40;
+};
+
+struct VminSolution {
+  double vmin = 0.0;
+  bool feasible = false;  ///< false if the design fails even at v_high
+  int sta_evaluations = 0;
+};
+
+/// Finds min { V : worst_arrival(V) <= clock_period_ns }.
+/// Throws std::invalid_argument for a non-positive clock period or an
+/// inverted bracket.
+VminSolution solve_vmin(const Netlist& netlist, const DelayModelConfig& config,
+                        double clock_period_ns, double temp_c,
+                        const GateVthShift& vth_shift = nullptr,
+                        const VminSolverConfig& solver = {});
+
+}  // namespace vmincqr::netlist

@@ -1,0 +1,63 @@
+// Deterministic random-number façade.
+//
+// Every stochastic component in the library draws through this class so that
+// experiments are reproducible from a single seed, and so that child streams
+// (per chip / per fold / per model) can be forked without correlation.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace vmincqr::rng {
+
+/// SplitMix64 — used to derive well-separated child seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Seeded random generator wrapping std::mt19937_64 with typed draw helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Forks an independent child stream; the i-th fork of a given Rng is
+  /// deterministic in (seed, i).
+  Rng fork();
+
+  /// Uniform double in [lo, hi). Throws std::invalid_argument if lo > hi.
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal draw scaled to N(mean, stddev^2). stddev >= 0.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal draw: exp(N(log_mean, log_sigma^2)).
+  double lognormal(double log_mean, double log_sigma);
+
+  /// Uniform integer in [lo, hi] inclusive. Throws if lo > hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Vector of n iid normal draws.
+  std::vector<double> normal_vector(std::size_t n, double mean = 0.0,
+                                    double stddev = 1.0);
+
+  /// Random permutation of {0, ..., n-1} (Fisher-Yates).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Shuffles a vector of indices in place.
+  void shuffle(std::vector<std::size_t>& v);
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Raw engine access for std::distributions not wrapped here.
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+  std::uint64_t fork_counter_ = 0;
+};
+
+}  // namespace vmincqr::rng

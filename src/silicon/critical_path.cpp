@@ -1,0 +1,44 @@
+#include "silicon/critical_path.hpp"
+
+#include <algorithm>
+
+namespace vmincqr::silicon {
+
+const std::vector<CriticalPath>& standard_critical_paths() {
+  // Ten paths with distinct sensitivity mixes: Vth-dominated logic paths,
+  // wire/length-dominated paths, mismatch-sensitive SRAM-ish paths, and
+  // paths with above-average aging loading (high-activity clock spines).
+  // Offsets spread +-6 mV so the binding path changes across the corner
+  // space, which is what makes the max genuinely nonlinear.
+  static const std::vector<CriticalPath> paths = {
+      //  offset   w_vth  w_leff  w_mm    aging_gain
+      {0.0000, 1.05, 0.08, 0.0030, 1.00},
+      {-0.0080, 1.60, 0.02, 0.0010, 0.70},   // Vth-dominated fast-corner path
+      {-0.0060, 0.40, 0.45, 0.0020, 1.20},   // wire/length-dominated path
+      {-0.0040, 0.85, 0.15, 0.0110, 0.90},   // SRAM-ish mismatch-limited path
+      {-0.0100, 1.30, 0.20, 0.0010, 1.45},   // high-activity aging hot spot
+      {-0.0020, 0.70, 0.06, 0.0060, 1.10},
+      {-0.0090, 1.45, -0.10, 0.0020, 0.60},  // inverse-narrow-width effect
+      {-0.0050, 0.35, 0.38, 0.0045, 1.30},
+      {-0.0070, 1.20, 0.12, 0.0008, 1.05},
+      {-0.0110, 1.00, 0.05, 0.0055, 1.55},   // late-life wear-out path
+  };
+  return paths;
+}
+
+double path_score(const CriticalPath& path, const ChipLatent& chip,
+                  double age_dvth) {
+  return path.offset + path.w_vth * (chip.dvth + path.aging_gain * age_dvth) +
+         path.w_leff * chip.dleff + path.w_mismatch * chip.mismatch;
+}
+
+double worst_path_score(const std::vector<CriticalPath>& paths,
+                        const ChipLatent& chip, double age_dvth) {
+  double worst = -1e30;
+  for (const auto& path : paths) {
+    worst = std::max(worst, path_score(path, chip, age_dvth));
+  }
+  return worst;
+}
+
+}  // namespace vmincqr::silicon

@@ -1,0 +1,47 @@
+// Critical-path structure shared by the Vmin response surface and the
+// in-situ CPD monitors.
+//
+// Physically, SCAN Vmin is worst-path limited: the chip fails when the
+// slowest of its speed-critical paths stops meeting timing, so
+//   Vmin ~ max_p  f(path p's sensitivities, process, aging).
+// This max over paths is the dominant *nonlinearity* of the response — the
+// reason tree ensembles can beat linear models on real silicon (paper
+// Sec. IV-D/IV-F) — and it is exactly what in-situ Critical Path Delay
+// monitors are designed to measure (each CPD sensor replicates one critical
+// path). Sharing one fixed path table between VminModel and MonitorBank
+// reproduces that causal link.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "silicon/process.hpp"
+
+namespace vmincqr::silicon {
+
+/// Fixed sensitivities of one speed-critical path. Units: the path "score"
+/// is in volts of required supply margin.
+struct CriticalPath {
+  double offset;      ///< nominal margin of this path relative to the median
+  double w_vth;       ///< sensitivity to (dvth + aging shift)
+  double w_leff;      ///< sensitivity to channel-length variation
+  double w_mismatch;  ///< sensitivity to local mismatch
+  double aging_gain;  ///< how strongly stress-induced dVth loads this path
+};
+
+/// The chip's speed-limiting path set (fixed across the population — all
+/// chips share one design). Offsets spread a few mV so that different
+/// process corners bind different paths.
+const std::vector<CriticalPath>& standard_critical_paths();
+
+/// Path p's required-margin score (volts) for a chip with an accumulated
+/// aging shift `age_dvth` (volts).
+double path_score(const CriticalPath& path, const ChipLatent& chip,
+                  double age_dvth);
+
+/// The binding (worst) path score: max_p path_score(p). This is the
+/// nonlinear core of the Vmin response.
+double worst_path_score(const std::vector<CriticalPath>& paths,
+                        const ChipLatent& chip, double age_dvth);
+
+}  // namespace vmincqr::silicon

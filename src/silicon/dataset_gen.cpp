@@ -1,0 +1,78 @@
+#include "silicon/dataset_gen.hpp"
+
+#include <stdexcept>
+
+namespace vmincqr::silicon {
+
+GeneratedDataset generate_dataset(const GeneratorConfig& config) {
+  if (config.n_chips == 0) {
+    throw std::invalid_argument("generate_dataset: n_chips must be > 0");
+  }
+  if (config.read_points_hours.empty() || config.vmin_temperatures_c.empty()) {
+    throw std::invalid_argument(
+        "generate_dataset: need at least one read point and temperature");
+  }
+
+  rng::Rng root(config.seed);
+  rng::Rng catalogue_rng = root.fork();
+  rng::Rng population_rng = root.fork();
+  rng::Rng measurement_rng = root.fork();
+
+  const ProcessModel process(config.process);
+  const AgingModel aging(config.aging);
+  const VminModel vmin_model(config.vmin, config.aging);
+  const ParametricTestBank parametric(config.parametric, catalogue_rng);
+  const MonitorBank monitors(config.monitors, catalogue_rng);
+
+  std::vector<ChipLatent> latents =
+      process.sample_population(config.n_chips, population_rng);
+
+  // Assemble the feature catalogue.
+  std::vector<data::FeatureInfo> info = parametric.feature_info();
+  for (double t : config.read_points_hours) {
+    auto monitor_info = monitors.feature_info(t);
+    info.insert(info.end(), monitor_info.begin(), monitor_info.end());
+  }
+  const std::size_t n_features = info.size();
+
+  linalg::Matrix features(config.n_chips, n_features);
+  std::vector<data::LabelSeries> labels;
+  for (double t : config.read_points_hours) {
+    for (double temp : config.vmin_temperatures_c) {
+      labels.push_back({t, temp, linalg::Vector(config.n_chips, 0.0)});
+    }
+  }
+
+  for (std::size_t chip_idx = 0; chip_idx < config.n_chips; ++chip_idx) {
+    rng::Rng chip_rng = measurement_rng.fork();
+    const ChipLatent& chip = latents[chip_idx];
+
+    std::size_t col = 0;
+    for (double v : parametric.measure(chip, chip_rng)) {
+      features(chip_idx, col++) = v;
+    }
+    for (double t : config.read_points_hours) {
+      for (double v : monitors.measure(chip, aging, t, chip_rng)) {
+        features(chip_idx, col++) = v;
+      }
+    }
+    if (col != n_features) {
+      throw std::logic_error("generate_dataset: feature column mismatch");
+    }
+
+    std::size_t series_idx = 0;
+    for (double t : config.read_points_hours) {
+      for (double temp : config.vmin_temperatures_c) {
+        labels[series_idx++].values[chip_idx] =
+            vmin_model.measure_vmin(chip, t, temp, chip_rng);
+      }
+    }
+  }
+
+  GeneratedDataset out{
+      data::Dataset(std::move(features), std::move(info), std::move(labels)),
+      std::move(latents), config};
+  return out;
+}
+
+}  // namespace vmincqr::silicon

@@ -1,0 +1,47 @@
+// End-to-end generator for the synthetic industrial dataset: samples a chip
+// population, runs the simulated burn-in stress experiment, measures
+// parametric tests / monitors / SCAN Vmin at every read point, and packages
+// everything as a data::Dataset mirroring Table II of the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "silicon/aging.hpp"
+#include "silicon/monitors.hpp"
+#include "silicon/parametric.hpp"
+#include "silicon/process.hpp"
+#include "silicon/vmin_model.hpp"
+
+namespace vmincqr::silicon {
+
+struct GeneratorConfig {
+  std::size_t n_chips = 156;  ///< the paper's population size
+  std::uint64_t seed = 20240325;
+  std::vector<double> read_points_hours = standard_read_points();
+  std::vector<double> vmin_temperatures_c = standard_temperatures();
+  ProcessConfig process;
+  AgingConfig aging;
+  ParametricConfig parametric;
+  MonitorConfig monitors;
+  VminConfig vmin;
+};
+
+/// The generated dataset plus its ground truth, kept for tests and
+/// diagnostics (the prediction pipeline must never touch `latents`).
+struct GeneratedDataset {
+  data::Dataset dataset;
+  std::vector<ChipLatent> latents;
+  GeneratorConfig config;
+};
+
+/// Generates the full synthetic experiment. Deterministic in config.seed.
+///
+/// Feature layout (columns, in order):
+///   [parametric x (features_per_temperature * #temps)]   read point 0
+///   [ROD x n_rod per read point, all read points]        25C
+///   [CPD x n_cpd per read point, all read points]        80C
+/// Label series: one per (read point, Vmin test temperature).
+GeneratedDataset generate_dataset(const GeneratorConfig& config = {});
+
+}  // namespace vmincqr::silicon

@@ -1,0 +1,90 @@
+#include "silicon/monitors.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmincqr::silicon {
+
+MonitorBank::MonitorBank(MonitorConfig config, rng::Rng& catalogue_rng)
+    : config_(config) {
+  specs_.reserve(config_.n_rod + config_.n_cpd);
+  for (std::size_t i = 0; i < config_.n_rod; ++i) {
+    MonitorSpec spec;
+    spec.name = "rod_" + std::to_string(i);
+    spec.type = data::FeatureType::kRodMonitor;
+    spec.temperature_c = config_.rod_temperature_c;
+    spec.base_delay = catalogue_rng.lognormal(std::log(1.0), 0.15);
+    spec.sens_vth = catalogue_rng.uniform(1.5, 3.0);
+    spec.sens_leff = catalogue_rng.uniform(0.3, 1.2);
+    spec.sens_mismatch = catalogue_rng.uniform(0.0, 0.02);
+    spec.aging_gain = catalogue_rng.uniform(0.8, 1.2);
+    spec.noise_rel = config_.rod_noise_rel;
+    specs_.push_back(std::move(spec));
+  }
+  const auto& paths = standard_critical_paths();
+  for (std::size_t i = 0; i < config_.n_cpd; ++i) {
+    MonitorSpec spec;
+    spec.name = "cpd_" + std::to_string(i);
+    spec.type = data::FeatureType::kCpdMonitor;
+    spec.temperature_c = config_.cpd_temperature_c;
+    spec.base_delay = catalogue_rng.lognormal(std::log(2.5), 0.10);
+    spec.noise_rel = config_.cpd_noise_rel;
+    if (i < paths.size()) {
+      // In-situ CPD sensor i replicates critical path i: its delay tracks
+      // that path's required-margin score, aging included.
+      spec.path_index = static_cast<int>(i);
+      spec.path_gain = catalogue_rng.uniform(2.0, 3.0);
+      spec.sens_vth = 0.0;
+      spec.sens_leff = 0.0;
+      spec.sens_mismatch = 0.0;
+      spec.aging_gain = paths[i].aging_gain;
+    } else {
+      // Extra CPD sensors beyond the path table behave like aggressive
+      // generic delay monitors.
+      spec.sens_vth = catalogue_rng.uniform(2.5, 4.0);
+      spec.sens_leff = catalogue_rng.uniform(0.8, 1.6);
+      spec.sens_mismatch = catalogue_rng.uniform(0.01, 0.05);
+      spec.aging_gain = catalogue_rng.uniform(1.3, 1.8);
+    }
+    specs_.push_back(std::move(spec));
+  }
+}
+
+std::vector<double> MonitorBank::measure(const ChipLatent& chip,
+                                         const AgingModel& aging, double hours,
+                                         rng::Rng& meas_rng) const {
+  if (hours < 0.0) throw std::invalid_argument("MonitorBank: negative hours");
+  const double age_shift = aging.delta_vth(chip, hours);
+  const auto& paths = standard_critical_paths();
+  std::vector<double> out;
+  out.reserve(specs_.size());
+  for (const auto& spec : specs_) {
+    double delay;
+    if (spec.path_index >= 0) {
+      const auto& path = paths[static_cast<std::size_t>(spec.path_index)];
+      delay = spec.base_delay *
+              (1.0 + spec.path_gain * path_score(path, chip, age_shift));
+    } else {
+      const double effective_vth = chip.dvth + spec.aging_gain * age_shift;
+      delay = spec.base_delay *
+              (1.0 + spec.sens_vth * effective_vth +
+               spec.sens_leff * chip.dleff +
+               spec.sens_mismatch * chip.mismatch);
+    }
+    delay *= 1.0 + meas_rng.normal(0.0, spec.noise_rel);
+    out.push_back(delay);
+  }
+  return out;
+}
+
+std::vector<data::FeatureInfo> MonitorBank::feature_info(double hours) const {
+  std::vector<data::FeatureInfo> info;
+  info.reserve(specs_.size());
+  for (const auto& spec : specs_) {
+    info.push_back({spec.name + "_t" + std::to_string(static_cast<int>(hours)),
+                    spec.type, spec.temperature_c, hours});
+  }
+  return info;
+}
+
+}  // namespace vmincqr::silicon

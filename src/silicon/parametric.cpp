@@ -1,0 +1,158 @@
+#include "silicon/parametric.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmincqr::silicon {
+
+namespace {
+
+const char* family_tag(ParametricFamily f) {
+  switch (f) {
+    case ParametricFamily::kIddq:
+      return "iddq";
+    case ParametricFamily::kTripIdd:
+      return "trip_idd";
+    case ParametricFamily::kLeakage:
+      return "leak";
+    case ParametricFamily::kVthProbe:
+      return "vth";
+    case ParametricFamily::kSpeed:
+      return "speed";
+  }
+  return "par";
+}
+
+// Temperature acceleration of leakage-type quantities relative to 25C.
+double leak_temp_factor(double temp_c) {
+  // Roughly x8 from 25C to 125C, /8 from 25C to -45C (Arrhenius-ish).
+  return std::exp((temp_c - 25.0) / 48.0);
+}
+
+}  // namespace
+
+ParametricTestBank::ParametricTestBank(ParametricConfig config,
+                                       rng::Rng& catalogue_rng)
+    : config_(config) {
+  if (config_.features_per_temperature == 0) {
+    throw std::invalid_argument("ParametricTestBank: zero features");
+  }
+  if (config_.temperatures_c.empty()) {
+    throw std::invalid_argument("ParametricTestBank: no temperatures");
+  }
+  if (config_.weak_fraction < 0.0 || config_.weak_fraction > 1.0) {
+    throw std::invalid_argument("ParametricTestBank: weak_fraction outside [0,1]");
+  }
+
+  const ParametricFamily families[] = {
+      ParametricFamily::kIddq, ParametricFamily::kTripIdd,
+      ParametricFamily::kLeakage, ParametricFamily::kVthProbe,
+      ParametricFamily::kSpeed};
+
+  specs_.reserve(config_.features_per_temperature *
+                 config_.temperatures_c.size());
+  for (double temp : config_.temperatures_c) {
+    for (std::size_t i = 0; i < config_.features_per_temperature; ++i) {
+      ParametricFeatureSpec spec;
+      spec.family = families[i % std::size(families)];
+      spec.temperature_c = temp;
+      spec.name = std::string("par_") + family_tag(spec.family) + "_T" +
+                  std::to_string(static_cast<int>(temp)) + "_" +
+                  std::to_string(i);
+      const bool weak = catalogue_rng.bernoulli(config_.weak_fraction);
+      const double strength = weak ? 0.08 : 1.0;
+      spec.noise_rel =
+          weak ? config_.weak_noise_scale : config_.noise_scale;
+      switch (spec.family) {
+        case ParametricFamily::kIddq:
+        case ParametricFamily::kLeakage:
+          spec.base = catalogue_rng.lognormal(std::log(1e-3), 0.5);
+          spec.load_vth = -catalogue_rng.uniform(8.0, 20.0) * strength;
+          spec.load_leff = catalogue_rng.normal(0.0, 1.0) * strength;
+          spec.load_leak = catalogue_rng.uniform(0.5, 1.0) * strength;
+          spec.load_mismatch = catalogue_rng.uniform(0.0, 0.05) * strength;
+          // Defective chips draw anomalous quiescent current through the
+          // defect site; the signature strength varies per test domain.
+          spec.load_defect = catalogue_rng.uniform(0.1, 0.5) * strength;
+          break;
+        case ParametricFamily::kTripIdd:
+          spec.base = catalogue_rng.lognormal(std::log(0.1), 0.3);
+          spec.load_vth = -catalogue_rng.uniform(1.0, 4.0) * strength;
+          spec.load_leff = catalogue_rng.normal(0.0, 0.8) * strength;
+          spec.load_leak = catalogue_rng.uniform(0.0, 0.2) * strength;
+          spec.load_mismatch = catalogue_rng.uniform(0.0, 0.05) * strength;
+          break;
+        case ParametricFamily::kVthProbe:
+          spec.base = 0.32 + catalogue_rng.normal(0.0, 0.02);
+          spec.load_vth = catalogue_rng.uniform(0.7, 1.0) * strength;
+          spec.load_leff = catalogue_rng.normal(0.0, 0.1) * strength;
+          spec.load_leak = 0.0;
+          spec.load_mismatch = catalogue_rng.uniform(0.0, 0.02) * strength;
+          break;
+        case ParametricFamily::kSpeed:
+          spec.base = catalogue_rng.lognormal(std::log(1.0), 0.2);
+          spec.load_vth = catalogue_rng.uniform(1.5, 3.5) * strength;
+          spec.load_leff = catalogue_rng.uniform(0.5, 2.0) * strength;
+          spec.load_leak = 0.0;
+          spec.load_mismatch = catalogue_rng.uniform(0.0, 0.1) * strength;
+          break;
+      }
+      specs_.push_back(std::move(spec));
+    }
+  }
+}
+
+std::vector<double> ParametricTestBank::measure(const ChipLatent& chip,
+                                                rng::Rng& meas_rng) const {
+  std::vector<double> out;
+  out.reserve(specs_.size());
+  for (const auto& spec : specs_) {
+    double value = 0.0;
+    const double log_leak = std::log(chip.leak_corner);
+    switch (spec.family) {
+      case ParametricFamily::kIddq:
+      case ParametricFamily::kLeakage: {
+        // Multiplicative (log-linear) response; strongly temperature
+        // accelerated as real leakage is.
+        const double log_v = std::log(spec.base) +
+                             std::log(leak_temp_factor(spec.temperature_c)) +
+                             spec.load_vth * chip.dvth +
+                             spec.load_leff * chip.dleff +
+                             spec.load_leak * log_leak +
+                             spec.load_mismatch * chip.mismatch +
+                             spec.load_defect * chip.defect;
+        value = std::exp(log_v);
+        break;
+      }
+      case ParametricFamily::kTripIdd:
+      case ParametricFamily::kSpeed: {
+        value = spec.base * (1.0 + spec.load_vth * chip.dvth +
+                             spec.load_leff * chip.dleff +
+                             spec.load_leak * log_leak * 0.1 +
+                             spec.load_mismatch * chip.mismatch);
+        break;
+      }
+      case ParametricFamily::kVthProbe: {
+        value = spec.base + spec.load_vth * chip.dvth +
+                spec.load_leff * chip.dleff * 0.05 +
+                spec.load_mismatch * chip.mismatch * 0.01;
+        break;
+      }
+    }
+    value *= 1.0 + meas_rng.normal(0.0, spec.noise_rel);
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::vector<data::FeatureInfo> ParametricTestBank::feature_info() const {
+  std::vector<data::FeatureInfo> info;
+  info.reserve(specs_.size());
+  for (const auto& spec : specs_) {
+    info.push_back({spec.name, data::FeatureType::kParametric,
+                    spec.temperature_c, /*read_point_hours=*/0.0});
+  }
+  return info;
+}
+
+}  // namespace vmincqr::silicon

@@ -1,0 +1,74 @@
+// Parametric test bank: the ATE production-test features (IDDQ, trip IDD,
+// leakage, Vth probes, structural speed tests) measured at time 0 across
+// three temperatures — 1800 features total in the paper's Table II.
+//
+// Each feature has fixed per-catalogue loadings on the chip latents plus
+// per-measurement noise; a configurable fraction of features is
+// noise-dominated, reflecting that most of the ~2000 production parameters
+// are only weakly related to Vmin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "silicon/process.hpp"
+
+namespace vmincqr::silicon {
+
+/// Families of parametric tests; the family decides the response shape.
+enum class ParametricFamily {
+  kIddq,     ///< quiescent leakage current (log-scale, leakage-driven)
+  kTripIdd,  ///< dynamic switching current
+  kLeakage,  ///< per-domain leakage
+  kVthProbe, ///< DC threshold-voltage probe
+  kSpeed,    ///< structural path-delay test
+};
+
+struct ParametricConfig {
+  std::size_t features_per_temperature = 600;  ///< 600 x 3 temps = 1800
+  std::vector<double> temperatures_c = {-45.0, 25.0, 125.0};
+  double weak_fraction = 0.55;  ///< fraction of noise-dominated features
+  double noise_scale = 0.02;    ///< relative measurement noise (informative)
+  double weak_noise_scale = 0.25;  ///< relative noise for weak features
+};
+
+/// One catalogue entry: fixed loadings shared by all chips.
+struct ParametricFeatureSpec {
+  std::string name;
+  ParametricFamily family;
+  double temperature_c;
+  double base;       ///< nominal value
+  double load_vth;   ///< response to dvth
+  double load_leff;  ///< response to dleff
+  double load_leak;  ///< response to log(leak_corner)
+  double load_mismatch;  ///< response to local mismatch
+  double load_defect = 0.0;  ///< response to latent defect severity; nonzero
+                             ///< only for leakage-family tests (gross defects
+                             ///< show up as quiescent-current anomalies)
+  double noise_rel;  ///< relative measurement noise
+};
+
+class ParametricTestBank {
+ public:
+  /// Builds the feature catalogue deterministically from `catalogue_rng`.
+  ParametricTestBank(ParametricConfig config, rng::Rng& catalogue_rng);
+
+  std::size_t n_features() const noexcept { return specs_.size(); }
+  const std::vector<ParametricFeatureSpec>& specs() const noexcept {
+    return specs_;
+  }
+
+  /// Measures all features for one chip (adds measurement noise from
+  /// `meas_rng`). Returns n_features() values.
+  std::vector<double> measure(const ChipLatent& chip, rng::Rng& meas_rng) const;
+
+  /// Feature metadata rows for Dataset construction.
+  std::vector<data::FeatureInfo> feature_info() const;
+
+ private:
+  ParametricConfig config_;
+  std::vector<ParametricFeatureSpec> specs_;
+};
+
+}  // namespace vmincqr::silicon

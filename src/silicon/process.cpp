@@ -1,0 +1,49 @@
+#include "silicon/process.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmincqr::silicon {
+
+ProcessModel::ProcessModel(ProcessConfig config) : config_(config) {
+  if (config_.defect_rate < 0.0 || config_.defect_rate > 1.0) {
+    throw std::invalid_argument("ProcessModel: defect_rate outside [0, 1]");
+  }
+  if (config_.sigma_vth < 0.0 || config_.sigma_leff < 0.0 ||
+      config_.sigma_mismatch < 0.0) {
+    throw std::invalid_argument("ProcessModel: negative sigma");
+  }
+}
+
+ChipLatent ProcessModel::sample(rng::Rng& rng) const {
+  ChipLatent chip;
+  chip.dvth = rng.normal(0.0, config_.sigma_vth);
+  chip.dleff = rng.normal(0.0, config_.sigma_leff);
+  // Leakage correlates with threshold voltage: low-Vth chips leak more.
+  const double leak_noise = rng.normal(0.0, config_.sigma_leak_log);
+  chip.leak_corner =
+      std::exp(-chip.dvth / (config_.sigma_vth + 1e-12) * 0.3 + leak_noise);
+  chip.mismatch = std::abs(rng.normal(0.0, config_.sigma_mismatch));
+  // Aging activity is partially predictable from the leakage corner: leaky
+  // chips dissipate more, run hotter, and wear out faster. The residual
+  // (chip-specific workload/usage) stays latent — only the on-chip monitors
+  // observe its effect, which is the information gap behind Table IV.
+  chip.activity = std::exp(0.4 * std::log(chip.leak_corner) +
+                           rng.normal(0.0, config_.sigma_activity_log));
+  if (rng.bernoulli(config_.defect_rate)) {
+    // Exponential severity via inverse-CDF on a uniform draw.
+    const double u = rng.uniform(1e-12, 1.0);
+    chip.defect = -std::log(u) * config_.defect_scale;
+  }
+  return chip;
+}
+
+std::vector<ChipLatent> ProcessModel::sample_population(std::size_t n,
+                                                        rng::Rng& rng) const {
+  std::vector<ChipLatent> chips;
+  chips.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) chips.push_back(sample(rng));
+  return chips;
+}
+
+}  // namespace vmincqr::silicon

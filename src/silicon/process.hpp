@@ -1,0 +1,56 @@
+// Process-variation model for the synthetic chip population.
+//
+// The paper's data comes from 156 proprietary 5nm automotive chips; this
+// module is the documented substitution (DESIGN.md Sec. 1). Each chip gets a
+// small set of latent physical parameters; every observable quantity
+// (parametric tests, monitor readings, SCAN Vmin) is generated downstream of
+// these latents, so features and labels share exactly the causal structure
+// the paper's algorithms exploit.
+#pragma once
+
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace vmincqr::silicon {
+
+/// Latent physical state of one chip (units chosen so magnitudes are
+/// physically plausible for a 5nm node).
+struct ChipLatent {
+  double dvth = 0.0;        ///< global threshold-voltage shift (V), N(0, sigma)
+  double dleff = 0.0;       ///< effective channel-length variation (fraction)
+  double leak_corner = 1.0; ///< leakage corner multiplier (lognormal, ~1)
+  double mismatch = 0.0;    ///< local-mismatch severity (>= 0)
+  double activity = 1.0;    ///< aging activity factor (lognormal, ~1)
+  double defect = 0.0;      ///< latent defect severity; 0 for healthy chips
+};
+
+/// Population-level distribution parameters.
+struct ProcessConfig {
+  double sigma_vth = 0.012;      ///< std of dvth (V) — ~12 mV global spread
+  double sigma_leff = 0.02;      ///< std of dleff (fraction)
+  double sigma_leak_log = 0.25;  ///< log-std of leakage corner
+  double sigma_mismatch = 0.5;   ///< scale of |N(0,1)| mismatch severity
+  double sigma_activity_log = 0.40;  ///< log-std of the aging activity factor
+  double defect_rate = 0.05;     ///< fraction of chips with a latent defect
+  double defect_scale = 1.0;     ///< mean severity of defects (exponential)
+};
+
+/// Samples chip latents i.i.d. from the population distribution.
+class ProcessModel {
+ public:
+  explicit ProcessModel(ProcessConfig config = {});
+
+  /// Draws a single chip. Deterministic in the RNG state.
+  ChipLatent sample(rng::Rng& rng) const;
+
+  /// Draws a population of n chips.
+  std::vector<ChipLatent> sample_population(std::size_t n, rng::Rng& rng) const;
+
+  const ProcessConfig& config() const noexcept { return config_; }
+
+ private:
+  ProcessConfig config_;
+};
+
+}  // namespace vmincqr::silicon

@@ -1,0 +1,151 @@
+#include "silicon/structural.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "netlist/sta.hpp"
+
+namespace vmincqr::silicon {
+
+namespace {
+
+/// Per-chip gate-level state feeding the STA threshold-shift hook.
+struct ChipGateState {
+  const ChipLatent* chip = nullptr;
+  const AgingModel* aging = nullptr;
+  const netlist::Netlist* design = nullptr;
+  std::vector<double> local_mismatch;  ///< per-gate Vth offset (V)
+  double age_shift = 0.0;              ///< chip-level aging dVth at read point
+
+  double operator()(std::size_t gate_index) const {
+    const auto& gate = design->gates()[gate_index];
+    return chip->dvth + local_mismatch[gate_index] +
+           gate.aging_weight * age_shift;
+  }
+};
+
+}  // namespace
+
+StructuralDataset generate_structural_dataset(const StructuralConfig& config) {
+  if (config.n_chips == 0 || config.read_points_hours.empty() ||
+      config.vmin_temperatures_c.empty() || config.n_ring_oscillators == 0) {
+    throw std::invalid_argument(
+        "generate_structural_dataset: empty configuration");
+  }
+
+  rng::Rng root(config.seed);
+  rng::Rng design_rng = root.fork();
+  rng::Rng population_rng = root.fork();
+  rng::Rng measurement_rng = root.fork();
+
+  const netlist::Netlist design =
+      netlist::Netlist::random(config.design, design_rng);
+  const ProcessModel process(config.process);
+  const AgingModel aging(config.aging);
+
+  // Derive the clock period: the nominal chip (zero shifts) must close
+  // timing exactly at target_nominal_vmin, 25 C.
+  const netlist::TimingResult nominal = netlist::run_sta(
+      design, config.delay, config.target_nominal_vmin, 25.0, nullptr);
+  if (!nominal.functional) {
+    throw std::runtime_error(
+        "generate_structural_dataset: design not functional at the target "
+        "nominal Vmin");
+  }
+  const double clock_period_ns = nominal.worst_arrival_ns;
+
+  // RO sites: fixed per design (catalogue), with per-site nominal offsets.
+  std::vector<netlist::RingOscillator> ros(config.n_ring_oscillators);
+  for (auto& ro : ros) {
+    ro.n_stages = config.ro_stages;
+    ro.stage_mismatch = design_rng.normal(0.0, 0.002);
+  }
+
+  std::vector<ChipLatent> latents =
+      process.sample_population(config.n_chips, population_rng);
+
+  // Feature catalogue: 3 IDDQ proxies + ROs per read point.
+  std::vector<data::FeatureInfo> info;
+  info.push_back({"iddq_proxy_a", data::FeatureType::kParametric, 25.0, 0.0});
+  info.push_back({"iddq_proxy_b", data::FeatureType::kParametric, 125.0, 0.0});
+  info.push_back({"vth_probe", data::FeatureType::kParametric, 25.0, 0.0});
+  for (double t : config.read_points_hours) {
+    for (std::size_t r = 0; r < ros.size(); ++r) {
+      info.push_back({"ro_" + std::to_string(r) + "_t" +
+                          std::to_string(static_cast<int>(t)),
+                      data::FeatureType::kRodMonitor, 25.0, t});
+    }
+  }
+
+  linalg::Matrix features(config.n_chips, info.size());
+  std::vector<data::LabelSeries> labels;
+  for (double t : config.read_points_hours) {
+    for (double temp : config.vmin_temperatures_c) {
+      labels.push_back({t, temp, linalg::Vector(config.n_chips, 0.0)});
+    }
+  }
+
+  for (std::size_t chip_idx = 0; chip_idx < config.n_chips; ++chip_idx) {
+    rng::Rng chip_rng = measurement_rng.fork();
+    const ChipLatent& chip = latents[chip_idx];
+
+    ChipGateState state;
+    state.chip = &chip;
+    state.aging = &aging;
+    state.design = &design;
+    state.local_mismatch.resize(design.gates().size());
+    const double local_sigma =
+        config.local_mismatch_sigma * (0.5 + chip.mismatch);
+    for (std::size_t g = 0; g < design.gates().size(); ++g) {
+      state.local_mismatch[g] =
+          chip_rng.normal(0.0, local_sigma) *
+          design.gates()[g].mismatch_sensitivity;
+    }
+
+    // Parametric proxies (leakage is exponential in -Vth).
+    std::size_t col = 0;
+    features(chip_idx, col++) =
+        std::exp(-chip.dvth / 0.02) * chip.leak_corner *
+        (1.0 + chip_rng.normal(0.0, 0.03));
+    features(chip_idx, col++) =
+        std::exp(-chip.dvth / 0.015) * chip.leak_corner * 8.0 *
+        (1.0 + chip_rng.normal(0.0, 0.03));
+    features(chip_idx, col++) =
+        0.30 + chip.dvth + chip_rng.normal(0.0, 0.0015);
+
+    // RO frequencies per read point (25 C readout).
+    for (double t : config.read_points_hours) {
+      const double age = aging.delta_vth(chip, t);
+      for (const auto& ro : ros) {
+        const double freq = netlist::ring_oscillator_frequency(
+            ro, config.delay, config.ro_vdd, chip.dvth + age, 25.0);
+        features(chip_idx, col++) =
+            freq * (1.0 + chip_rng.normal(0.0, config.ro_noise_rel));
+      }
+    }
+    if (col != info.size()) {
+      throw std::logic_error("generate_structural_dataset: column mismatch");
+    }
+
+    // Vmin labels from timing closure.
+    std::size_t series = 0;
+    for (double t : config.read_points_hours) {
+      state.age_shift = aging.delta_vth(chip, t);
+      for (double temp : config.vmin_temperatures_c) {
+        const auto solution = netlist::solve_vmin(
+            design, config.delay, clock_period_ns, temp,
+            [&state](std::size_t g) { return state(g); });
+        double vmin = solution.feasible ? solution.vmin : 1.25;
+        vmin += chip_rng.normal(0.0, config.vmin_noise_v);
+        labels[series++].values[chip_idx] = vmin;
+      }
+    }
+  }
+
+  StructuralDataset out{
+      data::Dataset(std::move(features), std::move(info), std::move(labels)),
+      std::move(latents), clock_period_ns};
+  return out;
+}
+
+}  // namespace vmincqr::silicon

@@ -1,0 +1,54 @@
+// Structural dataset generator: the same experiment as silicon/dataset_gen
+// but with SCAN Vmin *computed* from gate-level timing closure (netlist/
+// sta + bisection) instead of a closed-form response surface, and with ring
+// oscillators simulated from the same standard-cell delay law.
+//
+// This is the higher-fidelity (slower) path of the substitution described
+// in DESIGN.md: the closed-form generator calibrates magnitudes to the
+// paper; this one derives them from a physical delay model, and is used to
+// check that the CQR results are not an artifact of the closed form
+// (bench/ablation_design, tests/structural_test).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "netlist/ring_oscillator.hpp"
+#include "netlist/vmin_solver.hpp"
+#include "silicon/aging.hpp"
+#include "silicon/process.hpp"
+
+namespace vmincqr::silicon {
+
+struct StructuralConfig {
+  std::size_t n_chips = 120;
+  std::uint64_t seed = 77;
+  netlist::RandomNetlistConfig design;    ///< the synthetic design
+  netlist::DelayModelConfig delay;        ///< shared cell delay law
+  /// Clock period is auto-derived so the nominal (zero-shift) chip has
+  /// Vmin == target_nominal_vmin at 25 C, time 0.
+  double target_nominal_vmin = 0.55;
+  std::size_t n_ring_oscillators = 32;
+  std::size_t ro_stages = 31;
+  double ro_vdd = 0.75;                   ///< RO readout supply
+  double ro_noise_rel = 0.004;            ///< RO measurement repeatability
+  double vmin_noise_v = 0.0015;           ///< ATE Vmin step/repeatability
+  double local_mismatch_sigma = 0.0045;   ///< per-gate Vth mismatch (V)
+  std::vector<double> read_points_hours = standard_read_points();
+  std::vector<double> vmin_temperatures_c = {-45.0, 25.0, 125.0};
+  ProcessConfig process;
+  AgingConfig aging;
+};
+
+struct StructuralDataset {
+  data::Dataset dataset;
+  std::vector<ChipLatent> latents;
+  double clock_period_ns = 0.0;  ///< derived timing constraint
+};
+
+/// Generates the structural experiment. Deterministic in config.seed.
+/// Feature layout: [IDDQ proxies x3 at t=0] then [RO frequency x n_ros per
+/// read point]. Labels: Vmin per (read point, temperature).
+/// Throws std::invalid_argument on an empty configuration and
+/// std::runtime_error if the auto-derived clock is infeasible.
+StructuralDataset generate_structural_dataset(const StructuralConfig& config);
+
+}  // namespace vmincqr::silicon

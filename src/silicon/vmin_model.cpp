@@ -1,0 +1,71 @@
+#include "silicon/vmin_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vmincqr::silicon {
+
+VminModel::VminModel(VminConfig config, AgingConfig aging)
+    : config_(config), aging_(aging) {
+  if (config_.nominal_v <= 0.0) {
+    throw std::invalid_argument("VminModel: nominal_v must be positive");
+  }
+}
+
+double VminModel::k_vth(double temperature_c) const {
+  // Piecewise-linear interpolation across the three test regimes.
+  if (temperature_c <= 25.0) {
+    const double f = (temperature_c + 45.0) / 70.0;  // -45 -> 0, 25 -> 1
+    return config_.k_vth_cold + (config_.k_vth_room - config_.k_vth_cold) * f;
+  }
+  const double f = (temperature_c - 25.0) / 100.0;  // 25 -> 0, 125 -> 1
+  return config_.k_vth_room + (config_.k_vth_hot - config_.k_vth_room) * f;
+}
+
+double VminModel::expected_vmin(const ChipLatent& chip, double hours,
+                                double temperature_c) const {
+  double v = config_.nominal_v;
+  // Temperature offsets (linear blend matching k_vth's regimes).
+  if (temperature_c <= 25.0) {
+    const double f = (25.0 - temperature_c) / 70.0;
+    v += config_.cold_offset * f;
+  } else {
+    const double f = (temperature_c - 25.0) / 100.0;
+    v += config_.hot_offset * f;
+  }
+  // Worst-path limited core: the binding critical path sets the required
+  // margin; its identity shifts with the process corner and with aging,
+  // making the response nonlinear in the latents (see critical_path.hpp).
+  const double age = config_.k_aging * aging_.delta_vth(chip, hours);
+  v += k_vth(temperature_c) *
+       worst_path_score(standard_critical_paths(), chip, age);
+  v += config_.k_leff * chip.dleff;
+  v += config_.k_mismatch * chip.mismatch;
+  double defect_effect = config_.k_defect * chip.defect;
+  if (temperature_c <= 25.0) {
+    const double f = (25.0 - temperature_c) / 70.0;
+    defect_effect *= 1.0 + (config_.defect_cold_boost - 1.0) * f;
+  }
+  v += defect_effect;
+  return v;
+}
+
+double VminModel::noise_stddev(const ChipLatent& chip,
+                               double temperature_c) const {
+  double sd = config_.noise_base + config_.noise_mismatch * chip.mismatch +
+              config_.noise_defect * chip.defect +
+              config_.noise_leak * chip.leak_corner;
+  if (temperature_c <= 25.0) {
+    const double f = (25.0 - temperature_c) / 70.0;
+    sd *= 1.0 + (config_.noise_cold_boost - 1.0) * f;
+  }
+  return sd;
+}
+
+double VminModel::measure_vmin(const ChipLatent& chip, double hours,
+                               double temperature_c, rng::Rng& meas_rng) const {
+  return expected_vmin(chip, hours, temperature_c) +
+         meas_rng.normal(0.0, noise_stddev(chip, temperature_c));
+}
+
+}  // namespace vmincqr::silicon

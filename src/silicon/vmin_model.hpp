@@ -1,0 +1,67 @@
+// SCAN Vmin response surface: maps a chip's latent state, stress time, and
+// test temperature to the measured minimum operating voltage.
+//
+// Calibrated so population statistics match the paper's reported scales:
+// RMSE of good predictors in the 2.5-7 mV range, calibrated interval widths
+// of 15-60 mV, wider spread at -45C than at 25C (Table III), and a defect
+// tail that motivates interval-based screening.
+#pragma once
+
+#include "silicon/aging.hpp"
+#include "silicon/critical_path.hpp"
+#include "silicon/process.hpp"
+
+namespace vmincqr::silicon {
+
+struct VminConfig {
+  double nominal_v = 0.550;  ///< healthy median Vmin at 25C, time 0 (V)
+  /// Additive temperature offsets (V) at the three standard temperatures.
+  double cold_offset = 0.045;   ///< -45C: cold Vt dominance
+  double hot_offset = 0.015;    ///< 125C: leakage/IR limited
+  /// Temperature scaling of the worst-path criticality (cold Vt dominance
+  /// makes paths more voltage-sensitive at -45C).
+  double k_vth_cold = 1.6;
+  double k_vth_room = 0.9;
+  double k_vth_hot = 1.1;
+  double k_leff = 0.10;      ///< global (non-path) length sensitivity
+  double k_mismatch = 0.004; ///< global mismatch floor (V per unit severity)
+  double k_aging = 1.0;      ///< scales the aging shift fed to the paths
+  double k_defect = 0.030;   ///< V per unit defect severity
+  double defect_cold_boost = 1.6;  ///< defects bite harder at cold
+  /// Heteroscedastic measurement/environment noise (V). The leakage term
+  /// makes the noise level *observable* (IDDQ tests expose the leakage
+  /// corner), which is what input-adaptive interval methods exploit.
+  double noise_base = 0.0025;
+  double noise_mismatch = 0.0025;
+  double noise_defect = 0.006;
+  double noise_leak = 0.0015;     ///< per unit leakage-corner multiplier
+  double noise_cold_boost = 1.8;  ///< -45C testing is noisier
+};
+
+class VminModel {
+ public:
+  explicit VminModel(VminConfig config = {}, AgingConfig aging = {});
+
+  /// Noise-free (expected) Vmin in volts.
+  double expected_vmin(const ChipLatent& chip, double hours,
+                       double temperature_c) const;
+
+  /// Measured Vmin: expected value plus heteroscedastic noise.
+  double measure_vmin(const ChipLatent& chip, double hours,
+                      double temperature_c, rng::Rng& meas_rng) const;
+
+  /// Standard deviation of the measurement noise for this chip/condition —
+  /// exposed so tests can verify the heteroscedasticity CQR exploits.
+  double noise_stddev(const ChipLatent& chip, double temperature_c) const;
+
+  const VminConfig& config() const noexcept { return config_; }
+  const AgingModel& aging() const noexcept { return aging_; }
+
+ private:
+  double k_vth(double temperature_c) const;
+
+  VminConfig config_;
+  AgingModel aging_;
+};
+
+}  // namespace vmincqr::silicon

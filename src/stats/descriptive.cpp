@@ -1,0 +1,63 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vmincqr::stats {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("mean: empty input");
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double sample_variance(const std::vector<double>& v) {
+  if (v.size() < 2) throw std::invalid_argument("sample_variance: n < 2");
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("pearson: length mismatch");
+  }
+  if (a.empty()) throw std::invalid_argument("pearson: empty input");
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  const double denom = std::sqrt(saa * sbb);
+  if (denom <= 0.0 || !std::isfinite(denom)) return 0.0;
+  return std::clamp(sab / denom, -1.0, 1.0);
+}
+
+double min_value(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace vmincqr::stats

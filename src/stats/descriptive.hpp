@@ -1,0 +1,29 @@
+// Descriptive statistics: means, variances, correlation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vmincqr::stats {
+
+/// Arithmetic mean. Throws std::invalid_argument on empty input.
+double mean(const std::vector<double>& v);
+
+/// Population variance (divides by n). Throws on empty input.
+double variance(const std::vector<double>& v);
+
+/// Sample variance (divides by n-1). Throws if n < 2.
+double sample_variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double stddev(const std::vector<double>& v);
+
+/// Pearson correlation coefficient in [-1, 1]. Returns 0 when either input
+/// is (numerically) constant. Throws on length mismatch or empty input.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Min / max helpers. Throw on empty input.
+double min_value(const std::vector<double>& v);
+double max_value(const std::vector<double>& v);
+
+}  // namespace vmincqr::stats

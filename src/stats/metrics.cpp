@@ -1,0 +1,88 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace vmincqr::stats {
+
+namespace {
+void check_pair(const std::vector<double>& a, const std::vector<double>& b,
+                const char* who) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(who) + ": length mismatch");
+  }
+  if (a.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty input");
+  }
+}
+}  // namespace
+
+double r_squared(const std::vector<double>& truth,
+                 const std::vector<double>& pred) {
+  check_pair(truth, pred, "r_squared");
+  const double m = mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check_pair(truth, pred, "rmse");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double mae(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check_pair(truth, pred, "mae");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - pred[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double interval_coverage(const std::vector<double>& truth,
+                         const std::vector<double>& lower,
+                         const std::vector<double>& upper) {
+  check_pair(truth, lower, "interval_coverage");
+  check_pair(truth, upper, "interval_coverage");
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] >= lower[i] && truth[i] <= upper[i]) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(truth.size());
+}
+
+double mean_interval_length(const std::vector<double>& lower,
+                            const std::vector<double>& upper) {
+  check_pair(lower, upper, "mean_interval_length");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < lower.size(); ++i) acc += upper[i] - lower[i];
+  return acc / static_cast<double>(lower.size());
+}
+
+double pinball_loss(const std::vector<double>& truth,
+                    const std::vector<double>& pred, double q) {
+  check_pair(truth, pred, "pinball_loss");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("pinball_loss: q outside [0, 1]");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double diff = truth[i] - pred[i];
+    acc += std::max(q * diff, (q - 1.0) * diff);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+}  // namespace vmincqr::stats

@@ -1,0 +1,38 @@
+// Evaluation metrics for point prediction (R^2, RMSE, MAE) and region
+// prediction (empirical coverage, mean interval length) — Sec. IV-B of the
+// paper.
+#pragma once
+
+#include <vector>
+
+namespace vmincqr::stats {
+
+/// Coefficient of determination. Returns 1 for a perfect fit. When the
+/// truth is constant, returns 1.0 if predictions match exactly, else -inf
+/// is avoided by returning 0.0 (convention: no variance to explain).
+/// Throws std::invalid_argument on mismatch or empty input.
+double r_squared(const std::vector<double>& truth,
+                 const std::vector<double>& pred);
+
+/// Root mean squared error. Throws on mismatch or empty input.
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Mean absolute error. Throws on mismatch or empty input.
+double mae(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Fraction of truth values inside [lower_i, upper_i]. Throws on mismatch or
+/// empty input.
+double interval_coverage(const std::vector<double>& truth,
+                         const std::vector<double>& lower,
+                         const std::vector<double>& upper);
+
+/// Mean of (upper_i - lower_i). Throws on mismatch or empty input.
+double mean_interval_length(const std::vector<double>& lower,
+                            const std::vector<double>& upper);
+
+/// Mean pinball (quantile) loss at level q — Eq. (5) of the paper.
+/// Throws on mismatch, empty input, or q outside [0, 1].
+double pinball_loss(const std::vector<double>& truth,
+                    const std::vector<double>& pred, double q);
+
+}  // namespace vmincqr::stats

@@ -1,0 +1,144 @@
+#include "testgen/fault_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vmincqr::testgen {
+
+std::vector<StuckFault> enumerate_stuck_faults(const netlist::Netlist& nl) {
+  std::vector<StuckFault> faults;
+  faults.reserve(2 * nl.n_nodes());
+  for (std::size_t node = 0; node < nl.n_nodes(); ++node) {
+    faults.push_back({node, false});
+    faults.push_back({node, true});
+  }
+  return faults;
+}
+
+std::vector<std::size_t> scan_observation_points(const netlist::Netlist& nl) {
+  std::vector<std::size_t> points = nl.outputs();
+  for (std::size_t g = 0; g < nl.gates().size(); ++g) {
+    if (nl.gates()[g].cell == 5) {  // DFF_CK2Q: scan-observable
+      points.push_back(nl.n_inputs() + g);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+namespace {
+
+// Extracts the per-input word at word index w.
+std::vector<PatternWord> word_slice(
+    const std::vector<std::vector<PatternWord>>& input_words, std::size_t w) {
+  std::vector<PatternWord> slice(input_words.size());
+  for (std::size_t i = 0; i < input_words.size(); ++i) {
+    slice[i] = input_words[i][w];
+  }
+  return slice;
+}
+
+}  // namespace
+
+FaultSimResult simulate_faults(
+    const netlist::Netlist& nl,
+    const std::vector<std::vector<PatternWord>>& input_words,
+    const std::vector<StuckFault>& faults) {
+  if (input_words.size() != nl.n_inputs()) {
+    throw std::invalid_argument("simulate_faults: input count mismatch");
+  }
+  const std::size_t n_words = input_words.empty() ? 0 : input_words[0].size();
+  for (const auto& words : input_words) {
+    if (words.size() != n_words) {
+      throw std::invalid_argument("simulate_faults: ragged pattern words");
+    }
+  }
+
+  const LogicSimulator sim(nl);
+  const auto observe = scan_observation_points(nl);
+  FaultSimResult result;
+  result.n_faults = faults.size();
+  result.detected.assign(faults.size(), false);
+
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const auto inputs = word_slice(input_words, w);
+    const auto good = sim.simulate(inputs);
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (result.detected[f]) continue;  // fault dropping
+      const auto bad = sim.simulate_with_fault(inputs, faults[f].node,
+                                               faults[f].stuck_value);
+      for (auto node : observe) {
+        if (good[node] != bad[node]) {
+          result.detected[f] = true;
+          ++result.n_detected;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+AtpgResult random_atpg(const netlist::Netlist& nl, double target_coverage,
+                       std::size_t max_pattern_words, rng::Rng& rng) {
+  if (target_coverage < 0.0 || target_coverage > 1.0) {
+    throw std::invalid_argument("random_atpg: target outside [0, 1]");
+  }
+  if (max_pattern_words == 0) {
+    throw std::invalid_argument("random_atpg: zero pattern budget");
+  }
+
+  const auto all_faults = enumerate_stuck_faults(nl);
+  std::vector<StuckFault> remaining = all_faults;
+  const LogicSimulator sim(nl);
+  const auto observe = scan_observation_points(nl);
+
+  AtpgResult result;
+  result.input_words.assign(nl.n_inputs(), {});
+  std::size_t detected_total = 0;
+
+  for (std::size_t w = 0; w < max_pattern_words; ++w) {
+    // One fresh random word of 64 patterns.
+    std::vector<PatternWord> word(nl.n_inputs());
+    for (auto& v : word) {
+      v = (static_cast<PatternWord>(rng.uniform_int(0, 0xFFFFFFFFLL)) << 32) |
+          static_cast<PatternWord>(rng.uniform_int(0, 0xFFFFFFFFLL));
+    }
+    for (std::size_t i = 0; i < nl.n_inputs(); ++i) {
+      result.input_words[i].push_back(word[i]);
+    }
+
+    // Fault-simulate the remaining faults against just this word.
+    const auto good = sim.simulate(word);
+    std::vector<StuckFault> still_undetected;
+    still_undetected.reserve(remaining.size());
+    for (const auto& fault : remaining) {
+      const auto bad =
+          sim.simulate_with_fault(word, fault.node, fault.stuck_value);
+      bool hit = false;
+      for (auto node : observe) {
+        if (good[node] != bad[node]) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        ++detected_total;
+      } else {
+        still_undetected.push_back(fault);
+      }
+    }
+    remaining = std::move(still_undetected);
+
+    result.coverage = static_cast<double>(detected_total) /
+                      static_cast<double>(all_faults.size());
+    if (result.coverage >= target_coverage) break;
+  }
+  result.n_patterns = result.input_words.empty()
+                          ? 0
+                          : 64 * result.input_words[0].size();
+  return result;
+}
+
+}  // namespace vmincqr::testgen

@@ -1,0 +1,62 @@
+// Single-stuck-at fault model, fault simulation, and a random-pattern ATPG
+// loop — the structural-test machinery behind the paper's SCAN Vmin flow.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "testgen/logic.hpp"
+
+namespace vmincqr::testgen {
+
+/// One single-stuck-at fault site.
+struct StuckFault {
+  std::size_t node = 0;  ///< netlist node whose value is forced
+  bool stuck_value = false;
+};
+
+/// The collapsed-ish fault list: stuck-at-0 and stuck-at-1 at every node
+/// (primary inputs and gate outputs).
+std::vector<StuckFault> enumerate_stuck_faults(const netlist::Netlist& nl);
+
+/// SCAN observation points: the primary outputs plus every DFF node (scan
+/// chains make all state elements observable — the reason structural SCAN
+/// patterns reach the coverage ATE flows rely on).
+std::vector<std::size_t> scan_observation_points(const netlist::Netlist& nl);
+
+struct FaultSimResult {
+  std::size_t n_detected = 0;
+  std::size_t n_faults = 0;
+  std::vector<bool> detected;  ///< per fault, aligned with the fault list
+  double coverage() const {
+    return n_faults ? static_cast<double>(n_detected) /
+                          static_cast<double>(n_faults)
+                    : 0.0;
+  }
+};
+
+/// Simulates every fault against the given packed pattern words (one vector
+/// of words per primary input, all the same length). A fault is detected if
+/// any primary output differs from the fault-free response in any pattern.
+/// Throws std::invalid_argument on ragged pattern words.
+FaultSimResult simulate_faults(const netlist::Netlist& nl,
+                               const std::vector<std::vector<PatternWord>>&
+                                   input_words,
+                               const std::vector<StuckFault>& faults);
+
+struct AtpgResult {
+  /// Packed patterns: one vector of words per primary input.
+  std::vector<std::vector<PatternWord>> input_words;
+  double coverage = 0.0;
+  std::size_t n_patterns = 0;  ///< 64 * words
+};
+
+/// Random-pattern ATPG: adds 64-pattern words until the target stuck-at
+/// coverage is reached or the pattern budget is exhausted. Faults already
+/// detected are dropped from later passes (standard fault dropping).
+/// Throws std::invalid_argument for target outside [0, 1] or zero budget.
+AtpgResult random_atpg(const netlist::Netlist& nl, double target_coverage,
+                       std::size_t max_pattern_words, rng::Rng& rng);
+
+}  // namespace vmincqr::testgen

@@ -1,0 +1,91 @@
+#include "testgen/logic.hpp"
+
+#include <stdexcept>
+
+namespace vmincqr::testgen {
+
+PatternWord evaluate_gate(std::size_t cell_index,
+                          const std::vector<PatternWord>& fanin_values) {
+  if (fanin_values.empty()) {
+    throw std::invalid_argument("evaluate_gate: no fanins");
+  }
+  switch (cell_index) {
+    case 0:  // INV_X1
+      return ~fanin_values[0];
+    case 1:  // BUF_X2
+      return fanin_values[0];
+    case 2: {  // NAND2_X1 (n-ary)
+      PatternWord acc = ~PatternWord{0};
+      for (auto v : fanin_values) acc &= v;
+      return ~acc;
+    }
+    case 3: {  // NOR2_X1 (n-ary)
+      PatternWord acc = 0;
+      for (auto v : fanin_values) acc |= v;
+      return ~acc;
+    }
+    case 4: {  // AOI21_X1: !((f0 & f1) | flast)
+      const PatternWord a = fanin_values[0];
+      const PatternWord b = fanin_values.size() > 1 ? fanin_values[1] : a;
+      const PatternWord c = fanin_values.back();
+      return ~((a & b) | c);
+    }
+    case 5:  // DFF_CK2Q (transparent)
+      return fanin_values[0];
+    default:
+      throw std::invalid_argument("evaluate_gate: unknown cell index");
+  }
+}
+
+std::vector<PatternWord> LogicSimulator::simulate_impl(
+    const std::vector<PatternWord>& inputs, std::size_t fault_node,
+    bool stuck_value, bool has_fault) const {
+  if (inputs.size() != netlist_.n_inputs()) {
+    throw std::invalid_argument("LogicSimulator: input count mismatch");
+  }
+  std::vector<PatternWord> values(netlist_.n_nodes(), 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) values[i] = inputs[i];
+  if (has_fault && fault_node < netlist_.n_inputs()) {
+    values[fault_node] = stuck_value ? ~PatternWord{0} : PatternWord{0};
+  }
+
+  std::vector<PatternWord> fanin_values;
+  const auto& gates = netlist_.gates();
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    const std::size_t node = netlist_.n_inputs() + g;
+    fanin_values.clear();
+    for (auto fanin : gates[g].fanins) fanin_values.push_back(values[fanin]);
+    values[node] = evaluate_gate(gates[g].cell, fanin_values);
+    if (has_fault && node == fault_node) {
+      values[node] = stuck_value ? ~PatternWord{0} : PatternWord{0};
+    }
+  }
+  return values;
+}
+
+std::vector<PatternWord> LogicSimulator::simulate(
+    const std::vector<PatternWord>& inputs) const {
+  return simulate_impl(inputs, 0, false, false);
+}
+
+std::vector<PatternWord> LogicSimulator::simulate_with_fault(
+    const std::vector<PatternWord>& inputs, std::size_t fault_node,
+    bool stuck_value) const {
+  if (fault_node >= netlist_.n_nodes()) {
+    throw std::invalid_argument("LogicSimulator: fault node out of range");
+  }
+  return simulate_impl(inputs, fault_node, stuck_value, true);
+}
+
+std::vector<PatternWord> LogicSimulator::outputs_of(
+    const std::vector<PatternWord>& node_values) const {
+  if (node_values.size() != netlist_.n_nodes()) {
+    throw std::invalid_argument("LogicSimulator: node value size mismatch");
+  }
+  std::vector<PatternWord> out;
+  out.reserve(netlist_.outputs().size());
+  for (auto node : netlist_.outputs()) out.push_back(node_values[node]);
+  return out;
+}
+
+}  // namespace vmincqr::testgen

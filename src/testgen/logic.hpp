@@ -1,0 +1,64 @@
+// Bit-parallel logic simulation over the netlist — the functional view of
+// the same design whose timing view lives in netlist/sta.
+//
+// The paper's Vmin is measured with structural SCAN patterns; this module
+// provides the pattern machinery: 64 test patterns are packed per
+// std::uint64_t word and evaluated in one pass, the standard trick of
+// fault-simulation engines.
+//
+// Cell logic functions (by library index, n-ary over the gate's fanins):
+//   INV_X1  -> NOT(f0)            BUF_X2   -> f0
+//   NAND2_X1-> NOT(AND(fanins))   NOR2_X1  -> NOT(OR(fanins))
+//   AOI21_X1-> NOT((f0 AND f1) OR flast)
+//   DFF_CK2Q-> f0 (transparent: combinational SCAN capture view)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vmincqr::testgen {
+
+/// One packed pattern set: word w, bit b = value of that signal in pattern
+/// 64*w_index + b. All vectors are indexed by netlist node id.
+using PatternWord = std::uint64_t;
+
+class LogicSimulator {
+ public:
+  /// Binds to a netlist (kept by reference; must outlive the simulator).
+  explicit LogicSimulator(const netlist::Netlist& nl) : netlist_(nl) {}
+
+  /// Simulates one word of 64 packed patterns.
+  /// `inputs` holds one word per primary input.
+  /// Returns one word per node (inputs echoed through).
+  /// Throws std::invalid_argument on input-count mismatch.
+  std::vector<PatternWord> simulate(
+      const std::vector<PatternWord>& inputs) const;
+
+  /// Same, but with a single stuck-at fault injected at `fault_node`
+  /// (its value forced to all-0 or all-1 before fanout).
+  std::vector<PatternWord> simulate_with_fault(
+      const std::vector<PatternWord>& inputs, std::size_t fault_node,
+      bool stuck_value) const;
+
+  /// Extracts the primary-output words from a full node-value vector.
+  std::vector<PatternWord> outputs_of(
+      const std::vector<PatternWord>& node_values) const;
+
+ private:
+  std::vector<PatternWord> simulate_impl(const std::vector<PatternWord>& inputs,
+                                         std::size_t fault_node,
+                                         bool stuck_value,
+                                         bool has_fault) const;
+
+  const netlist::Netlist& netlist_;
+};
+
+/// Evaluates one gate's logic function over already-computed fanin words.
+/// Exposed for direct unit testing. Throws std::invalid_argument on an
+/// unknown cell index.
+PatternWord evaluate_gate(std::size_t cell_index,
+                          const std::vector<PatternWord>& fanin_values);
+
+}  // namespace vmincqr::testgen

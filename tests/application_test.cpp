@@ -1,0 +1,130 @@
+// Tests for the application layer: screening policies and Vmin binning.
+#include <gtest/gtest.h>
+
+#include "core/binning.hpp"
+#include "core/screening.hpp"
+
+namespace vmincqr::core {
+namespace {
+
+TEST(Screening, IntervalRuleDecisions) {
+  EXPECT_EQ(screen_interval(0.50, 0.60, 0.65), ScreenDecision::kPass);
+  EXPECT_EQ(screen_interval(0.66, 0.70, 0.65), ScreenDecision::kFail);
+  EXPECT_EQ(screen_interval(0.60, 0.70, 0.65), ScreenDecision::kRetest);
+  // Boundary: upper exactly at spec passes; lower exactly at spec retests.
+  EXPECT_EQ(screen_interval(0.60, 0.65, 0.65), ScreenDecision::kPass);
+  EXPECT_EQ(screen_interval(0.65, 0.70, 0.65), ScreenDecision::kRetest);
+  EXPECT_THROW(screen_interval(0.7, 0.6, 0.65), std::invalid_argument);
+}
+
+TEST(Screening, PointRuleDecisions) {
+  EXPECT_EQ(screen_point(0.60, 0.02, 0.65), ScreenDecision::kPass);
+  EXPECT_EQ(screen_point(0.64, 0.02, 0.65), ScreenDecision::kFail);
+  EXPECT_THROW(screen_point(0.6, -0.01, 0.65), std::invalid_argument);
+}
+
+TEST(Screening, BatchAccounting) {
+  //            chip:      A      B      C      D
+  const Vector truth = {0.60, 0.70, 0.60, 0.70};
+  const Vector lower = {0.55, 0.55, 0.66, 0.60};
+  const Vector upper = {0.62, 0.62, 0.70, 0.70};
+  // min_spec 0.65: A pass(good), B pass(bad->underkill),
+  // C fail(good->overkill), D retest.
+  const auto report = screen_batch_interval(truth, lower, upper, 0.65);
+  EXPECT_EQ(report.n_pass, 2u);
+  EXPECT_EQ(report.n_fail, 1u);
+  EXPECT_EQ(report.n_retest, 1u);
+  EXPECT_EQ(report.n_underkill, 1u);
+  EXPECT_EQ(report.n_overkill, 1u);
+  EXPECT_EQ(report.n_truly_bad, 2u);
+  EXPECT_DOUBLE_EQ(report.retest_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(report.underkill_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(report.overkill_rate(), 0.5);
+}
+
+TEST(Screening, BatchValidation) {
+  EXPECT_THROW(screen_batch_interval({}, {}, {}, 0.5), std::invalid_argument);
+  EXPECT_THROW(screen_batch_interval({1.0}, {1.0, 2.0}, {1.0}, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Screening, GuardBandCalibration) {
+  // Predictions systematically 30 mV below truth: need >= 0.03 guard band
+  // to eliminate underkill.
+  Vector truth, pred;
+  for (int i = 0; i < 50; ++i) {
+    truth.push_back(0.60 + 0.002 * i);
+    pred.push_back(truth.back() - 0.03);
+  }
+  const double guard = calibrate_guard_band(
+      truth, pred, 0.65, {0.0, 0.01, 0.02, 0.03, 0.05}, 0.0);
+  EXPECT_DOUBLE_EQ(guard, 0.03);
+  EXPECT_THROW(calibrate_guard_band(truth, pred, 0.65, {}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Binning, AssignsLowestSufficientBin) {
+  BinningConfig config{{0.55, 0.60, 0.65}};
+  const Vector required = {0.54, 0.55, 0.61, 0.70};
+  const Vector truth = {0.53, 0.54, 0.60, 0.69};
+  const auto result = bin_chips(required, truth, config);
+  EXPECT_EQ(result.bin_of_chip, (std::vector<int>{0, 0, 2, -1}));
+  EXPECT_EQ(result.bin_counts, (std::vector<std::size_t>{2, 0, 1}));
+  EXPECT_EQ(result.n_unbinnable, 1u);
+  EXPECT_NEAR(result.mean_voltage, (0.55 + 0.55 + 0.65) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.violation_rate, 0.0);
+}
+
+TEST(Binning, ViolationWhenTruthExceedsBin) {
+  BinningConfig config{{0.55, 0.60}};
+  const Vector required = {0.54};  // bin 0 (0.55 V)
+  const Vector truth = {0.57};     // true Vmin above the allocated bin
+  const auto result = bin_chips(required, truth, config);
+  EXPECT_DOUBLE_EQ(result.violation_rate, 1.0);
+}
+
+TEST(Binning, Validation) {
+  EXPECT_THROW(bin_chips({0.5}, {}, BinningConfig{{}}),
+               std::invalid_argument);
+  EXPECT_THROW(bin_chips({0.5}, {}, BinningConfig{{0.6, 0.6}}),
+               std::invalid_argument);
+  EXPECT_THROW(bin_chips({0.5}, {}, BinningConfig{{0.6, 0.55}}),
+               std::invalid_argument);
+  EXPECT_THROW(bin_chips({}, {}, BinningConfig{{0.6}}),
+               std::invalid_argument);
+  EXPECT_THROW(bin_chips({0.5}, {0.5, 0.6}, BinningConfig{{0.6}}),
+               std::invalid_argument);
+  EXPECT_THROW(bin_by_point({0.5}, -0.01, {}, BinningConfig{{0.6}}),
+               std::invalid_argument);
+}
+
+TEST(Binning, PointRuleAddsGuardBand) {
+  BinningConfig config{{0.55, 0.60, 0.65}};
+  const Vector predicted = {0.56};
+  const auto no_guard = bin_by_point(predicted, 0.0, {}, config);
+  const auto guarded = bin_by_point(predicted, 0.05, {}, config);
+  EXPECT_EQ(no_guard.bin_of_chip[0], 1);
+  EXPECT_EQ(guarded.bin_of_chip[0], 2);
+}
+
+TEST(Binning, VoltageSavingComputedOverCommonChips) {
+  BinningConfig config{{0.55, 0.60, 0.65}};
+  BinningResult a, b;
+  a.bin_of_chip = {0, 1, -1};
+  b.bin_of_chip = {1, 2, 0};
+  // Common chips: 0 and 1; saving = (0.60-0.55) + (0.65-0.60) over 2.
+  EXPECT_NEAR(mean_voltage_saving(a, b, config), 0.05, 1e-12);
+  BinningResult mismatched;
+  mismatched.bin_of_chip = {0};
+  EXPECT_THROW(mean_voltage_saving(a, mismatched, config),
+               std::invalid_argument);
+}
+
+TEST(Screening, DecisionToString) {
+  EXPECT_EQ(to_string(ScreenDecision::kPass), "pass");
+  EXPECT_EQ(to_string(ScreenDecision::kFail), "fail");
+  EXPECT_EQ(to_string(ScreenDecision::kRetest), "retest");
+}
+
+}  // namespace
+}  // namespace vmincqr::core

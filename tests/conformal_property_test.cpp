@@ -1,0 +1,196 @@
+// Property-based suites for the conformal coverage guarantee (Eq. 6).
+//
+// The split-conformal guarantee is marginal: over repeated draws of
+// (calibration set, test point), coverage >= 1 - alpha in expectation. We
+// verify it empirically by averaging over many seeds, for several alphas and
+// several base models, and we verify that the raw (uncalibrated) QR band
+// undercovers in the same setting — the paper's central claim (Sec. IV-F).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "conformal/cqr.hpp"
+#include "conformal/split_cp.hpp"
+#include "models/factory.hpp"
+#include "rng/rng.hpp"
+#include "stats/metrics.hpp"
+#include "stats/quantile.hpp"
+
+namespace vmincqr::conformal {
+namespace {
+
+using models::ModelKind;
+
+struct Problem {
+  models::Matrix x;
+  models::Vector y;
+};
+
+// Nonlinear + heteroscedastic generator; intentionally hard for a linear
+// base model so residuals are far from exchangeable-free.
+Problem sample_problem(std::size_t n, rng::Rng& rng) {
+  Problem p{models::Matrix(n, 3), models::Vector(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) p.x(i, c) = rng.normal();
+    const double signal =
+        p.x(i, 0) + 0.5 * p.x(i, 1) * p.x(i, 1) - 0.3 * p.x(i, 2);
+    const double noise_sd = 0.2 + 0.4 * std::abs(p.x(i, 0));
+    p.y[i] = signal + rng.normal(0.0, noise_sd);
+  }
+  return p;
+}
+
+class CoverageGuarantee
+    : public ::testing::TestWithParam<std::tuple<double, ModelKind>> {};
+
+TEST_P(CoverageGuarantee, CqrMeetsTargetOnAverage) {
+  const double alpha = std::get<0>(GetParam());
+  const ModelKind kind = std::get<1>(GetParam());
+
+  const int n_trials = 12;
+  double total_coverage = 0.0;
+  for (int trial = 0; trial < n_trials; ++trial) {
+    rng::Rng rng(1000 + static_cast<std::uint64_t>(trial));
+    const auto train = sample_problem(220, rng);
+    const auto test = sample_problem(300, rng);
+
+    CqrConfig config;
+    config.seed = 77 + static_cast<std::uint64_t>(trial);
+    ConformalizedQuantileRegressor cqr(
+        alpha, models::make_quantile_pair(kind, alpha), config);
+    cqr.fit(train.x, train.y);
+    const auto band = cqr.predict_interval(test.x);
+    total_coverage +=
+        stats::interval_coverage(test.y, band.lower, band.upper);
+  }
+  const double mean_coverage = total_coverage / n_trials;
+  // Finite-sample guarantee holds in expectation; allow a small Monte-Carlo
+  // slack below 1 - alpha.
+  EXPECT_GE(mean_coverage, 1.0 - alpha - 0.03)
+      << "alpha=" << alpha << " model=" << models::model_name(kind);
+  // And it should not be absurdly conservative (guarantee also upper-bounds
+  // coverage at 1 - alpha + 1/(M+1) for continuous scores; allow slack).
+  EXPECT_LE(mean_coverage, 1.0 - alpha + 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaByModel, CoverageGuarantee,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.2),
+                       ::testing::Values(ModelKind::kLinear,
+                                         ModelKind::kCatboost)));
+
+class CpCoverage : public ::testing::TestWithParam<double> {};
+
+TEST_P(CpCoverage, SplitCpMeetsTargetOnAverage) {
+  const double alpha = GetParam();
+  const int n_trials = 12;
+  double total_coverage = 0.0;
+  for (int trial = 0; trial < n_trials; ++trial) {
+    rng::Rng rng(2000 + static_cast<std::uint64_t>(trial));
+    const auto train = sample_problem(220, rng);
+    const auto test = sample_problem(300, rng);
+    SplitConfig config;
+    config.seed = 99 + static_cast<std::uint64_t>(trial);
+    SplitConformalRegressor cp(
+        alpha, models::make_point_regressor(ModelKind::kLinear), config);
+    cp.fit(train.x, train.y);
+    const auto band = cp.predict_interval(test.x);
+    total_coverage +=
+        stats::interval_coverage(test.y, band.lower, band.upper);
+  }
+  EXPECT_GE(total_coverage / n_trials, 1.0 - alpha - 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, CpCoverage,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3));
+
+TEST(ExactCoverage, SplitCpMatchesTheFiniteSampleFormula) {
+  // For i.i.d. continuous scores, split-CP coverage (marginal over
+  // calibration and test draws) is EXACTLY k/(M+1) with
+  // k = ceil((M+1)(1-alpha)). Verify by Monte Carlo on a pure-noise problem
+  // where the model is constant and residuals are continuous.
+  const double alpha = 0.2;
+  const std::size_t m = 19;  // k = ceil(20*0.8) = 16 -> coverage 16/20 = 0.8
+  const double expected = 16.0 / 20.0;
+
+  rng::Rng rng(909);
+  std::size_t covered = 0, total = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    // Calibration residuals and one test point from the same N(0,1).
+    std::vector<double> scores(m);
+    for (auto& s : scores) s = std::abs(rng.normal());
+    const double q = stats::conformal_quantile(scores, alpha);
+    const double test_score = std::abs(rng.normal());
+    covered += test_score <= q;
+    ++total;
+  }
+  const double freq = static_cast<double>(covered) / static_cast<double>(total);
+  EXPECT_NEAR(freq, expected, 0.05);
+}
+
+TEST(CoverageContrast, RawQrUndercoversWhereCqrDoesNot) {
+  // The paper's Table III story: QR alone misses the target; CQR restores
+  // it. Averaged over trials to beat Monte-Carlo noise.
+  const double alpha = 0.1;
+  const int n_trials = 10;
+  double qr_cov = 0.0, cqr_cov = 0.0;
+  for (int trial = 0; trial < n_trials; ++trial) {
+    rng::Rng rng(3000 + static_cast<std::uint64_t>(trial));
+    // Small training set: quantile estimates overfit and undercover.
+    const auto train = sample_problem(60, rng);
+    const auto test = sample_problem(400, rng);
+
+    auto qr = models::make_quantile_pair(ModelKind::kCatboost, alpha);
+    qr->fit(train.x, train.y);
+    const auto qr_band = qr->predict_interval(test.x);
+    qr_cov += stats::interval_coverage(test.y, qr_band.lower, qr_band.upper);
+
+    CqrConfig config;
+    config.seed = 5 + static_cast<std::uint64_t>(trial);
+    ConformalizedQuantileRegressor cqr(
+        alpha, models::make_quantile_pair(ModelKind::kCatboost, alpha),
+        config);
+    cqr.fit(train.x, train.y);
+    const auto cqr_band = cqr.predict_interval(test.x);
+    cqr_cov +=
+        stats::interval_coverage(test.y, cqr_band.lower, cqr_band.upper);
+  }
+  qr_cov /= n_trials;
+  cqr_cov /= n_trials;
+  EXPECT_LT(qr_cov, 0.88);          // raw QR undercovers
+  EXPECT_GE(cqr_cov, 0.87);         // CQR restores the target
+  EXPECT_GT(cqr_cov, qr_cov + 0.02);  // and the gap is material
+}
+
+TEST(CoverageContrast, CqrIntervalsAdaptButCpIntervalsDoNot) {
+  rng::Rng rng(4242);
+  const auto train = sample_problem(400, rng);
+  const auto test = sample_problem(200, rng);
+  const double alpha = 0.1;
+
+  SplitConformalRegressor cp(
+      alpha, models::make_point_regressor(ModelKind::kCatboost));
+  cp.fit(train.x, train.y);
+  const auto cp_band = cp.predict_interval(test.x);
+
+  ConformalizedQuantileRegressor cqr(
+      alpha, models::make_quantile_pair(ModelKind::kCatboost, alpha));
+  cqr.fit(train.x, train.y);
+  const auto cqr_band = cqr.predict_interval(test.x);
+
+  // CP: all widths equal. CQR: widths vary with the heteroscedastic input.
+  double cp_min = 1e18, cp_max = -1e18, cqr_min = 1e18, cqr_max = -1e18;
+  for (std::size_t i = 0; i < test.y.size(); ++i) {
+    const double wcp = cp_band.upper[i] - cp_band.lower[i];
+    const double wcqr = cqr_band.upper[i] - cqr_band.lower[i];
+    cp_min = std::min(cp_min, wcp);
+    cp_max = std::max(cp_max, wcp);
+    cqr_min = std::min(cqr_min, wcqr);
+    cqr_max = std::max(cqr_max, wcqr);
+  }
+  EXPECT_NEAR(cp_max - cp_min, 0.0, 1e-9);
+  EXPECT_GT(cqr_max - cqr_min, 0.1);
+}
+
+}  // namespace
+}  // namespace vmincqr::conformal

@@ -1,0 +1,315 @@
+// Tests for the conformal core: score functions, split CP, split CQR, and
+// the region baselines (GP interval, QR pair).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "conformal/cqr.hpp"
+#include "conformal/scores.hpp"
+#include "conformal/split_cp.hpp"
+#include "models/factory.hpp"
+#include "rng/rng.hpp"
+#include "stats/metrics.hpp"
+
+namespace vmincqr::conformal {
+namespace {
+
+using models::ModelKind;
+
+// Linear data with heteroscedastic noise: spread grows with x0. CQR should
+// produce wider intervals where the noise is larger; CP cannot.
+struct HeteroProblem {
+  models::Matrix x;
+  models::Vector y;
+};
+
+HeteroProblem make_hetero(std::size_t n, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  HeteroProblem p{models::Matrix(n, 2), models::Vector(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x(i, 0) = rng.uniform(0.0, 2.0);
+    p.x(i, 1) = rng.normal();
+    p.y[i] = 1.0 + p.x(i, 0) + 0.3 * p.x(i, 1) +
+             rng.normal(0.0, 0.05 + 0.5 * p.x(i, 0));
+  }
+  return p;
+}
+
+TEST(Scores, AbsoluteResidual) {
+  EXPECT_DOUBLE_EQ(absolute_residual_score(1.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(absolute_residual_score(3.0, 1.0), 2.0);
+}
+
+TEST(Scores, CqrScoreSignConvention) {
+  // Inside the band: negative (distance to the nearer bound).
+  EXPECT_DOUBLE_EQ(cqr_score(1.5, 1.0, 2.0), -0.5);
+  // Below the band: lo - y > 0.
+  EXPECT_DOUBLE_EQ(cqr_score(0.5, 1.0, 2.0), 0.5);
+  // Above the band: y - hi > 0.
+  EXPECT_DOUBLE_EQ(cqr_score(2.7, 1.0, 2.0), 0.7);
+}
+
+TEST(Scores, NormalizedResidual) {
+  EXPECT_DOUBLE_EQ(normalized_residual_score(1.0, 3.0, 2.0), 1.0);
+  EXPECT_THROW(normalized_residual_score(1.0, 3.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Scores, VectorizedHelpersValidate) {
+  EXPECT_THROW(absolute_residual_scores({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(cqr_scores({1.0}, {1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SplitCp, ConstructionValidation) {
+  EXPECT_THROW(SplitConformalRegressor(
+                   0.0, models::make_point_regressor(ModelKind::kLinear)),
+               std::invalid_argument);
+  EXPECT_THROW(SplitConformalRegressor(0.1, nullptr), std::invalid_argument);
+  SplitConfig bad;
+  bad.train_fraction = 1.0;
+  EXPECT_THROW(SplitConformalRegressor(
+                   0.1, models::make_point_regressor(ModelKind::kLinear), bad),
+               std::invalid_argument);
+}
+
+TEST(SplitCp, ConstantWidthIntervals) {
+  const auto p = make_hetero(200, 1);
+  SplitConformalRegressor cp(0.1,
+                             models::make_point_regressor(ModelKind::kLinear));
+  cp.fit(p.x, p.y);
+  const auto test = make_hetero(100, 2);
+  const auto band = cp.predict_interval(test.x);
+  const double width0 = band.upper[0] - band.lower[0];
+  for (std::size_t i = 1; i < band.lower.size(); ++i) {
+    EXPECT_NEAR(band.upper[i] - band.lower[i], width0, 1e-9);
+  }
+  EXPECT_NEAR(width0, 2.0 * cp.q_hat(), 1e-9);
+}
+
+TEST(SplitCp, CoversAtTargetRate) {
+  const auto p = make_hetero(600, 3);
+  SplitConformalRegressor cp(0.1,
+                             models::make_point_regressor(ModelKind::kLinear));
+  cp.fit(p.x, p.y);
+  const auto test = make_hetero(2000, 4);
+  const auto band = cp.predict_interval(test.x);
+  const double cov = stats::interval_coverage(test.y, band.lower, band.upper);
+  EXPECT_GE(cov, 0.87);
+}
+
+TEST(SplitCp, InfiniteIntervalWhenCalibrationTooSmall) {
+  // 8 samples, 25% calibration -> 2 calibration points; alpha = 0.1 needs 9.
+  const auto p = make_hetero(8, 5);
+  SplitConformalRegressor cp(0.1,
+                             models::make_point_regressor(ModelKind::kLinear));
+  cp.fit(p.x, p.y);
+  EXPECT_TRUE(std::isinf(cp.q_hat()));
+  const auto band = cp.predict_interval(p.x);
+  EXPECT_TRUE(std::isinf(band.upper[0] - band.lower[0]));
+}
+
+TEST(SplitCp, ExplicitSplitMatchesManualCalibration) {
+  const auto train = make_hetero(100, 6);
+  const auto calib = make_hetero(50, 7);
+  SplitConformalRegressor cp(0.2,
+                             models::make_point_regressor(ModelKind::kLinear));
+  cp.fit_with_split(train.x, train.y, calib.x, calib.y);
+  // q_hat must be one of the calibration scores (an order statistic).
+  const auto centre = cp.predict_point(calib.x);
+  bool found = false;
+  for (std::size_t i = 0; i < calib.y.size(); ++i) {
+    if (std::abs(std::abs(calib.y[i] - centre[i]) - cp.q_hat()) < 1e-12) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SplitCp, ErrorsBeforeFit) {
+  SplitConformalRegressor cp(0.1,
+                             models::make_point_regressor(ModelKind::kLinear));
+  EXPECT_THROW(cp.predict_interval(models::Matrix(1, 2)), std::logic_error);
+  EXPECT_THROW(cp.q_hat(), std::logic_error);
+}
+
+TEST(Cqr, ConstructionValidation) {
+  EXPECT_THROW(ConformalizedQuantileRegressor(0.1, nullptr),
+               std::invalid_argument);
+  // Base alpha mismatch.
+  EXPECT_THROW(ConformalizedQuantileRegressor(
+                   0.1, models::make_quantile_pair(ModelKind::kLinear, 0.2)),
+               std::invalid_argument);
+}
+
+TEST(Cqr, AdaptiveWidthsTrackHeteroscedasticity) {
+  const auto p = make_hetero(500, 8);
+  ConformalizedQuantileRegressor cqr(
+      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1));
+  cqr.fit(p.x, p.y);
+
+  // Query at low-noise and high-noise ends of the x0 axis.
+  models::Matrix quiet(1, 2), loud(1, 2);
+  quiet(0, 0) = 0.1;
+  quiet(0, 1) = 0.0;
+  loud(0, 0) = 1.9;
+  loud(0, 1) = 0.0;
+  const auto band_quiet = cqr.predict_interval(quiet);
+  const auto band_loud = cqr.predict_interval(loud);
+  EXPECT_GT(band_loud.upper[0] - band_loud.lower[0],
+            band_quiet.upper[0] - band_quiet.lower[0]);
+}
+
+TEST(Cqr, CalibratesUndercoveringBands) {
+  // A deliberately narrow base band (20%-80% quantiles at alpha = 0.1)
+  // undercovers; CQR must widen it (q_hat > 0) and restore coverage.
+  const auto p = make_hetero(500, 9);
+  auto narrow_pair = std::make_unique<models::QuantilePairRegressor>(
+      0.1, models::make_point_regressor(ModelKind::kLinear,
+                                        models::Loss::pinball(0.3)),
+      models::make_point_regressor(ModelKind::kLinear,
+                                   models::Loss::pinball(0.7)),
+      "QR narrow");
+  ConformalizedQuantileRegressor cqr(0.1, std::move(narrow_pair));
+  cqr.fit(p.x, p.y);
+  EXPECT_GT(cqr.q_hat(), 0.0);
+  const auto test = make_hetero(1500, 10);
+  const auto band = cqr.predict_interval(test.x);
+  EXPECT_GE(stats::interval_coverage(test.y, band.lower, band.upper), 0.86);
+}
+
+TEST(Cqr, ShrinksOvercoveringBands) {
+  // A deliberately wide base band (1%-99% quantiles at alpha = 0.2)
+  // overcovers; the signed CQR score must tighten it (q_hat < 0).
+  const auto p = make_hetero(500, 11);
+  auto wide_pair = std::make_unique<models::QuantilePairRegressor>(
+      0.2, models::make_point_regressor(ModelKind::kLinear,
+                                        models::Loss::pinball(0.01)),
+      models::make_point_regressor(ModelKind::kLinear,
+                                   models::Loss::pinball(0.99)),
+      "QR wide");
+  ConformalizedQuantileRegressor cqr(0.2, std::move(wide_pair));
+  cqr.fit(p.x, p.y);
+  EXPECT_LT(cqr.q_hat(), 0.0);
+}
+
+TEST(Cqr, NameComposition) {
+  ConformalizedQuantileRegressor cqr(
+      0.1, models::make_quantile_pair(ModelKind::kCatboost, 0.1));
+  EXPECT_EQ(cqr.name(), "CQR CatBoost");
+}
+
+TEST(Cqr, CloneConfigIsIndependent) {
+  const auto p = make_hetero(120, 12);
+  ConformalizedQuantileRegressor cqr(
+      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1));
+  auto clone = cqr.clone_config();
+  cqr.fit(p.x, p.y);
+  // The clone is unfitted and usable independently.
+  EXPECT_THROW(clone->predict_interval(p.x), std::logic_error);
+  clone->fit(p.x, p.y);
+  const auto a = cqr.predict_interval(p.x);
+  const auto b = clone->predict_interval(p.x);
+  for (std::size_t i = 0; i < a.lower.size(); ++i) {
+    EXPECT_NEAR(a.lower[i], b.lower[i], 1e-10);
+  }
+}
+
+TEST(Cqr, AsymmetricModeCalibratesEachTail) {
+  // Skewed errors: the base band misses mostly on one side; asymmetric CQR
+  // should widen the tails by different amounts.
+  rng::Rng rng(31);
+  const std::size_t n = 600;
+  models::Matrix x(n, 2);
+  models::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    // Exponential (right-skewed) noise via inverse CDF.
+    const double u = rng.uniform(1e-12, 1.0);
+    y[i] = x(i, 0) + (-std::log(u)) * 0.5;
+  }
+  CqrConfig config;
+  config.mode = CqrMode::kAsymmetric;
+  ConformalizedQuantileRegressor cqr(
+      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1), config);
+  cqr.fit(x, y);
+  EXPECT_NE(cqr.q_hat_lower(), cqr.q_hat_upper());
+  EXPECT_NE(cqr.name().find("(asym)"), std::string::npos);
+
+  // Asymmetric calibration is valid per tail -> overall coverage >= 1-a.
+  rng::Rng test_rng(32);
+  models::Matrix xt(400, 2);
+  models::Vector yt(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    xt(i, 0) = test_rng.normal();
+    xt(i, 1) = test_rng.normal();
+    const double u = test_rng.uniform(1e-12, 1.0);
+    yt[i] = xt(i, 0) + (-std::log(u)) * 0.5;
+  }
+  const auto band = cqr.predict_interval(xt);
+  EXPECT_GE(stats::interval_coverage(yt, band.lower, band.upper), 0.86);
+}
+
+TEST(Cqr, AsymmetricAtLeastAsWideAsSymmetricOnAverage) {
+  const auto p = make_hetero(400, 33);
+  ConformalizedQuantileRegressor sym(
+      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1));
+  CqrConfig asym_config;
+  asym_config.mode = CqrMode::kAsymmetric;
+  ConformalizedQuantileRegressor asym(
+      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1), asym_config);
+  sym.fit(p.x, p.y);
+  asym.fit(p.x, p.y);
+  const auto test = make_hetero(300, 34);
+  const auto band_sym = sym.predict_interval(test.x);
+  const auto band_asym = asym.predict_interval(test.x);
+  EXPECT_GE(stats::mean_interval_length(band_asym.lower, band_asym.upper),
+            stats::mean_interval_length(band_sym.lower, band_sym.upper) -
+                1e-9);
+}
+
+TEST(GpInterval, WidthScalesWithAlpha) {
+  const auto p = make_hetero(80, 13);
+  models::GpIntervalRegressor tight(0.5), loose(0.05);
+  tight.fit(p.x, p.y);
+  loose.fit(p.x, p.y);
+  const auto band_tight = tight.predict_interval(p.x);
+  const auto band_loose = loose.predict_interval(p.x);
+  for (std::size_t i = 0; i < p.y.size(); ++i) {
+    EXPECT_LT(band_tight.upper[i] - band_tight.lower[i],
+              band_loose.upper[i] - band_loose.lower[i]);
+  }
+}
+
+TEST(GpInterval, SymmetricAroundPosterior) {
+  const auto p = make_hetero(60, 14);
+  models::GpIntervalRegressor gp(0.1);
+  gp.fit(p.x, p.y);
+  const auto band = gp.predict_interval(p.x);
+  const auto post = gp.gp().posterior(p.x);
+  for (std::size_t i = 0; i < p.y.size(); ++i) {
+    EXPECT_NEAR(0.5 * (band.lower[i] + band.upper[i]), post.mean[i], 1e-9);
+  }
+}
+
+TEST(QuantilePair, RepairsCrossingBounds) {
+  // Force crossing by using inverted quantiles; predict_interval must still
+  // return lower <= upper everywhere.
+  const auto p = make_hetero(150, 15);
+  models::QuantilePairRegressor pair(
+      0.1,
+      models::make_point_regressor(ModelKind::kLinear,
+                                   models::Loss::pinball(0.95)),
+      models::make_point_regressor(ModelKind::kLinear,
+                                   models::Loss::pinball(0.05)),
+      "QR inverted");
+  pair.fit(p.x, p.y);
+  const auto band = pair.predict_interval(p.x);
+  for (std::size_t i = 0; i < band.lower.size(); ++i) {
+    EXPECT_LE(band.lower[i], band.upper[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vmincqr::conformal

@@ -1,0 +1,137 @@
+// Tests for the elastic-net regressor (coordinate descent) and its CV
+// lambda selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/elastic_net.hpp"
+#include "rng/rng.hpp"
+#include "stats/metrics.hpp"
+
+namespace vmincqr::models {
+namespace {
+
+// Sparse ground truth: only 3 of 40 features matter.
+struct SparseProblem {
+  Matrix x;
+  Vector y;
+};
+
+SparseProblem make_sparse(std::size_t n, double noise, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  SparseProblem p{Matrix(n, 40), Vector(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 40; ++c) p.x(i, c) = rng.normal();
+    p.y[i] = 2.0 * p.x(i, 0) - 1.5 * p.x(i, 7) + 0.8 * p.x(i, 21) +
+             rng.normal(0.0, noise);
+  }
+  return p;
+}
+
+TEST(ElasticNet, ValidatesConfig) {
+  ElasticNetConfig bad;
+  bad.lambda = -1.0;
+  EXPECT_THROW(ElasticNetRegressor{bad}, std::invalid_argument);
+  ElasticNetConfig bad2;
+  bad2.l1_ratio = 1.5;
+  EXPECT_THROW(ElasticNetRegressor{bad2}, std::invalid_argument);
+}
+
+TEST(ElasticNet, NearOlsAtTinyLambda) {
+  const auto p = make_sparse(300, 0.05, 1);
+  ElasticNetConfig config;
+  config.lambda = 1e-6;
+  ElasticNetRegressor model(config);
+  model.fit(p.x, p.y);
+  EXPECT_GT(stats::r_squared(p.y, model.predict(p.x)), 0.995);
+}
+
+TEST(ElasticNet, LassoRecoversSupport) {
+  const auto p = make_sparse(300, 0.05, 2);
+  ElasticNetConfig config;
+  config.lambda = 0.05;
+  config.l1_ratio = 1.0;  // pure lasso
+  ElasticNetRegressor model(config);
+  model.fit(p.x, p.y);
+  const auto selected = model.selected_features();
+  ASSERT_GE(selected.size(), 3u);
+  // The three true features must be the strongest ones.
+  EXPECT_EQ(selected[0], 0u);
+  EXPECT_EQ(selected[1], 7u);
+  EXPECT_EQ(selected[2], 21u);
+  // Most noise coefficients are exactly zero.
+  EXPECT_LT(selected.size(), 12u);
+}
+
+TEST(ElasticNet, HeavyLambdaShrinksEverything) {
+  const auto p = make_sparse(200, 0.1, 3);
+  ElasticNetConfig config;
+  config.lambda = 100.0;
+  config.l1_ratio = 1.0;
+  ElasticNetRegressor model(config);
+  model.fit(p.x, p.y);
+  EXPECT_TRUE(model.selected_features().empty());
+  // Prediction collapses to the label mean.
+  const Vector pred = model.predict(p.x);
+  for (std::size_t i = 1; i < pred.size(); ++i) {
+    EXPECT_NEAR(pred[i], pred[0], 1e-9);
+  }
+}
+
+TEST(ElasticNet, RidgeModeKeepsAllFeatures) {
+  const auto p = make_sparse(200, 0.1, 4);
+  ElasticNetConfig config;
+  config.lambda = 0.01;
+  config.l1_ratio = 0.0;  // pure ridge: no exact zeros
+  ElasticNetRegressor model(config);
+  model.fit(p.x, p.y);
+  EXPECT_EQ(model.selected_features().size(), 40u);
+}
+
+TEST(ElasticNet, HandlesConstantColumns) {
+  rng::Rng rng(5);
+  Matrix x(60, 2);
+  Vector y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = 3.0;  // constant
+    y[i] = x(i, 0);
+  }
+  ElasticNetRegressor model;
+  model.fit(x, y);
+  EXPECT_GT(stats::r_squared(y, model.predict(x)), 0.98);
+  EXPECT_DOUBLE_EQ(model.coefficients()[1], 0.0);
+}
+
+TEST(ElasticNet, ConvergesAndReportsIterations) {
+  const auto p = make_sparse(150, 0.1, 6);
+  ElasticNetRegressor model;
+  model.fit(p.x, p.y);
+  EXPECT_GT(model.iterations_used(), 0);
+  EXPECT_LT(model.iterations_used(), 1000);
+}
+
+TEST(ElasticNet, CloneConfigBehavesIdentically) {
+  const auto p = make_sparse(100, 0.1, 7);
+  ElasticNetRegressor model;
+  model.fit(p.x, p.y);
+  auto clone = model.clone_config();
+  clone->fit(p.x, p.y);
+  const Vector a = model.predict(p.x), b = clone->predict(p.x);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(ElasticNetCv, PicksAReasonableLambda) {
+  const auto train = make_sparse(200, 0.3, 8);
+  const auto test = make_sparse(200, 0.3, 9);
+  const auto model = elastic_net_cv(train.x, train.y,
+                                    {1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0},
+                                    /*l1_ratio=*/0.9, /*n_folds=*/4,
+                                    /*seed=*/11);
+  EXPECT_GT(stats::r_squared(test.y, model.predict(test.x)), 0.9);
+  EXPECT_THROW(elastic_net_cv(train.x, train.y, {}, 0.5, 4, 11),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmincqr::models

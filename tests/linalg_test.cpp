@@ -1,0 +1,212 @@
+// Unit tests for the linalg substrate: Matrix, ops, decompositions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decomp.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/ops.hpp"
+#include "rng/rng.hpp"
+
+namespace vmincqr::linalg {
+namespace {
+
+TEST(Matrix, ConstructsWithFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, FromRowsValidatesSize) {
+  EXPECT_THROW(Matrix::from_rows(2, 2, {1.0, 2.0, 3.0}),
+               std::invalid_argument);
+  Matrix m = Matrix::from_rows(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowAndColExtraction) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(m.row(1), (Vector{4.0, 5.0, 6.0}));
+  EXPECT_EQ(m.col(2), (Vector{3.0, 6.0}));
+  EXPECT_THROW(m.row(2), std::out_of_range);
+  EXPECT_THROW(m.col(3), std::out_of_range);
+}
+
+TEST(Matrix, SetRowAndCol) {
+  Matrix m(2, 2, 0.0);
+  m.set_row(0, {1.0, 2.0});
+  m.set_col(1, {7.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+  EXPECT_THROW(m.set_row(0, {1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, TakeRowsAndCols) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Matrix sub = m.take_rows({2, 0});
+  EXPECT_DOUBLE_EQ(sub(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sub(1, 1), 2.0);
+  Matrix cols = m.take_cols({1});
+  EXPECT_EQ(cols.cols(), 1u);
+  EXPECT_DOUBLE_EQ(cols(2, 0), 6.0);
+  EXPECT_THROW(m.take_rows({3}), std::out_of_range);
+  EXPECT_THROW(m.take_cols({2}), std::out_of_range);
+}
+
+TEST(Matrix, WithIntercept) {
+  Matrix m{{2.0}, {3.0}};
+  Matrix a = m.with_intercept();
+  EXPECT_EQ(a.cols(), 2u);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 3.0);
+}
+
+TEST(Ops, Matmul) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  EXPECT_THROW(matmul(a, Matrix(3, 2)), std::invalid_argument);
+}
+
+TEST(Ops, MatvecAndTranspose) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(matvec(a, {1.0, 1.0}), (Vector{3.0, 7.0}));
+  EXPECT_EQ(transpose_matvec(a, {1.0, 1.0}), (Vector{4.0, 6.0}));
+  EXPECT_THROW(matvec(a, {1.0}), std::invalid_argument);
+}
+
+TEST(Ops, GramMatchesExplicitProduct) {
+  rng::Rng rng(1);
+  Matrix a(7, 4);
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.normal();
+  }
+  Matrix g = gram(a);
+  Matrix expected = matmul(a.transposed(), a);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(g(i, j), expected(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Ops, VectorHelpers) {
+  Vector a{1.0, 2.0}, b{3.0, 5.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 13.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_EQ(add(a, b), (Vector{4.0, 7.0}));
+  EXPECT_EQ(sub(b, a), (Vector{2.0, 3.0}));
+  EXPECT_EQ(scale(a, 2.0), (Vector{2.0, 4.0}));
+  Vector acc = a;
+  axpy(2.0, b, acc);
+  EXPECT_EQ(acc, (Vector{7.0, 12.0}));
+  EXPECT_THROW(dot(a, {1.0}), std::invalid_argument);
+}
+
+TEST(Decomp, CholeskyRoundTrip) {
+  // A = L0 L0^T is SPD by construction; cholesky must recover a factor whose
+  // product reproduces A.
+  Matrix l0{{2.0, 0.0, 0.0}, {0.5, 1.5, 0.0}, {-0.3, 0.7, 1.1}};
+  Matrix a = matmul(l0, l0.transposed());
+  auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  Matrix rebuilt = matmul(*l, l->transposed());
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(rebuilt(i, j), a(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Decomp, CholeskyRejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(a).has_value());
+}
+
+TEST(Decomp, CholeskyJitteredRecoversSemiDefinite) {
+  // Rank-1 PSD matrix: plain Cholesky fails, jittered succeeds.
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(cholesky(a).has_value());
+  EXPECT_NO_THROW(cholesky_jittered(a));
+}
+
+TEST(Decomp, SolveSpd) {
+  Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  Vector x = solve_spd(a, Vector{1.0, 2.0});
+  EXPECT_NEAR(4.0 * x[0] + x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 2.0, 1e-12);
+}
+
+TEST(Decomp, LeastSquaresRecoversExactSolution) {
+  rng::Rng rng(7);
+  Matrix a(20, 3);
+  Vector truth{1.5, -2.0, 0.5};
+  Vector b(20, 0.0);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.normal();
+    for (std::size_t c = 0; c < 3; ++c) b[r] += a(r, c) * truth[c];
+  }
+  Vector x = least_squares(a, b);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(x[c], truth[c], 1e-9);
+}
+
+TEST(Decomp, LeastSquaresHandlesRankDeficiency) {
+  // Column 1 duplicates column 0; any solution with x0 + x1 = 2 is optimal.
+  Matrix a{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  Vector b{2.0, 4.0, 6.0};
+  Vector x = least_squares(a, b);
+  Vector fitted = matvec(a, x);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_NEAR(fitted[r], b[r], 1e-9);
+}
+
+TEST(Decomp, RidgeShrinksTowardZero) {
+  Matrix a{{1.0}, {1.0}, {1.0}};
+  Vector b{1.0, 1.0, 1.0};
+  Vector x0 = ridge_solve(a, b, 0.0);
+  Vector x1 = ridge_solve(a, b, 10.0);
+  EXPECT_NEAR(x0[0], 1.0, 1e-12);
+  EXPECT_LT(x1[0], x0[0]);
+  EXPECT_GT(x1[0], 0.0);
+  EXPECT_THROW(ridge_solve(a, b, -1.0), std::invalid_argument);
+}
+
+TEST(Decomp, LogDetMatchesKnownValue) {
+  Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_NEAR(log_det_from_cholesky(*l), std::log(36.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace vmincqr::linalg

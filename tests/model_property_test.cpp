@@ -1,0 +1,148 @@
+// Cross-model property suites (TEST_P):
+//  * every quantile-capable model's pinball predictions order correctly in q
+//    and bracket roughly the right data fraction;
+//  * loss derivatives agree with finite differences;
+//  * clone_config reproduces identical fits for every model kind;
+//  * LabelScaler-equivariance: shifting labels shifts predictions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "models/factory.hpp"
+#include "rng/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/metrics.hpp"
+
+namespace vmincqr::models {
+namespace {
+
+struct Problem {
+  Matrix x;
+  Vector y;
+};
+
+Problem make_problem(std::size_t n, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  Problem p{Matrix(n, 3), Vector(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) p.x(i, c) = rng.normal();
+    p.y[i] = p.x(i, 0) - 0.5 * p.x(i, 1) + rng.normal(0.0, 0.4);
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+class QuantileOrdering
+    : public ::testing::TestWithParam<std::tuple<ModelKind, double>> {};
+
+TEST_P(QuantileOrdering, PredictionsMonotoneInQuantileLevel) {
+  const ModelKind kind = std::get<0>(GetParam());
+  const double alpha = std::get<1>(GetParam());
+  const auto p = make_problem(250, 11);
+
+  auto lo = make_point_regressor(kind, Loss::pinball(alpha / 2.0));
+  auto mid = make_point_regressor(kind, Loss::pinball(0.5));
+  auto hi = make_point_regressor(kind, Loss::pinball(1.0 - alpha / 2.0));
+  lo->fit(p.x, p.y);
+  mid->fit(p.x, p.y);
+  hi->fit(p.x, p.y);
+
+  const Vector lo_pred = lo->predict(p.x);
+  const Vector mid_pred = mid->predict(p.x);
+  const Vector hi_pred = hi->predict(p.x);
+  // Means must order strictly; per-sample ordering can have local wiggles.
+  EXPECT_LT(stats::mean(lo_pred), stats::mean(mid_pred));
+  EXPECT_LT(stats::mean(mid_pred), stats::mean(hi_pred));
+
+  // The (lo, hi) band must capture more than the (0.35, 0.65) band.
+  auto nlo = make_point_regressor(kind, Loss::pinball(0.35));
+  auto nhi = make_point_regressor(kind, Loss::pinball(0.65));
+  nlo->fit(p.x, p.y);
+  nhi->fit(p.x, p.y);
+  const double wide_cov =
+      stats::interval_coverage(p.y, lo_pred, hi_pred);
+  const double narrow_cov =
+      stats::interval_coverage(p.y, nlo->predict(p.x), nhi->predict(p.x));
+  EXPECT_GT(wide_cov, narrow_cov);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsByAlpha, QuantileOrdering,
+    ::testing::Combine(::testing::Values(ModelKind::kLinear,
+                                         ModelKind::kXgboost,
+                                         ModelKind::kCatboost),
+                       ::testing::Values(0.1, 0.3)));
+
+// ---------------------------------------------------------------------------
+class CloneReproducibility : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(CloneReproducibility, CloneRefitMatchesOriginal) {
+  const auto p = make_problem(120, 13);
+  auto model = make_point_regressor(GetParam());
+  model->fit(p.x, p.y);
+  auto clone = model->clone_config();
+  EXPECT_FALSE(clone->fitted());
+  clone->fit(p.x, p.y);
+  const Vector a = model->predict(p.x);
+  const Vector b = clone->predict(p.x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << model_name(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CloneReproducibility,
+                         ::testing::Values(ModelKind::kLinear, ModelKind::kGp,
+                                           ModelKind::kXgboost,
+                                           ModelKind::kCatboost,
+                                           ModelKind::kMlp));
+
+// ---------------------------------------------------------------------------
+class ShiftEquivariance : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ShiftEquivariance, LabelShiftMovesPredictionsByTheShift) {
+  // All models standardize labels internally; adding a constant to y must
+  // add (approximately) the same constant to predictions.
+  const auto p = make_problem(150, 17);
+  auto base = make_point_regressor(GetParam());
+  base->fit(p.x, p.y);
+  Vector shifted = p.y;
+  for (auto& v : shifted) v += 5.0;
+  auto moved = make_point_regressor(GetParam());
+  moved->fit(p.x, shifted);
+  const Vector a = base->predict(p.x);
+  const Vector b = moved->predict(p.x);
+  double mean_delta = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) mean_delta += b[i] - a[i];
+  mean_delta /= static_cast<double>(a.size());
+  EXPECT_NEAR(mean_delta, 5.0, 0.05) << model_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ShiftEquivariance,
+                         ::testing::Values(ModelKind::kLinear, ModelKind::kGp,
+                                           ModelKind::kXgboost,
+                                           ModelKind::kCatboost,
+                                           ModelKind::kMlp));
+
+// ---------------------------------------------------------------------------
+class LossGradientCheck : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossGradientCheck, MatchesFiniteDifferences) {
+  const double q = GetParam();
+  const Loss loss = q < 0 ? Loss::squared() : Loss::pinball(q);
+  const double y = 1.3;
+  const double eps = 1e-6;
+  // Probe away from the kink at y_hat == y.
+  for (double y_hat : {0.2, 0.9, 1.6, 2.4}) {
+    const double numeric =
+        (loss.value(y, y_hat + eps) - loss.value(y, y_hat - eps)) / (2 * eps);
+    EXPECT_NEAR(loss.gradient(y, y_hat), numeric, 1e-6)
+        << "q=" << q << " y_hat=" << y_hat;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SquaredAndPinball, LossGradientCheck,
+                         ::testing::Values(-1.0, 0.05, 0.5, 0.95));
+
+}  // namespace
+}  // namespace vmincqr::models

@@ -1,0 +1,210 @@
+// Tests for the gate-level substrate: cell delay law, netlist construction,
+// STA, structural Vmin bisection, and ring oscillators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/ring_oscillator.hpp"
+#include "netlist/sta.hpp"
+#include "netlist/vmin_solver.hpp"
+
+namespace vmincqr::netlist {
+namespace {
+
+TEST(CellDelay, NormalizedAtCharacterizationPoint) {
+  const DelayModelConfig config;
+  const auto& inv = standard_cell_library()[0];
+  const double d = cell_delay(inv, config, config.v_nominal, 0.0,
+                              config.temp_ref_c);
+  EXPECT_NEAR(d, inv.base_delay_ns * inv.drive_factor, 1e-12);
+}
+
+TEST(CellDelay, MonotoneDecreasingInVoltage) {
+  const DelayModelConfig config;
+  const auto& nand = standard_cell_library()[2];
+  double prev = 1e18;
+  for (double v = 0.45; v <= 1.2; v += 0.05) {
+    const double d = cell_delay(nand, config, v, 0.0, 25.0);
+    EXPECT_LT(d, prev) << "v=" << v;
+    prev = d;
+  }
+}
+
+TEST(CellDelay, HigherVthIsSlower) {
+  const DelayModelConfig config;
+  const auto& inv = standard_cell_library()[0];
+  EXPECT_GT(cell_delay(inv, config, 0.6, 0.02, 25.0),
+            cell_delay(inv, config, 0.6, -0.02, 25.0));
+}
+
+TEST(CellDelay, ColdIsSlowerNearThreshold) {
+  // At low supply the Vth increase at cold dominates the mobility gain:
+  // cold delay > room delay — the physical basis of the -45C Vmin penalty.
+  const DelayModelConfig config;
+  const auto& inv = standard_cell_library()[0];
+  EXPECT_GT(cell_delay(inv, config, 0.45, 0.0, -45.0),
+            cell_delay(inv, config, 0.45, 0.0, 25.0));
+}
+
+TEST(CellDelay, InfiniteBelowHeadroom) {
+  const DelayModelConfig config;
+  const auto& inv = standard_cell_library()[0];
+  EXPECT_TRUE(std::isinf(cell_delay(inv, config, 0.30, 0.05, 25.0)));
+  EXPECT_THROW(cell_delay(inv, config, 0.0, 0.0, 25.0),
+               std::invalid_argument);
+}
+
+TEST(Netlist, ValidatesTopologicalOrder) {
+  // Gate node 2 (first gate, with 1 input) referencing itself.
+  std::vector<Gate> gates = {{0, {1}, 1.0, 1.0}};
+  EXPECT_NO_THROW(Netlist(2, gates, {2}));
+  std::vector<Gate> bad = {{0, {2}, 1.0, 1.0}};  // fanin == own node id
+  EXPECT_THROW(Netlist(2, bad, {2}), std::invalid_argument);
+  EXPECT_THROW(Netlist(2, gates, {5}), std::invalid_argument);  // bad output
+  EXPECT_THROW(Netlist(2, gates, {}), std::invalid_argument);   // no outputs
+}
+
+TEST(Netlist, RandomIsDeterministicAndWellFormed) {
+  RandomNetlistConfig config;
+  config.n_gates = 200;
+  rng::Rng rng1(5), rng2(5);
+  const Netlist a = Netlist::random(config, rng1);
+  const Netlist b = Netlist::random(config, rng2);
+  EXPECT_EQ(a.n_nodes(), b.n_nodes());
+  for (std::size_t g = 0; g < a.gates().size(); ++g) {
+    EXPECT_EQ(a.gates()[g].cell, b.gates()[g].cell);
+    EXPECT_EQ(a.gates()[g].fanins, b.gates()[g].fanins);
+  }
+  // Well-formedness is enforced by the constructor; spot-check fanin order.
+  for (std::size_t g = 0; g < a.gates().size(); ++g) {
+    for (auto f : a.gates()[g].fanins) EXPECT_LT(f, a.n_inputs() + g);
+  }
+}
+
+TEST(Sta, HandComputedChain) {
+  // in0 -> INV -> INV -> out. Arrival = 2 * inverter delay.
+  std::vector<Gate> gates = {{0, {0}, 1.0, 1.0}, {0, {1}, 1.0, 1.0}};
+  const Netlist chain(1, gates, {2});
+  const DelayModelConfig config;
+  const auto timing = run_sta(chain, config, config.v_nominal, 25.0);
+  const double d = cell_delay(standard_cell_library()[0], config,
+                              config.v_nominal, 0.0, 25.0);
+  EXPECT_NEAR(timing.worst_arrival_ns, 2.0 * d, 1e-12);
+  EXPECT_EQ(timing.critical_path.size(), 3u);  // input, gate1, gate2
+  EXPECT_EQ(timing.critical_path.front(), 0u);
+  EXPECT_EQ(timing.critical_path.back(), 2u);
+}
+
+TEST(Sta, PicksTheSlowerBranch) {
+  // Two parallel branches into a NAND: one INV vs three INVs.
+  std::vector<Gate> gates = {
+      {0, {0}, 1.0, 1.0},   // node 1: INV(in0)
+      {0, {0}, 1.0, 1.0},   // node 2: INV(in0)
+      {0, {2}, 1.0, 1.0},   // node 3: INV(node2)
+      {0, {3}, 1.0, 1.0},   // node 4: INV(node3)
+      {2, {1, 4}, 1.0, 1.0} // node 5: NAND(node1, node4)
+  };
+  const Netlist nl(1, gates, {5});
+  const DelayModelConfig config;
+  const auto timing = run_sta(nl, config, 0.7, 25.0);
+  // Critical path must run through the 3-inverter branch.
+  EXPECT_EQ(timing.critical_path.size(), 5u);  // in0, 2, 3, 4, 5
+}
+
+TEST(Sta, VthShiftHookIsApplied) {
+  std::vector<Gate> gates = {{0, {0}, 1.0, 1.0}};
+  const Netlist nl(1, gates, {1});
+  const DelayModelConfig config;
+  const auto slow = run_sta(nl, config, 0.6, 25.0,
+                            [](std::size_t) { return 0.03; });
+  const auto fast = run_sta(nl, config, 0.6, 25.0,
+                            [](std::size_t) { return -0.03; });
+  EXPECT_GT(slow.worst_arrival_ns, fast.worst_arrival_ns);
+}
+
+TEST(Sta, ReportsNonFunctionalAtLowSupply) {
+  std::vector<Gate> gates = {{0, {0}, 1.0, 1.0}};
+  const Netlist nl(1, gates, {1});
+  const DelayModelConfig config;
+  const auto timing = run_sta(nl, config, 0.31, 25.0,
+                              [](std::size_t) { return 0.05; });
+  EXPECT_FALSE(timing.functional);
+}
+
+class VminSolverFixture : public ::testing::Test {
+ protected:
+  static Netlist make_design() {
+    RandomNetlistConfig config;
+    config.n_inputs = 16;
+    config.n_gates = 300;
+    config.n_outputs = 8;
+    rng::Rng rng(11);
+    return Netlist::random(config, rng);
+  }
+};
+
+TEST_F(VminSolverFixture, BracketsTimingClosure) {
+  const Netlist design = make_design();
+  const DelayModelConfig config;
+  // Clock derived at 0.55 V -> Vmin must come back ~0.55 V.
+  const auto nominal = run_sta(design, config, 0.55, 25.0);
+  const auto solution =
+      solve_vmin(design, config, nominal.worst_arrival_ns, 25.0);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_NEAR(solution.vmin, 0.55, 2e-3);
+  // Verify the defining property: passes at vmin, fails just below.
+  const auto at = run_sta(design, config, solution.vmin, 25.0);
+  EXPECT_LE(at.worst_arrival_ns, nominal.worst_arrival_ns * (1.0 + 1e-9));
+  const auto below = run_sta(design, config, solution.vmin - 0.005, 25.0);
+  EXPECT_GT(below.worst_arrival_ns, nominal.worst_arrival_ns);
+}
+
+TEST_F(VminSolverFixture, VminRespondsToProcessAndTemperature) {
+  const Netlist design = make_design();
+  const DelayModelConfig config;
+  const auto nominal = run_sta(design, config, 0.55, 25.0);
+  const double clock = nominal.worst_arrival_ns;
+
+  const auto slow_chip = solve_vmin(design, config, clock, 25.0,
+                                    [](std::size_t) { return 0.01; });
+  const auto fast_chip = solve_vmin(design, config, clock, 25.0,
+                                    [](std::size_t) { return -0.01; });
+  EXPECT_GT(slow_chip.vmin, fast_chip.vmin);
+
+  const auto cold = solve_vmin(design, config, clock, -45.0);
+  const auto room = solve_vmin(design, config, clock, 25.0);
+  EXPECT_GT(cold.vmin, room.vmin);
+}
+
+TEST_F(VminSolverFixture, InfeasibleReportsGracefully) {
+  const Netlist design = make_design();
+  const DelayModelConfig config;
+  const auto solution = solve_vmin(design, config, /*clock=*/1e-6, 25.0);
+  EXPECT_FALSE(solution.feasible);
+  EXPECT_THROW(solve_vmin(design, config, -1.0, 25.0), std::invalid_argument);
+}
+
+TEST(RingOscillator, PeriodScalesWithStagesAndVth) {
+  const DelayModelConfig config;
+  RingOscillator small{11, 0.0};
+  RingOscillator large{31, 0.0};
+  const double p_small = ring_oscillator_period(small, config, 0.75, 0.0, 25.0);
+  const double p_large = ring_oscillator_period(large, config, 0.75, 0.0, 25.0);
+  EXPECT_NEAR(p_large / p_small, 31.0 / 11.0, 1e-9);
+  EXPECT_GT(ring_oscillator_period(small, config, 0.75, 0.02, 25.0), p_small);
+  EXPECT_THROW(ring_oscillator_period({10, 0.0}, config, 0.75, 0.0, 25.0),
+               std::invalid_argument);
+}
+
+TEST(RingOscillator, FrequencyInverseOfPeriodAndZeroWhenDead) {
+  const DelayModelConfig config;
+  RingOscillator ro{31, 0.0};
+  const double p = ring_oscillator_period(ro, config, 0.75, 0.0, 25.0);
+  EXPECT_NEAR(ring_oscillator_frequency(ro, config, 0.75, 0.0, 25.0), 1.0 / p,
+              1e-12);
+  EXPECT_DOUBLE_EQ(ring_oscillator_frequency(ro, config, 0.31, 0.05, 25.0),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace vmincqr::netlist

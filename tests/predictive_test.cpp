@@ -1,0 +1,187 @@
+// Tests for the conformal predictive distribution (calibrated CDF /
+// exceedance probabilities), the forecasting scenario horizon, and the
+// tree-model feature-importance accessors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "conformal/predictive.hpp"
+#include "core/scenario.hpp"
+#include "models/factory.hpp"
+#include "models/gbt.hpp"
+#include "models/ordered_boost.hpp"
+#include "rng/rng.hpp"
+#include "silicon/dataset_gen.hpp"
+
+namespace vmincqr {
+namespace {
+
+using conformal::ConformalPredictiveDistribution;
+using models::ModelKind;
+
+struct Problem {
+  linalg::Matrix x;
+  linalg::Vector y;
+};
+
+Problem make_problem(std::size_t n, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  Problem p{linalg::Matrix(n, 2), linalg::Vector(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x(i, 0) = rng.normal();
+    p.x(i, 1) = rng.normal();
+    p.y[i] = 0.5 + 0.1 * p.x(i, 0) + rng.normal(0.0, 0.05);
+  }
+  return p;
+}
+
+TEST(Predictive, CdfIsMonotoneAndBounded) {
+  const auto p = make_problem(200, 1);
+  ConformalPredictiveDistribution cpd(
+      models::make_point_regressor(ModelKind::kLinear));
+  cpd.fit(p.x, p.y);
+  const linalg::Vector x_row = {0.3, -0.2};
+  double prev = 0.0;
+  for (double y = 0.0; y <= 1.0; y += 0.05) {
+    const double q = cpd.cdf(x_row, y);
+    EXPECT_GE(q, prev);
+    EXPECT_GT(q, 0.0);
+    EXPECT_LT(q, 1.0);
+    prev = q;
+  }
+}
+
+TEST(Predictive, CalibratedCoverageOfQuantiles) {
+  // P(Y <= q_beta(x)) should track beta over fresh samples.
+  const auto train = make_problem(400, 2);
+  const auto test = make_problem(1500, 3);
+  ConformalPredictiveDistribution cpd(
+      models::make_point_regressor(ModelKind::kLinear));
+  cpd.fit(train.x, train.y);
+  for (double beta : {0.1, 0.5, 0.9}) {
+    std::size_t below = 0;
+    for (std::size_t i = 0; i < test.y.size(); ++i) {
+      if (test.y[i] <= cpd.quantile(test.x.row(i), beta)) ++below;
+    }
+    const double freq = static_cast<double>(below) /
+                        static_cast<double>(test.y.size());
+    EXPECT_NEAR(freq, beta, 0.06) << "beta=" << beta;
+  }
+}
+
+TEST(Predictive, ExceedanceMatchesOneMinusCdf) {
+  const auto p = make_problem(150, 4);
+  ConformalPredictiveDistribution cpd(
+      models::make_point_regressor(ModelKind::kLinear));
+  cpd.fit(p.x, p.y);
+  const linalg::Vector x_row = {0.0, 0.0};
+  EXPECT_NEAR(cpd.exceedance_probability(x_row, 0.55),
+              1.0 - cpd.cdf(x_row, 0.55), 1e-12);
+  const auto batch = cpd.exceedance_probabilities(p.x, 0.55);
+  EXPECT_EQ(batch.size(), p.x.rows());
+}
+
+TEST(Predictive, RiskierChipsGetHigherExceedance) {
+  const auto p = make_problem(300, 5);
+  ConformalPredictiveDistribution cpd(
+      models::make_point_regressor(ModelKind::kLinear));
+  cpd.fit(p.x, p.y);
+  // y grows with x0: a high-x0 chip must carry more exceedance risk.
+  EXPECT_GT(cpd.exceedance_probability({2.0, 0.0}, 0.6),
+            cpd.exceedance_probability({-2.0, 0.0}, 0.6));
+}
+
+TEST(Predictive, Validation) {
+  EXPECT_THROW(ConformalPredictiveDistribution(nullptr),
+               std::invalid_argument);
+  ConformalPredictiveDistribution cpd(
+      models::make_point_regressor(ModelKind::kLinear));
+  EXPECT_THROW(cpd.cdf({0.0}, 0.5), std::logic_error);
+  const auto p = make_problem(50, 6);
+  cpd.fit(p.x, p.y);
+  EXPECT_THROW(cpd.quantile({0.0, 0.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(cpd.quantile({0.0, 0.0}, 1.0), std::invalid_argument);
+}
+
+TEST(ForecastScenario, HorizonRestrictsMonitorHistory) {
+  silicon::GeneratorConfig config;
+  config.n_chips = 20;
+  config.parametric.features_per_temperature = 10;
+  config.monitors.n_rod = 4;
+  config.monitors.n_cpd = 1;
+  const auto generated = silicon::generate_dataset(config);
+
+  // Label at 1008 h, monitors only up to 168 h.
+  core::Scenario forecast{1008.0, 25.0, core::FeatureSet::kBoth, 168.0};
+  const auto cols =
+      core::scenario_feature_columns(generated.dataset, forecast);
+  for (auto c : cols) {
+    EXPECT_LE(generated.dataset.feature_info(c).read_point_hours, 168.0);
+  }
+  // Default horizon = the label read point: strictly more columns.
+  core::Scenario nowcast{1008.0, 25.0, core::FeatureSet::kBoth};
+  EXPECT_GT(core::scenario_feature_columns(generated.dataset, nowcast).size(),
+            cols.size());
+  EXPECT_NE(core::describe(forecast).find("monitors<=168h"),
+            std::string::npos);
+}
+
+TEST(ForecastScenario, LabelsStillComeFromTheTargetReadPoint) {
+  silicon::GeneratorConfig config;
+  config.n_chips = 12;
+  config.parametric.features_per_temperature = 5;
+  config.monitors.n_rod = 2;
+  config.monitors.n_cpd = 1;
+  const auto generated = silicon::generate_dataset(config);
+  core::Scenario forecast{504.0, 125.0, core::FeatureSet::kBoth, 24.0};
+  EXPECT_EQ(core::scenario_labels(generated.dataset, forecast),
+            generated.dataset.label(504.0, 125.0).values);
+}
+
+TEST(FeatureImportance, GbtFindsTheSignalFeature) {
+  rng::Rng rng(7);
+  const std::size_t n = 300;
+  linalg::Matrix x(n, 5);
+  linalg::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 5; ++c) x(i, c) = rng.normal();
+    y[i] = (x(i, 2) > 0.0 ? 1.0 : -1.0) + 0.1 * rng.normal();
+  }
+  models::GradientBoostedTrees gbt;
+  gbt.fit(x, y);
+  const auto importance = gbt.feature_importance();
+  ASSERT_EQ(importance.size(), 5u);
+  double total = 0.0;
+  for (double v : importance) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (std::size_t c = 0; c < 5; ++c) {
+    if (c != 2) {
+      EXPECT_GT(importance[2], importance[c]);
+    }
+  }
+}
+
+TEST(FeatureImportance, OrderedBoostFindsTheSignalFeature) {
+  rng::Rng rng(8);
+  const std::size_t n = 300;
+  linalg::Matrix x(n, 4);
+  linalg::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) x(i, c) = rng.normal();
+    y[i] = 2.0 * x(i, 1) + 0.1 * rng.normal();
+  }
+  models::OrderedBoostedTrees cb;
+  cb.fit(x, y);
+  const auto importance = cb.feature_importance();
+  ASSERT_EQ(importance.size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    if (c != 1) {
+      EXPECT_GT(importance[1], importance[c]);
+    }
+  }
+  models::OrderedBoostedTrees unfitted;
+  EXPECT_THROW(unfitted.feature_importance(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vmincqr

@@ -1,0 +1,121 @@
+// Unit tests for the deterministic RNG facade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "rng/rng.hpp"
+
+namespace vmincqr::rng {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  // The i-th fork must be identical no matter how many draws the parent
+  // made in between.
+  Rng a(42), b(42);
+  (void)b.uniform();
+  (void)b.normal();
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+  }
+}
+
+TEST(Rng, SuccessiveForksDiffer) {
+  Rng a(42);
+  Rng f1 = a.fork();
+  Rng f2 = a.fork();
+  EXPECT_NE(f1.uniform(), f2.uniform());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(5);
+  const auto v = rng.normal_vector(20000, 1.5, 2.0);
+  double mean = std::accumulate(v.begin(), v.end(), 0.0) /
+                static_cast<double>(v.size());
+  double var = 0.0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size());
+  EXPECT_NEAR(mean, 1.5, 0.06);
+  EXPECT_NEAR(var, 4.0, 0.15);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(rng.normal(3.0, 0.0), 3.0);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(13);
+  auto p = rng.permutation(50);
+  std::sort(p.begin(), p.end());
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(13);
+  const auto p = rng.permutation(50);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < 50; ++i) fixed += p[i] == i;
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(SplitMix, KnownGoodSeparation) {
+  std::uint64_t s1 = 1, s2 = 2;
+  EXPECT_NE(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace vmincqr::rng

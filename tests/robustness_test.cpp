@@ -1,0 +1,196 @@
+// Failure-injection and edge-case tests across module boundaries: degenerate
+// designs, pathological labels, tiny populations, extreme alphas — the cases
+// a production flow will eventually feed the library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "conformal/cqr.hpp"
+#include "conformal/split_cp.hpp"
+#include "data/feature_select.hpp"
+#include "models/factory.hpp"
+#include "rng/rng.hpp"
+#include "silicon/dataset_gen.hpp"
+#include "stats/metrics.hpp"
+
+namespace vmincqr {
+namespace {
+
+using models::ModelKind;
+
+linalg::Matrix random_matrix(std::size_t n, std::size_t d, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  linalg::Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) x(i, c) = rng.normal();
+  }
+  return x;
+}
+
+// Every model must handle constant labels: predictions collapse to that
+// constant, no NaNs, no throws.
+class ConstantLabels : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ConstantLabels, PredictsTheConstant) {
+  const auto x = random_matrix(40, 3, 1);
+  const linalg::Vector y(40, 0.55);
+  auto model = models::make_point_regressor(GetParam());
+  model->fit(x, y);
+  for (double v : model->predict(x)) {
+    ASSERT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, 0.55, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ConstantLabels,
+                         ::testing::Values(ModelKind::kLinear, ModelKind::kGp,
+                                           ModelKind::kXgboost,
+                                           ModelKind::kCatboost,
+                                           ModelKind::kMlp));
+
+// Every model must handle constant (uninformative) features.
+class ConstantFeatures : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ConstantFeatures, FallsBackToUnconditionalPrediction) {
+  linalg::Matrix x(50, 2, 1.0);
+  rng::Rng rng(2);
+  linalg::Vector y = rng.normal_vector(50, 0.55, 0.01);
+  auto model = models::make_point_regressor(GetParam());
+  model->fit(x, y);
+  for (double v : model->predict(x)) {
+    ASSERT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, 0.55, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ConstantFeatures,
+                         ::testing::Values(ModelKind::kLinear, ModelKind::kGp,
+                                           ModelKind::kXgboost,
+                                           ModelKind::kCatboost,
+                                           ModelKind::kMlp));
+
+TEST(Robustness, DuplicatedRowsDoNotBreakConformal) {
+  // Exchangeability holds under ties; the conformal quantile must cope with
+  // many identical scores.
+  linalg::Matrix x(60, 2, 0.0);
+  linalg::Vector y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = static_cast<double>(i % 3);
+    x(i, 1) = 1.0;
+    y[i] = 0.5 + 0.01 * static_cast<double>(i % 3);
+  }
+  conformal::SplitConformalRegressor cp(
+      0.1, models::make_point_regressor(ModelKind::kLinear));
+  cp.fit(x, y);
+  const auto band = cp.predict_interval(x);
+  EXPECT_GE(stats::interval_coverage(y, band.lower, band.upper), 0.9);
+}
+
+TEST(Robustness, ExtremeAlphasAreHandled) {
+  const auto x = random_matrix(100, 2, 3);
+  rng::Rng rng(4);
+  linalg::Vector y = rng.normal_vector(100, 0.55, 0.01);
+
+  // alpha close to 1: near-empty intervals are fine.
+  conformal::ConformalizedQuantileRegressor loose(
+      0.9, models::make_quantile_pair(ModelKind::kLinear, 0.9));
+  loose.fit(x, y);
+  const auto narrow_band = loose.predict_interval(x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_LE(narrow_band.lower[i], narrow_band.upper[i]);
+  }
+
+  // alpha tiny vs calibration size: infinite-width intervals, still ordered.
+  conformal::ConformalizedQuantileRegressor strict(
+      0.001, models::make_quantile_pair(ModelKind::kLinear, 0.001));
+  strict.fit(x, y);
+  const auto wide_band = strict.predict_interval(x);
+  EXPECT_TRUE(std::isinf(wide_band.upper[0] - wide_band.lower[0]));
+  // Infinite band covers everything.
+  EXPECT_DOUBLE_EQ(
+      stats::interval_coverage(y, wide_band.lower, wide_band.upper), 1.0);
+
+  // Constructor rejects the degenerate endpoints outright.
+  EXPECT_THROW(conformal::ConformalizedQuantileRegressor(
+                   0.0, models::make_quantile_pair(ModelKind::kLinear, 0.1)),
+               std::invalid_argument);
+}
+
+TEST(Robustness, TinyPopulationPipeline) {
+  // 10 chips end to end: nothing crashes, intervals may be infinite.
+  silicon::GeneratorConfig config;
+  config.n_chips = 10;
+  config.parametric.features_per_temperature = 10;
+  config.monitors.n_rod = 3;
+  config.monitors.n_cpd = 1;
+  const auto generated = silicon::generate_dataset(config);
+  const auto& ds = generated.dataset;
+  const auto& y = ds.label(0.0, 25.0).values;
+
+  const auto cols = data::cfs_select(ds.features(), y, 3);
+  conformal::ConformalizedQuantileRegressor cqr(
+      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1));
+  cqr.fit(ds.features().take_cols(cols), y);
+  const auto band = cqr.predict_interval(ds.features().take_cols(cols));
+  // 3 calibration points < min_calibration_size(0.1) = 9 -> infinite bands.
+  EXPECT_TRUE(std::isinf(band.upper[0] - band.lower[0]));
+}
+
+TEST(Robustness, SingleFeatureAndSingleSelectedColumn) {
+  const auto x = random_matrix(80, 1, 5);
+  linalg::Vector y(80);
+  for (std::size_t i = 0; i < 80; ++i) y[i] = 2.0 * x(i, 0);
+  for (auto kind : {ModelKind::kLinear, ModelKind::kCatboost}) {
+    auto model = models::make_point_regressor(kind);
+    model->fit(x, y);
+    EXPECT_GT(stats::r_squared(y, model->predict(x)), 0.8)
+        << models::model_name(kind);
+  }
+}
+
+TEST(Robustness, CfsWithAllConstantColumnsReturnsSomething) {
+  linalg::Matrix x(20, 4, 7.0);
+  rng::Rng rng(6);
+  linalg::Vector y = rng.normal_vector(20);
+  const auto cols = data::cfs_select(x, y, 3);
+  EXPECT_FALSE(cols.empty());  // degenerate but well-defined
+}
+
+TEST(Robustness, OutlierLabelDoesNotPoisonCoverage) {
+  // One wild outlier in training: conformal calibration absorbs it (it is
+  // one of the alpha-fraction misses at worst).
+  auto x = random_matrix(200, 2, 8);
+  rng::Rng rng(9);
+  linalg::Vector y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    y[i] = x(i, 0) + rng.normal(0.0, 0.1);
+  }
+  y[17] = 50.0;  // broken measurement
+  conformal::ConformalizedQuantileRegressor cqr(
+      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1));
+  cqr.fit(x, y);
+  const auto test_x = random_matrix(300, 2, 10);
+  rng::Rng rng2(11);
+  linalg::Vector test_y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    test_y[i] = test_x(i, 0) + rng2.normal(0.0, 0.1);
+  }
+  const auto band = cqr.predict_interval(test_x);
+  EXPECT_GE(stats::interval_coverage(test_y, band.lower, band.upper), 0.85);
+  // And the band stays sane (not blown up to the outlier's scale).
+  EXPECT_LT(stats::mean_interval_length(band.lower, band.upper), 5.0);
+}
+
+TEST(Robustness, PredictOnEmptyMatrixYieldsEmpty) {
+  const auto x = random_matrix(30, 2, 12);
+  rng::Rng rng(13);
+  linalg::Vector y = rng.normal_vector(30);
+  auto model = models::make_point_regressor(ModelKind::kLinear);
+  model->fit(x, y);
+  const auto pred = model->predict(linalg::Matrix(0, 2));
+  EXPECT_TRUE(pred.empty());
+}
+
+}  // namespace
+}  // namespace vmincqr

@@ -1,0 +1,348 @@
+// Tests for the synthetic silicon substrate: process model, aging, test
+// banks, Vmin response, and the end-to-end dataset generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "silicon/dataset_gen.hpp"
+#include "stats/descriptive.hpp"
+
+namespace vmincqr::silicon {
+namespace {
+
+TEST(ProcessModel, PopulationMomentsMatchConfig) {
+  ProcessConfig config;
+  ProcessModel model(config);
+  rng::Rng rng(1);
+  const auto chips = model.sample_population(4000, rng);
+  std::vector<double> dvth, activity;
+  std::size_t defects = 0;
+  for (const auto& c : chips) {
+    dvth.push_back(c.dvth);
+    activity.push_back(c.activity);
+    defects += c.defect > 0.0;
+    EXPECT_GE(c.mismatch, 0.0);
+    EXPECT_GT(c.leak_corner, 0.0);
+    EXPECT_GT(c.activity, 0.0);
+  }
+  EXPECT_NEAR(stats::mean(dvth), 0.0, 0.001);
+  EXPECT_NEAR(stats::stddev(dvth), config.sigma_vth, 0.001);
+  EXPECT_NEAR(static_cast<double>(defects) / 4000.0, config.defect_rate, 0.02);
+}
+
+TEST(ProcessModel, LeakageAnticorrelatedWithVth) {
+  // Physically, low-Vth chips leak more: corr(dvth, log leak) < 0.
+  ProcessModel model;
+  rng::Rng rng(2);
+  const auto chips = model.sample_population(2000, rng);
+  std::vector<double> dvth, log_leak;
+  for (const auto& c : chips) {
+    dvth.push_back(c.dvth);
+    log_leak.push_back(std::log(c.leak_corner));
+  }
+  EXPECT_LT(stats::pearson(dvth, log_leak), -0.3);
+}
+
+TEST(ProcessModel, ValidatesConfig) {
+  ProcessConfig bad;
+  bad.defect_rate = 1.5;
+  EXPECT_THROW(ProcessModel{bad}, std::invalid_argument);
+  ProcessConfig negative;
+  negative.sigma_vth = -1.0;
+  EXPECT_THROW(ProcessModel{negative}, std::invalid_argument);
+}
+
+TEST(AgingModel, ZeroAtTimeZeroAndMonotone) {
+  AgingModel aging;
+  ChipLatent chip;
+  chip.activity = 1.2;
+  EXPECT_DOUBLE_EQ(aging.delta_vth(chip, 0.0), 0.0);
+  double prev = 0.0;
+  for (double t : standard_read_points()) {
+    const double v = aging.delta_vth(chip, t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_THROW(aging.delta_vth(chip, -1.0), std::invalid_argument);
+}
+
+TEST(AgingModel, SubLinearPowerLaw) {
+  AgingModel aging;
+  ChipLatent chip;
+  // Power law: doubling time multiplies degradation by 2^n < 2.
+  const double d1 = aging.delta_vth(chip, 100.0);
+  const double d2 = aging.delta_vth(chip, 200.0);
+  EXPECT_NEAR(d2 / d1, std::pow(2.0, aging.config().exponent), 1e-9);
+}
+
+TEST(AgingModel, ActivityAndDefectAccelerate) {
+  AgingModel aging;
+  ChipLatent base;
+  ChipLatent active = base;
+  active.activity = 2.0;
+  ChipLatent defective = base;
+  defective.defect = 2.0;
+  EXPECT_GT(aging.delta_vth(active, 500.0), aging.delta_vth(base, 500.0));
+  EXPECT_GT(aging.delta_vth(defective, 500.0), aging.delta_vth(base, 500.0));
+}
+
+TEST(AgingModel, ValidatesConfig) {
+  AgingConfig bad;
+  bad.exponent = 1.5;
+  EXPECT_THROW(AgingModel{bad}, std::invalid_argument);
+}
+
+TEST(ParametricBank, CatalogueShapeAndDeterminism) {
+  ParametricConfig config;
+  config.features_per_temperature = 50;
+  rng::Rng cat1(3), cat2(3);
+  ParametricTestBank bank1(config, cat1), bank2(config, cat2);
+  EXPECT_EQ(bank1.n_features(), 150u);  // 50 x 3 temps
+  // Identical catalogue RNG -> identical specs.
+  for (std::size_t i = 0; i < bank1.n_features(); ++i) {
+    EXPECT_EQ(bank1.specs()[i].name, bank2.specs()[i].name);
+    EXPECT_DOUBLE_EQ(bank1.specs()[i].load_vth, bank2.specs()[i].load_vth);
+  }
+}
+
+TEST(ParametricBank, IddqRespondsToLeakage) {
+  ParametricConfig config;
+  config.features_per_temperature = 40;
+  config.weak_fraction = 0.0;  // all informative for this test
+  rng::Rng cat(4);
+  ParametricTestBank bank(config, cat);
+
+  ChipLatent leaky;
+  leaky.leak_corner = 3.0;
+  ChipLatent tight;
+  tight.leak_corner = 0.3;
+  rng::Rng m1(5), m2(5);
+  const auto v_leaky = bank.measure(leaky, m1);
+  const auto v_tight = bank.measure(tight, m2);
+  // IDDQ/leakage features (families 0 and 2 mod 5) must be larger for the
+  // leaky chip.
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < bank.n_features(); ++i) {
+    const auto family = bank.specs()[i].family;
+    if (family == ParametricFamily::kIddq ||
+        family == ParametricFamily::kLeakage) {
+      EXPECT_GT(v_leaky[i], v_tight[i]) << "feature " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(ParametricBank, FeatureInfoTagsTemperatures) {
+  ParametricConfig config;
+  config.features_per_temperature = 10;
+  rng::Rng cat(6);
+  ParametricTestBank bank(config, cat);
+  const auto info = bank.feature_info();
+  ASSERT_EQ(info.size(), 30u);
+  EXPECT_DOUBLE_EQ(info[0].temperature_c, -45.0);
+  EXPECT_DOUBLE_EQ(info[10].temperature_c, 25.0);
+  EXPECT_DOUBLE_EQ(info[20].temperature_c, 125.0);
+  for (const auto& f : info) {
+    EXPECT_EQ(f.type, data::FeatureType::kParametric);
+    EXPECT_DOUBLE_EQ(f.read_point_hours, 0.0);
+  }
+}
+
+TEST(MonitorBank, DelaysGrowWithAging) {
+  MonitorConfig config;
+  rng::Rng cat(7);
+  MonitorBank bank(config, cat);
+  AgingModel aging;
+  ChipLatent chip;
+  chip.activity = 1.0;
+  rng::Rng m1(8), m2(8);
+  const auto d0 = bank.measure(chip, aging, 0.0, m1);
+  const auto d1008 = bank.measure(chip, aging, 1008.0, m2);
+  std::size_t grew = 0;
+  for (std::size_t i = 0; i < d0.size(); ++i) grew += d1008[i] > d0[i];
+  // Aging raises Vth raises delay; nearly all sensors must increase.
+  EXPECT_GT(grew, d0.size() * 9 / 10);
+}
+
+TEST(MonitorBank, CpdSensorsReplicateCriticalPaths) {
+  MonitorConfig config;
+  rng::Rng cat(9);
+  MonitorBank bank(config, cat);
+  const auto& paths = standard_critical_paths();
+  std::size_t cpd_with_path = 0;
+  for (const auto& spec : bank.specs()) {
+    if (spec.type == data::FeatureType::kRodMonitor) {
+      EXPECT_EQ(spec.path_index, -1);
+    } else if (spec.path_index >= 0) {
+      ++cpd_with_path;
+      ASSERT_LT(static_cast<std::size_t>(spec.path_index), paths.size());
+      EXPECT_DOUBLE_EQ(
+          spec.aging_gain,
+          paths[static_cast<std::size_t>(spec.path_index)].aging_gain);
+      EXPECT_GT(spec.path_gain, 0.0);
+    }
+  }
+  EXPECT_EQ(cpd_with_path, std::min<std::size_t>(config.n_cpd, paths.size()));
+}
+
+TEST(CriticalPath, WorstPathIsMaxAndMonotoneInAging) {
+  const auto& paths = standard_critical_paths();
+  ChipLatent chip;
+  chip.dvth = 0.005;
+  chip.dleff = 0.01;
+  chip.mismatch = 0.5;
+  double max_score = -1e30;
+  for (const auto& p : paths) {
+    max_score = std::max(max_score, path_score(p, chip, 0.01));
+  }
+  EXPECT_DOUBLE_EQ(worst_path_score(paths, chip, 0.01), max_score);
+  EXPECT_GT(worst_path_score(paths, chip, 0.02),
+            worst_path_score(paths, chip, 0.0));
+}
+
+TEST(CriticalPath, BindingPathChangesAcrossCorners) {
+  // The max is a genuine nonlinearity only if different chips bind
+  // different paths; verify at least 2 distinct argmax paths over a corner
+  // sweep.
+  const auto& paths = standard_critical_paths();
+  std::set<std::size_t> binding;
+  for (double dvth : {-0.03, -0.01, 0.0, 0.01, 0.03}) {
+    for (double dleff : {-0.05, 0.0, 0.05}) {
+      ChipLatent chip;
+      chip.dvth = dvth;
+      chip.dleff = dleff;
+      chip.mismatch = 1.0;
+      std::size_t best = 0;
+      double best_score = -1e30;
+      for (std::size_t p = 0; p < paths.size(); ++p) {
+        const double s = path_score(paths[p], chip, 0.0);
+        if (s > best_score) {
+          best_score = s;
+          best = p;
+        }
+      }
+      binding.insert(best);
+    }
+  }
+  EXPECT_GE(binding.size(), 2u);
+}
+
+TEST(MonitorBank, FeatureInfoEncodesReadPoint) {
+  MonitorConfig config;
+  config.n_rod = 2;
+  config.n_cpd = 1;
+  rng::Rng cat(10);
+  MonitorBank bank(config, cat);
+  const auto info = bank.feature_info(48.0);
+  ASSERT_EQ(info.size(), 3u);
+  EXPECT_EQ(info[0].name, "rod_0_t48");
+  EXPECT_EQ(info[2].name, "cpd_0_t48");
+  EXPECT_DOUBLE_EQ(info[1].read_point_hours, 48.0);
+  EXPECT_EQ(info[2].type, data::FeatureType::kCpdMonitor);
+}
+
+TEST(VminModel, ColdAndDegradedChipsNeedMoreVoltage) {
+  VminModel model;
+  ChipLatent chip;
+  const double v_room = model.expected_vmin(chip, 0.0, 25.0);
+  const double v_cold = model.expected_vmin(chip, 0.0, -45.0);
+  const double v_hot = model.expected_vmin(chip, 0.0, 125.0);
+  const double v_aged = model.expected_vmin(chip, 1008.0, 25.0);
+  EXPECT_GT(v_cold, v_room);
+  EXPECT_GT(v_hot, v_room);
+  EXPECT_GT(v_aged, v_room);
+}
+
+TEST(VminModel, HighVthChipsHaveHigherVmin) {
+  VminModel model;
+  ChipLatent slow;
+  slow.dvth = 0.02;
+  ChipLatent fast;
+  fast.dvth = -0.02;
+  EXPECT_GT(model.expected_vmin(slow, 0.0, 25.0),
+            model.expected_vmin(fast, 0.0, 25.0));
+}
+
+TEST(VminModel, HeteroscedasticNoise) {
+  VminModel model;
+  ChipLatent clean;
+  ChipLatent messy;
+  messy.mismatch = 2.0;
+  messy.defect = 1.0;
+  EXPECT_GT(model.noise_stddev(messy, 25.0), model.noise_stddev(clean, 25.0));
+  // Cold testing is noisier.
+  EXPECT_GT(model.noise_stddev(clean, -45.0), model.noise_stddev(clean, 25.0));
+}
+
+TEST(VminModel, DefectsBiteHarderAtCold) {
+  VminModel model;
+  ChipLatent good;
+  ChipLatent bad;
+  bad.defect = 2.0;
+  const double delta_cold = model.expected_vmin(bad, 0.0, -45.0) -
+                            model.expected_vmin(good, 0.0, -45.0);
+  const double delta_room = model.expected_vmin(bad, 0.0, 25.0) -
+                            model.expected_vmin(good, 0.0, 25.0);
+  EXPECT_GT(delta_cold, delta_room);
+}
+
+TEST(Generator, ShapeMatchesTableII) {
+  GeneratorConfig config;  // defaults: 156 chips, 1800 parametric, 168+10
+  const auto generated = generate_dataset(config);
+  const auto& ds = generated.dataset;
+  EXPECT_EQ(ds.n_chips(), 156u);
+  // 1800 parametric + (168 + 10) monitors x 6 read points.
+  EXPECT_EQ(ds.n_features(), 1800u + 178u * 6u);
+  EXPECT_EQ(ds.labels().size(), 18u);  // 6 read points x 3 temps
+  EXPECT_EQ(generated.latents.size(), 156u);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorConfig config;
+  config.n_chips = 12;
+  config.parametric.features_per_temperature = 20;
+  config.monitors.n_rod = 4;
+  config.monitors.n_cpd = 2;
+  const auto a = generate_dataset(config);
+  const auto b = generate_dataset(config);
+  EXPECT_EQ(a.dataset.features(), b.dataset.features());
+  for (std::size_t s = 0; s < a.dataset.labels().size(); ++s) {
+    EXPECT_EQ(a.dataset.labels()[s].values, b.dataset.labels()[s].values);
+  }
+  config.seed += 1;
+  const auto c = generate_dataset(config);
+  EXPECT_NE(a.dataset.features(), c.dataset.features());
+}
+
+TEST(Generator, VminScaleMatchesPaper) {
+  // Healthy-population Vmin spread should be tens of mV (the paper's
+  // interval lengths are 15-60 mV), and the median near the nominal 0.55 V.
+  GeneratorConfig config;
+  const auto generated = generate_dataset(config);
+  const auto& y = generated.dataset.label(0.0, 25.0).values;
+  EXPECT_NEAR(stats::mean(y), 0.55, 0.03);
+  const double sd = stats::stddev(y);
+  EXPECT_GT(sd, 0.005);
+  EXPECT_LT(sd, 0.06);
+}
+
+TEST(Generator, DegradationVisibleAtLateReadPoints) {
+  GeneratorConfig config;
+  const auto generated = generate_dataset(config);
+  const auto& y0 = generated.dataset.label(0.0, 25.0).values;
+  const auto& y1008 = generated.dataset.label(1008.0, 25.0).values;
+  EXPECT_GT(stats::mean(y1008), stats::mean(y0) + 0.005);
+}
+
+TEST(Generator, ValidatesConfig) {
+  GeneratorConfig config;
+  config.n_chips = 0;
+  EXPECT_THROW(generate_dataset(config), std::invalid_argument);
+  GeneratorConfig config2;
+  config2.read_points_hours.clear();
+  EXPECT_THROW(generate_dataset(config2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmincqr::silicon

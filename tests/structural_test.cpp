@@ -1,0 +1,155 @@
+// Tests for the structural (STA-based) dataset generator, including an
+// end-to-end check that the CQR pipeline behaves the same on timing-derived
+// Vmin as on the closed-form response surface.
+#include <gtest/gtest.h>
+
+#include "conformal/cqr.hpp"
+#include "data/feature_select.hpp"
+#include "models/factory.hpp"
+#include "silicon/structural.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/metrics.hpp"
+
+namespace vmincqr::silicon {
+namespace {
+
+StructuralConfig small_config() {
+  StructuralConfig config;
+  config.n_chips = 48;
+  config.design.n_gates = 250;
+  config.n_ring_oscillators = 12;
+  config.read_points_hours = {0.0, 504.0};
+  config.vmin_temperatures_c = {-45.0, 25.0};
+  return config;
+}
+
+class StructuralFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new StructuralDataset(generate_structural_dataset(small_config()));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static StructuralDataset* data_;
+};
+
+StructuralDataset* StructuralFixture::data_ = nullptr;
+
+TEST_F(StructuralFixture, ShapeMatchesConfig) {
+  const auto& ds = data_->dataset;
+  EXPECT_EQ(ds.n_chips(), 48u);
+  EXPECT_EQ(ds.n_features(), 3u + 12u * 2u);  // 3 proxies + ROs x 2 points
+  EXPECT_EQ(ds.labels().size(), 4u);          // 2 read points x 2 temps
+  EXPECT_GT(data_->clock_period_ns, 0.0);
+}
+
+TEST_F(StructuralFixture, NominalVminNearTarget) {
+  // The clock was derived so a zero-shift chip closes at 0.55 V; the
+  // population median should sit near it.
+  const auto& y = data_->dataset.label(0.0, 25.0).values;
+  EXPECT_NEAR(stats::mean(y), 0.55, 0.02);
+}
+
+TEST_F(StructuralFixture, PhysicalOrderings) {
+  const auto& ds = data_->dataset;
+  const auto& room0 = ds.label(0.0, 25.0).values;
+  const auto& cold0 = ds.label(0.0, -45.0).values;
+  const auto& room_aged = ds.label(504.0, 25.0).values;
+  // Cold needs more voltage; stress degrades Vmin — on population averages.
+  EXPECT_GT(stats::mean(cold0), stats::mean(room0));
+  EXPECT_GT(stats::mean(room_aged), stats::mean(room0));
+  // And per chip (noise is small relative to the effects).
+  std::size_t cold_worse = 0, aged_worse = 0;
+  for (std::size_t i = 0; i < ds.n_chips(); ++i) {
+    cold_worse += cold0[i] > room0[i];
+    aged_worse += room_aged[i] > room0[i];
+  }
+  EXPECT_GT(cold_worse, ds.n_chips() * 9 / 10);
+  EXPECT_GT(aged_worse, ds.n_chips() * 9 / 10);
+}
+
+TEST_F(StructuralFixture, RoFrequenciesTrackProcessCorner) {
+  // Fast (low-Vth) chips must show higher RO frequency.
+  const auto& ds = data_->dataset;
+  std::vector<double> dvth, freq;
+  const auto ro_cols = ds.select_features([](const data::FeatureInfo& f) {
+    return f.type == data::FeatureType::kRodMonitor &&
+           f.read_point_hours == 0.0;
+  });
+  ASSERT_FALSE(ro_cols.empty());
+  for (std::size_t i = 0; i < ds.n_chips(); ++i) {
+    dvth.push_back(data_->latents[i].dvth);
+    freq.push_back(ds.features()(i, ro_cols[0]));
+  }
+  EXPECT_LT(stats::pearson(dvth, freq), -0.8);
+}
+
+TEST_F(StructuralFixture, RoFrequenciesDropWithAging) {
+  const auto& ds = data_->dataset;
+  const auto t0 = ds.select_features([](const data::FeatureInfo& f) {
+    return f.type == data::FeatureType::kRodMonitor &&
+           f.read_point_hours == 0.0;
+  });
+  const auto t504 = ds.select_features([](const data::FeatureInfo& f) {
+    return f.type == data::FeatureType::kRodMonitor &&
+           f.read_point_hours == 504.0;
+  });
+  ASSERT_EQ(t0.size(), t504.size());
+  std::size_t dropped = 0, total = 0;
+  for (std::size_t i = 0; i < ds.n_chips(); ++i) {
+    for (std::size_t r = 0; r < t0.size(); ++r) {
+      dropped += ds.features()(i, t504[r]) < ds.features()(i, t0[r]);
+      ++total;
+    }
+  }
+  EXPECT_GT(dropped, total * 9 / 10);
+}
+
+TEST_F(StructuralFixture, DeterministicInSeed) {
+  const auto again = generate_structural_dataset(small_config());
+  EXPECT_EQ(again.dataset.features(), data_->dataset.features());
+  EXPECT_EQ(again.clock_period_ns, data_->clock_period_ns);
+}
+
+TEST_F(StructuralFixture, CqrPipelineWorksOnStructuralVmin) {
+  // End to end: CQR over linear QR on timing-derived labels still covers.
+  const auto& ds = data_->dataset;
+  const auto& y_all = ds.label(504.0, 25.0).values;
+
+  std::vector<std::size_t> train_rows, test_rows;
+  for (std::size_t i = 0; i < ds.n_chips(); ++i) {
+    (i < 36 ? train_rows : test_rows).push_back(i);
+  }
+  const auto x_train = ds.features().take_rows(train_rows);
+  const auto x_test = ds.features().take_rows(test_rows);
+  linalg::Vector y_train(train_rows.size()), y_test(test_rows.size());
+  for (std::size_t i = 0; i < train_rows.size(); ++i) {
+    y_train[i] = y_all[train_rows[i]];
+  }
+  for (std::size_t i = 0; i < test_rows.size(); ++i) {
+    y_test[i] = y_all[test_rows[i]];
+  }
+
+  const auto cols = data::cfs_select(x_train, y_train, 6);
+  conformal::CqrConfig config;
+  config.train_fraction = 0.7;
+  conformal::ConformalizedQuantileRegressor cqr(
+      0.2, models::make_quantile_pair(models::ModelKind::kLinear, 0.2),
+      config);
+  cqr.fit(x_train.take_cols(cols), y_train);
+  const auto band = cqr.predict_interval(x_test.take_cols(cols));
+  const double cov = stats::interval_coverage(y_test, band.lower, band.upper);
+  EXPECT_GE(cov, 0.55);  // 12 test chips: generous Monte-Carlo slack
+  EXPECT_GT(stats::mean_interval_length(band.lower, band.upper), 0.0);
+}
+
+TEST(Structural, ValidatesConfig) {
+  StructuralConfig config;
+  config.n_chips = 0;
+  EXPECT_THROW(generate_structural_dataset(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmincqr::silicon

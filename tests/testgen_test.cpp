@@ -1,0 +1,129 @@
+// Tests for the structural-test substrate: bit-parallel logic simulation,
+// stuck-at fault simulation, and the random-pattern ATPG loop.
+#include <gtest/gtest.h>
+
+#include "testgen/fault_sim.hpp"
+
+namespace vmincqr::testgen {
+namespace {
+
+using netlist::Gate;
+using netlist::Netlist;
+
+// in0, in1 -> NAND (node 2) -> INV (node 3). Output: node 3 (= AND).
+Netlist make_and_circuit() {
+  std::vector<Gate> gates = {{2, {0, 1}, 1.0, 1.0}, {0, {2}, 1.0, 1.0}};
+  return Netlist(2, std::move(gates), {3});
+}
+
+TEST(EvaluateGate, TruthTables) {
+  const PatternWord a = 0b1100;
+  const PatternWord b = 0b1010;
+  EXPECT_EQ(evaluate_gate(0, {a}) & 0xF, PatternWord{0b0011});       // INV
+  EXPECT_EQ(evaluate_gate(1, {a}) & 0xF, PatternWord{0b1100});      // BUF
+  EXPECT_EQ(evaluate_gate(2, {a, b}) & 0xF, PatternWord{0b0111});   // NAND
+  EXPECT_EQ(evaluate_gate(3, {a, b}) & 0xF, PatternWord{0b0001});   // NOR
+  // AOI21(a, b, c) = !((a&b)|c), c = 0b0110.
+  EXPECT_EQ(evaluate_gate(4, {a, b, PatternWord{0b0110}}) & 0xF,
+            PatternWord{0b0001});
+  EXPECT_EQ(evaluate_gate(5, {a}) & 0xF, PatternWord{0b1100});  // DFF
+  EXPECT_THROW(evaluate_gate(99, {a}), std::invalid_argument);
+  EXPECT_THROW(evaluate_gate(0, {}), std::invalid_argument);
+}
+
+TEST(LogicSim, AndCircuitExhaustive) {
+  const Netlist nl = make_and_circuit();
+  const LogicSimulator sim(nl);
+  // 4 patterns: in0 = 0011, in1 = 0101 -> AND = 0001.
+  const auto values = sim.simulate({0b0011, 0b0101});
+  EXPECT_EQ(values[3] & 0xF, PatternWord{0b0001});
+  const auto outs = sim.outputs_of(values);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0] & 0xF, PatternWord{0b0001});
+  EXPECT_THROW(sim.simulate({0b0011}), std::invalid_argument);
+}
+
+TEST(LogicSim, FaultInjectionChangesOutputs) {
+  const Netlist nl = make_and_circuit();
+  const LogicSimulator sim(nl);
+  // Stuck-at-1 on the AND output (node 3): output becomes all ones.
+  const auto faulty = sim.simulate_with_fault({0b0011, 0b0101}, 3, true);
+  EXPECT_EQ(faulty[3] & 0xF, PatternWord{0xF});
+  // Stuck-at-0 on input 0 propagates: AND = 0.
+  const auto in_fault = sim.simulate_with_fault({0b0011, 0b0101}, 0, false);
+  EXPECT_EQ(in_fault[3] & 0xF, PatternWord{0b0000});
+  EXPECT_THROW(sim.simulate_with_fault({0b0011, 0b0101}, 99, false),
+               std::invalid_argument);
+}
+
+TEST(FaultSim, DetectsAllFaultsOfAndWithExhaustivePatterns) {
+  const Netlist nl = make_and_circuit();
+  const auto faults = enumerate_stuck_faults(nl);
+  EXPECT_EQ(faults.size(), 2u * nl.n_nodes());
+  // Exhaustive 4 patterns in one word.
+  const std::vector<std::vector<PatternWord>> words = {{0b0011}, {0b0101}};
+  const auto result = simulate_faults(nl, words, faults);
+  // Every stuck-at fault in an AND cone is detectable with exhaustive
+  // patterns.
+  EXPECT_EQ(result.n_detected, result.n_faults);
+  EXPECT_DOUBLE_EQ(result.coverage(), 1.0);
+}
+
+TEST(FaultSim, UndetectedWithoutSensitizingPatterns) {
+  const Netlist nl = make_and_circuit();
+  // Only the pattern 00: stuck-at-0 at node 3 produces the same output.
+  const std::vector<std::vector<PatternWord>> words = {{0b0}, {0b0}};
+  const auto faults = std::vector<StuckFault>{{3, false}};
+  const auto result = simulate_faults(nl, words, faults);
+  EXPECT_EQ(result.n_detected, 0u);
+}
+
+TEST(FaultSim, Validation) {
+  const Netlist nl = make_and_circuit();
+  EXPECT_THROW(simulate_faults(nl, {{0b1}}, {}), std::invalid_argument);
+  EXPECT_THROW(simulate_faults(nl, {{0b1, 0b1}, {0b1}}, {}),
+               std::invalid_argument);
+}
+
+TEST(Atpg, ReachesHighCoverageOnRandomLogic) {
+  netlist::RandomNetlistConfig config;
+  config.n_inputs = 24;
+  config.n_gates = 200;
+  config.n_outputs = 12;
+  rng::Rng design_rng(3);
+  const Netlist nl = Netlist::random(config, design_rng);
+
+  rng::Rng atpg_rng(4);
+  const auto result = random_atpg(nl, 0.95, 64, atpg_rng);
+  // Random logic is highly random-pattern testable; most faults at
+  // observable nodes are caught. (Unobservable dangling gates cap coverage
+  // below 1.)
+  EXPECT_GT(result.coverage, 0.5);
+  EXPECT_GT(result.n_patterns, 0u);
+  EXPECT_EQ(result.input_words.size(), nl.n_inputs());
+}
+
+TEST(Atpg, CoverageMonotoneInPatternBudget) {
+  netlist::RandomNetlistConfig config;
+  config.n_inputs = 16;
+  config.n_gates = 120;
+  rng::Rng design_rng(5);
+  const Netlist nl = Netlist::random(config, design_rng);
+
+  rng::Rng rng_small(6), rng_large(6);
+  // Target 1.0 is practically unreachable (unobservable nodes), so both
+  // runs exhaust their budgets.
+  const auto small = random_atpg(nl, 1.0, 1, rng_small);
+  const auto large = random_atpg(nl, 1.0, 16, rng_large);
+  EXPECT_GE(large.coverage, small.coverage);
+}
+
+TEST(Atpg, Validation) {
+  const Netlist nl = make_and_circuit();
+  rng::Rng rng(7);
+  EXPECT_THROW(random_atpg(nl, -0.1, 4, rng), std::invalid_argument);
+  EXPECT_THROW(random_atpg(nl, 0.9, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vmincqr::testgen
