@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conformal.dir/ablation_conformal.cpp.o"
+  "CMakeFiles/ablation_conformal.dir/ablation_conformal.cpp.o.d"
+  "ablation_conformal"
+  "ablation_conformal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conformal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

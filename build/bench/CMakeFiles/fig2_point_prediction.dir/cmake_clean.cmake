@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_point_prediction.dir/fig2_point_prediction.cpp.o"
+  "CMakeFiles/fig2_point_prediction.dir/fig2_point_prediction.cpp.o.d"
+  "fig2_point_prediction"
+  "fig2_point_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_point_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

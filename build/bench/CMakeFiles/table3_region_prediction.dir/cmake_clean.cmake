@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_region_prediction.dir/table3_region_prediction.cpp.o"
+  "CMakeFiles/table3_region_prediction.dir/table3_region_prediction.cpp.o.d"
+  "table3_region_prediction"
+  "table3_region_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_region_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_monitor_gain.dir/table4_monitor_gain.cpp.o"
+  "CMakeFiles/table4_monitor_gain.dir/table4_monitor_gain.cpp.o.d"
+  "table4_monitor_gain"
+  "table4_monitor_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_monitor_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformal_playground.dir/conformal_playground.cpp.o"
+  "CMakeFiles/conformal_playground.dir/conformal_playground.cpp.o.d"
+  "conformal_playground"
+  "conformal_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformal_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

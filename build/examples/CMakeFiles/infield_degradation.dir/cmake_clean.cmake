@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infield_degradation.dir/infield_degradation.cpp.o"
+  "CMakeFiles/infield_degradation.dir/infield_degradation.cpp.o.d"
+  "infield_degradation"
+  "infield_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infield_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_ranking.dir/monitor_ranking.cpp.o"
+  "CMakeFiles/monitor_ranking.dir/monitor_ranking.cpp.o.d"
+  "monitor_ranking"
+  "monitor_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

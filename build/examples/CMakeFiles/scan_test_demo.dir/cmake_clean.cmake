@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_test_demo.dir/scan_test_demo.cpp.o"
+  "CMakeFiles/scan_test_demo.dir/scan_test_demo.cpp.o.d"
+  "scan_test_demo"
+  "scan_test_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_test_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_sta_demo.dir/structural_sta_demo.cpp.o"
+  "CMakeFiles/structural_sta_demo.dir/structural_sta_demo.cpp.o.d"
+  "structural_sta_demo"
+  "structural_sta_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_sta_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

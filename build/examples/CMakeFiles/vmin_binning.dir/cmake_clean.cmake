@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmin_binning.dir/vmin_binning.cpp.o"
+  "CMakeFiles/vmin_binning.dir/vmin_binning.cpp.o.d"
+  "vmin_binning"
+  "vmin_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmin_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

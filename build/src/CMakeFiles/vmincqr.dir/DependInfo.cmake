@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conformal/cqr.cpp" "src/CMakeFiles/vmincqr.dir/conformal/cqr.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/conformal/cqr.cpp.o.d"
+  "/root/repo/src/conformal/cv_plus.cpp" "src/CMakeFiles/vmincqr.dir/conformal/cv_plus.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/conformal/cv_plus.cpp.o.d"
+  "/root/repo/src/conformal/mondrian.cpp" "src/CMakeFiles/vmincqr.dir/conformal/mondrian.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/conformal/mondrian.cpp.o.d"
+  "/root/repo/src/conformal/normalized.cpp" "src/CMakeFiles/vmincqr.dir/conformal/normalized.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/conformal/normalized.cpp.o.d"
+  "/root/repo/src/conformal/predictive.cpp" "src/CMakeFiles/vmincqr.dir/conformal/predictive.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/conformal/predictive.cpp.o.d"
+  "/root/repo/src/conformal/scores.cpp" "src/CMakeFiles/vmincqr.dir/conformal/scores.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/conformal/scores.cpp.o.d"
+  "/root/repo/src/conformal/split_cp.cpp" "src/CMakeFiles/vmincqr.dir/conformal/split_cp.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/conformal/split_cp.cpp.o.d"
+  "/root/repo/src/core/binning.cpp" "src/CMakeFiles/vmincqr.dir/core/binning.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/core/binning.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/vmincqr.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/vmincqr.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/vmincqr.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/vmincqr.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/screening.cpp" "src/CMakeFiles/vmincqr.dir/core/screening.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/core/screening.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/CMakeFiles/vmincqr.dir/data/csv.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/data/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/vmincqr.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/feature_select.cpp" "src/CMakeFiles/vmincqr.dir/data/feature_select.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/data/feature_select.cpp.o.d"
+  "/root/repo/src/data/scaler.cpp" "src/CMakeFiles/vmincqr.dir/data/scaler.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/data/scaler.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/CMakeFiles/vmincqr.dir/data/split.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/data/split.cpp.o.d"
+  "/root/repo/src/linalg/decomp.cpp" "src/CMakeFiles/vmincqr.dir/linalg/decomp.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/linalg/decomp.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/vmincqr.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/ops.cpp" "src/CMakeFiles/vmincqr.dir/linalg/ops.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/linalg/ops.cpp.o.d"
+  "/root/repo/src/models/elastic_net.cpp" "src/CMakeFiles/vmincqr.dir/models/elastic_net.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/elastic_net.cpp.o.d"
+  "/root/repo/src/models/factory.cpp" "src/CMakeFiles/vmincqr.dir/models/factory.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/factory.cpp.o.d"
+  "/root/repo/src/models/gbt.cpp" "src/CMakeFiles/vmincqr.dir/models/gbt.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/gbt.cpp.o.d"
+  "/root/repo/src/models/gp.cpp" "src/CMakeFiles/vmincqr.dir/models/gp.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/gp.cpp.o.d"
+  "/root/repo/src/models/linear.cpp" "src/CMakeFiles/vmincqr.dir/models/linear.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/linear.cpp.o.d"
+  "/root/repo/src/models/losses.cpp" "src/CMakeFiles/vmincqr.dir/models/losses.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/losses.cpp.o.d"
+  "/root/repo/src/models/mlp.cpp" "src/CMakeFiles/vmincqr.dir/models/mlp.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/mlp.cpp.o.d"
+  "/root/repo/src/models/ordered_boost.cpp" "src/CMakeFiles/vmincqr.dir/models/ordered_boost.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/ordered_boost.cpp.o.d"
+  "/root/repo/src/models/region.cpp" "src/CMakeFiles/vmincqr.dir/models/region.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/region.cpp.o.d"
+  "/root/repo/src/models/regressor.cpp" "src/CMakeFiles/vmincqr.dir/models/regressor.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/regressor.cpp.o.d"
+  "/root/repo/src/models/tree.cpp" "src/CMakeFiles/vmincqr.dir/models/tree.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/models/tree.cpp.o.d"
+  "/root/repo/src/netlist/cell.cpp" "src/CMakeFiles/vmincqr.dir/netlist/cell.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/netlist/cell.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/vmincqr.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/ring_oscillator.cpp" "src/CMakeFiles/vmincqr.dir/netlist/ring_oscillator.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/netlist/ring_oscillator.cpp.o.d"
+  "/root/repo/src/netlist/sta.cpp" "src/CMakeFiles/vmincqr.dir/netlist/sta.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/netlist/sta.cpp.o.d"
+  "/root/repo/src/netlist/vmin_solver.cpp" "src/CMakeFiles/vmincqr.dir/netlist/vmin_solver.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/netlist/vmin_solver.cpp.o.d"
+  "/root/repo/src/rng/rng.cpp" "src/CMakeFiles/vmincqr.dir/rng/rng.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/rng/rng.cpp.o.d"
+  "/root/repo/src/silicon/aging.cpp" "src/CMakeFiles/vmincqr.dir/silicon/aging.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/silicon/aging.cpp.o.d"
+  "/root/repo/src/silicon/critical_path.cpp" "src/CMakeFiles/vmincqr.dir/silicon/critical_path.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/silicon/critical_path.cpp.o.d"
+  "/root/repo/src/silicon/dataset_gen.cpp" "src/CMakeFiles/vmincqr.dir/silicon/dataset_gen.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/silicon/dataset_gen.cpp.o.d"
+  "/root/repo/src/silicon/monitors.cpp" "src/CMakeFiles/vmincqr.dir/silicon/monitors.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/silicon/monitors.cpp.o.d"
+  "/root/repo/src/silicon/parametric.cpp" "src/CMakeFiles/vmincqr.dir/silicon/parametric.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/silicon/parametric.cpp.o.d"
+  "/root/repo/src/silicon/process.cpp" "src/CMakeFiles/vmincqr.dir/silicon/process.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/silicon/process.cpp.o.d"
+  "/root/repo/src/silicon/structural.cpp" "src/CMakeFiles/vmincqr.dir/silicon/structural.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/silicon/structural.cpp.o.d"
+  "/root/repo/src/silicon/vmin_model.cpp" "src/CMakeFiles/vmincqr.dir/silicon/vmin_model.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/silicon/vmin_model.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/vmincqr.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/CMakeFiles/vmincqr.dir/stats/distributions.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/stats/distributions.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/CMakeFiles/vmincqr.dir/stats/metrics.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/stats/metrics.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/CMakeFiles/vmincqr.dir/stats/quantile.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/stats/quantile.cpp.o.d"
+  "/root/repo/src/testgen/fault_sim.cpp" "src/CMakeFiles/vmincqr.dir/testgen/fault_sim.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/testgen/fault_sim.cpp.o.d"
+  "/root/repo/src/testgen/logic.cpp" "src/CMakeFiles/vmincqr.dir/testgen/logic.cpp.o" "gcc" "src/CMakeFiles/vmincqr.dir/testgen/logic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

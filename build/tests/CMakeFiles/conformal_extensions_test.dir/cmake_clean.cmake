@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformal_extensions_test.dir/conformal_extensions_test.cpp.o"
+  "CMakeFiles/conformal_extensions_test.dir/conformal_extensions_test.cpp.o.d"
+  "conformal_extensions_test"
+  "conformal_extensions_test.pdb"
+  "conformal_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformal_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

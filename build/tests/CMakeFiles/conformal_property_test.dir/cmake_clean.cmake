@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformal_property_test.dir/conformal_property_test.cpp.o"
+  "CMakeFiles/conformal_property_test.dir/conformal_property_test.cpp.o.d"
+  "conformal_property_test"
+  "conformal_property_test.pdb"
+  "conformal_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformal_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

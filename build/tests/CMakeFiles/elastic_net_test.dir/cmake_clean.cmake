@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_net_test.dir/elastic_net_test.cpp.o"
+  "CMakeFiles/elastic_net_test.dir/elastic_net_test.cpp.o.d"
+  "elastic_net_test"
+  "elastic_net_test.pdb"
+  "elastic_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

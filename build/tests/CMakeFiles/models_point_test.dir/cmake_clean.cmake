@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_point_test.dir/models_point_test.cpp.o"
+  "CMakeFiles/models_point_test.dir/models_point_test.cpp.o.d"
+  "models_point_test"
+  "models_point_test.pdb"
+  "models_point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

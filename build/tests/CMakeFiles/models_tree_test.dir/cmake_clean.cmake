@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_tree_test.dir/models_tree_test.cpp.o"
+  "CMakeFiles/models_tree_test.dir/models_tree_test.cpp.o.d"
+  "models_tree_test"
+  "models_tree_test.pdb"
+  "models_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

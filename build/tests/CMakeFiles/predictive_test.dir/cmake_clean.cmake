@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictive_test.dir/predictive_test.cpp.o"
+  "CMakeFiles/predictive_test.dir/predictive_test.cpp.o.d"
+  "predictive_test"
+  "predictive_test.pdb"
+  "predictive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

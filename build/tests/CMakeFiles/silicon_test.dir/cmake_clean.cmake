@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_test.dir/silicon_test.cpp.o"
+  "CMakeFiles/silicon_test.dir/silicon_test.cpp.o.d"
+  "silicon_test"
+  "silicon_test.pdb"
+  "silicon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/silicon_test[1]_include.cmake")
+include("/root/repo/build/tests/models_point_test[1]_include.cmake")
+include("/root/repo/build/tests/models_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/conformal_test[1]_include.cmake")
+include("/root/repo/build/tests/conformal_property_test[1]_include.cmake")
+include("/root/repo/build/tests/conformal_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/structural_test[1]_include.cmake")
+include("/root/repo/build/tests/application_test[1]_include.cmake")
+include("/root/repo/build/tests/elastic_net_test[1]_include.cmake")
+include("/root/repo/build/tests/testgen_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/predictive_test[1]_include.cmake")
+include("/root/repo/build/tests/model_property_test[1]_include.cmake")
