@@ -1,0 +1,74 @@
+# Sanitizers.cmake — fused sanitizer instrumentation for all targets.
+#
+# Usage:
+#   cmake -B build -S . -DVMINCQR_SANITIZE="address;undefined"
+#   cmake -B build -S . -DVMINCQR_SANITIZE=thread
+#
+# VMINCQR_SANITIZE is a semicolon-separated list drawn from:
+#   address | undefined | leak | thread | memory
+# "thread" is mutually exclusive with "address"/"leak" (toolchain rule);
+# we diagnose that combination instead of letting the link fail cryptically.
+#
+# Flags are applied globally (add_compile_options/add_link_options) so every
+# target — library, tests, benches, examples — is instrumented consistently;
+# mixing instrumented and uninstrumented TUs produces false negatives.
+
+set(VMINCQR_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizer list (address;undefined;leak;thread;memory)")
+
+function(vmincqr_enable_sanitizers)
+  if(NOT VMINCQR_SANITIZE)
+    return()
+  endif()
+
+  if(MSVC)
+    if("address" IN_LIST VMINCQR_SANITIZE)
+      add_compile_options(/fsanitize=address)
+    endif()
+    return()
+  endif()
+
+  set(_known address undefined leak thread memory)
+  set(_selected "")
+  foreach(_san IN LISTS VMINCQR_SANITIZE)
+    string(TOLOWER "${_san}" _san)
+    if(NOT _san IN_LIST _known)
+      message(FATAL_ERROR
+        "VMINCQR_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected one of: ${_known})")
+    endif()
+    list(APPEND _selected "${_san}")
+  endforeach()
+  list(REMOVE_DUPLICATES _selected)
+
+  if("thread" IN_LIST _selected AND
+     ("address" IN_LIST _selected OR "leak" IN_LIST _selected))
+    message(FATAL_ERROR
+      "VMINCQR_SANITIZE: 'thread' cannot be combined with 'address'/'leak'")
+  endif()
+  if("memory" IN_LIST _selected AND NOT
+     CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+      "VMINCQR_SANITIZE: 'memory' requires Clang (current: "
+      "${CMAKE_CXX_COMPILER_ID})")
+  endif()
+
+  list(JOIN _selected "," _fused)
+  message(STATUS "vmincqr: sanitizers enabled: -fsanitize=${_fused}")
+
+  add_compile_options(
+    -fsanitize=${_fused}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all
+    -g
+  )
+  add_link_options(-fsanitize=${_fused})
+
+  # Make UBSan abort with a report instead of silently continuing, and give
+  # ASan a deterministic exit code that CTest treats as failure.
+  set(VMINCQR_SANITIZER_ENV
+      "ASAN_OPTIONS=abort_on_error=0:exitcode=99:detect_leaks=1"
+      "UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1"
+      PARENT_SCOPE)
+  set(VMINCQR_SANITIZERS_ACTIVE TRUE PARENT_SCOPE)
+endfunction()

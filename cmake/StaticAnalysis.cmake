@@ -1,0 +1,56 @@
+# StaticAnalysis.cmake — clang-tidy and cppcheck wiring.
+#
+# Usage:
+#   cmake -B build -S . -DVMINCQR_CLANG_TIDY=ON    # lint every TU at build time
+#   cmake --build build --target cppcheck          # standalone cppcheck sweep
+#
+# Both integrations are gated on the tool actually being installed: a missing
+# tool degrades to a STATUS message (never a configure failure) so the build
+# works on minimal containers, while CI images with the tools installed get
+# the full analysis. The clang-tidy ruleset lives in the repo-root
+# .clang-tidy file, which clang-tidy discovers by walking up from each source
+# file — no flags needed here beyond enabling the driver.
+
+option(VMINCQR_CLANG_TIDY "Run clang-tidy on every compiled TU" OFF)
+option(VMINCQR_CPPCHECK "Add a 'cppcheck' build target when available" ON)
+
+function(vmincqr_enable_static_analysis)
+  if(VMINCQR_CLANG_TIDY)
+    find_program(VMINCQR_CLANG_TIDY_EXE NAMES clang-tidy)
+    if(VMINCQR_CLANG_TIDY_EXE)
+      message(STATUS "vmincqr: clang-tidy enabled: ${VMINCQR_CLANG_TIDY_EXE}")
+      # Config comes from the repo .clang-tidy; warnings-as-errors is decided
+      # there too, so CI and local runs agree on severity.
+      set(CMAKE_CXX_CLANG_TIDY "${VMINCQR_CLANG_TIDY_EXE}" PARENT_SCOPE)
+    else()
+      message(STATUS
+        "vmincqr: VMINCQR_CLANG_TIDY=ON but clang-tidy not found; skipping")
+    endif()
+  endif()
+
+  if(VMINCQR_CPPCHECK)
+    find_program(VMINCQR_CPPCHECK_EXE NAMES cppcheck)
+    if(VMINCQR_CPPCHECK_EXE)
+      message(STATUS "vmincqr: cppcheck target enabled: ${VMINCQR_CPPCHECK_EXE}")
+      add_custom_target(cppcheck
+        COMMAND "${VMINCQR_CPPCHECK_EXE}"
+                --enable=warning,performance,portability
+                --inline-suppr
+                --std=c++20
+                --language=c++
+                --error-exitcode=2
+                --suppress=missingIncludeSystem
+                -I "${CMAKE_SOURCE_DIR}/src"
+                "${CMAKE_SOURCE_DIR}/src"
+        WORKING_DIRECTORY "${CMAKE_SOURCE_DIR}"
+        COMMENT "Running cppcheck over src/"
+        VERBATIM)
+    else()
+      message(STATUS "vmincqr: cppcheck not found; 'cppcheck' target skipped")
+    endif()
+  endif()
+
+  # Export a compilation database whenever analysis tooling is in play; both
+  # clang-tidy (standalone runs) and clangd consume it.
+  set(CMAKE_EXPORT_COMPILE_COMMANDS ON PARENT_SCOPE)
+endfunction()

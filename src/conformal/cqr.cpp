@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 #include "conformal/scores.hpp"
 #include "data/split.hpp"
 #include "stats/quantile.hpp"
@@ -30,14 +32,12 @@ ConformalizedQuantileRegressor::ConformalizedQuantileRegressor(
 }
 
 void ConformalizedQuantileRegressor::fit(const Matrix& x, const Vector& y) {
-  if (x.rows() < 3) {
-    throw std::invalid_argument(
-        "ConformalizedQuantileRegressor::fit: need at least 3 samples");
-  }
-  if (x.rows() != y.size()) {
-    throw std::invalid_argument(
-        "ConformalizedQuantileRegressor::fit: shape mismatch");
-  }
+  VMINCQR_REQUIRE(x.rows() >= 3,
+                  "ConformalizedQuantileRegressor::fit: need at least 3 "
+                  "samples");
+  VMINCQR_CHECK_SHAPE(x.rows() == y.size(),
+                      "ConformalizedQuantileRegressor::fit: shape mismatch");
+  VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   std::vector<std::size_t> indices(x.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   rng::Rng rng(config_.seed);
@@ -59,10 +59,12 @@ void ConformalizedQuantileRegressor::fit_with_split(const Matrix& x_train,
                                                     const Vector& y_train,
                                                     const Matrix& x_calib,
                                                     const Vector& y_calib) {
-  if (x_calib.rows() == 0) {
-    throw std::invalid_argument(
-        "ConformalizedQuantileRegressor: empty calibration set");
-  }
+  VMINCQR_REQUIRE(x_calib.rows() > 0,
+                  "ConformalizedQuantileRegressor: empty calibration set");
+  VMINCQR_CHECK_SHAPE(x_calib.rows() == y_calib.size(),
+                      "ConformalizedQuantileRegressor: calibration shape "
+                      "mismatch");
+  VMINCQR_CHECK_FINITE(y_calib, "calibrate: calibration labels");
   base_->fit(x_train, y_train);
   const IntervalPrediction band = base_->predict_interval(x_calib);
   if (config_.mode == CqrMode::kSymmetric) {
@@ -78,6 +80,10 @@ void ConformalizedQuantileRegressor::fit_with_split(const Matrix& x_train,
     q_hat_lo_ = stats::conformal_quantile(lo_scores, alpha_ / 2.0);
     q_hat_hi_ = stats::conformal_quantile(hi_scores, alpha_ / 2.0);
   }
+  // +Inf is a legitimate conservative result (calibration set too small for
+  // the requested alpha -> infinite band); only NaN indicates a defect.
+  VMINCQR_ENSURE(!std::isnan(q_hat_lo_) && !std::isnan(q_hat_hi_),
+                 "calibrate: NaN q_hat");
   calibrated_ = true;
 }
 
@@ -98,6 +104,16 @@ IntervalPrediction ConformalizedQuantileRegressor::predict_interval(
       out.upper[i] = mid;
     }
   }
+  VMINCQR_AUDIT(
+      [&] {
+        for (std::size_t i = 0; i < out.lower.size(); ++i) {
+          if (std::isnan(out.lower[i]) || std::isnan(out.upper[i])) {
+            return false;
+          }
+        }
+        return true;
+      }(),
+      "predict_interval: NaN in conformalized band");
   return out;
 }
 

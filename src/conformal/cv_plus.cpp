@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 #include "data/split.hpp"
 
 namespace vmincqr::conformal {
@@ -21,9 +23,11 @@ CvPlusRegressor::CvPlusRegressor(double alpha, std::unique_ptr<Regressor> model,
 }
 
 void CvPlusRegressor::fit(const Matrix& x, const Vector& y) {
-  if (x.rows() < config_.n_folds || x.rows() != y.size()) {
-    throw std::invalid_argument("CvPlusRegressor::fit: bad shapes");
-  }
+  VMINCQR_REQUIRE(x.rows() >= config_.n_folds,
+                  "CvPlusRegressor::fit: fewer samples than folds");
+  VMINCQR_CHECK_SHAPE(x.rows() == y.size(),
+                      "CvPlusRegressor::fit: shape mismatch");
+  VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   rng::Rng rng(config_.seed);
   const auto folds = data::k_fold(x.rows(), config_.n_folds, rng);
 

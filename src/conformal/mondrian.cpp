@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 #include "conformal/scores.hpp"
 #include "data/split.hpp"
 #include "stats/quantile.hpp"
@@ -26,9 +28,9 @@ MondrianCqr::MondrianCqr(double alpha, std::unique_ptr<IntervalRegressor> base,
 }
 
 void MondrianCqr::fit(const Matrix& x, const Vector& y) {
-  if (x.rows() < 3 || x.rows() != y.size()) {
-    throw std::invalid_argument("MondrianCqr::fit: bad shapes");
-  }
+  VMINCQR_REQUIRE(x.rows() >= 3, "MondrianCqr::fit: need at least 3 samples");
+  VMINCQR_CHECK_SHAPE(x.rows() == y.size(), "MondrianCqr::fit: shape mismatch");
+  VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   std::vector<std::size_t> indices(x.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   rng::Rng rng(config_.seed);

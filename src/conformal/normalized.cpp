@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 #include "conformal/scores.hpp"
 #include "data/split.hpp"
 #include "stats/quantile.hpp"
@@ -27,9 +29,11 @@ NormalizedConformalRegressor::NormalizedConformalRegressor(
 }
 
 void NormalizedConformalRegressor::fit(const Matrix& x, const Vector& y) {
-  if (x.rows() < 3 || x.rows() != y.size()) {
-    throw std::invalid_argument("NormalizedConformalRegressor::fit: bad shapes");
-  }
+  VMINCQR_REQUIRE(x.rows() >= 3,
+                  "NormalizedConformalRegressor::fit: need at least 3 samples");
+  VMINCQR_CHECK_SHAPE(x.rows() == y.size(),
+                      "NormalizedConformalRegressor::fit: shape mismatch");
+  VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   std::vector<std::size_t> indices(x.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   rng::Rng rng(config_.seed);

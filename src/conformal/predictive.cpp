@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 #include "data/split.hpp"
 
 namespace vmincqr::conformal {
@@ -21,10 +23,12 @@ ConformalPredictiveDistribution::ConformalPredictiveDistribution(
 }
 
 void ConformalPredictiveDistribution::fit(const Matrix& x, const Vector& y) {
-  if (x.rows() < 3 || x.rows() != y.size()) {
-    throw std::invalid_argument(
-        "ConformalPredictiveDistribution::fit: bad shapes");
-  }
+  VMINCQR_REQUIRE(x.rows() >= 3,
+                  "ConformalPredictiveDistribution::fit: need at least 3 "
+                  "samples");
+  VMINCQR_CHECK_SHAPE(x.rows() == y.size(),
+                      "ConformalPredictiveDistribution::fit: shape mismatch");
+  VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   std::vector<std::size_t> indices(x.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   rng::Rng rng(config_.seed);
@@ -45,10 +49,12 @@ void ConformalPredictiveDistribution::fit_with_split(const Matrix& x_train,
                                                      const Vector& y_train,
                                                      const Matrix& x_calib,
                                                      const Vector& y_calib) {
-  if (x_calib.rows() == 0) {
-    throw std::invalid_argument(
-        "ConformalPredictiveDistribution: empty calibration set");
-  }
+  VMINCQR_REQUIRE(x_calib.rows() > 0,
+                  "ConformalPredictiveDistribution: empty calibration set");
+  VMINCQR_CHECK_SHAPE(x_calib.rows() == y_calib.size(),
+                      "ConformalPredictiveDistribution: calibration shape "
+                      "mismatch");
+  VMINCQR_CHECK_FINITE(y_calib, "calibrate: calibration labels");
   model_->fit(x_train, y_train);
   const Vector mu = model_->predict(x_calib);
   residuals_.resize(y_calib.size());

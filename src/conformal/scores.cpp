@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace vmincqr::conformal {
 
 double absolute_residual_score(double y, double y_hat) {
@@ -15,17 +17,14 @@ double cqr_score(double y, double lo, double hi) {
 }
 
 double normalized_residual_score(double y, double y_hat, double sigma_hat) {
-  if (!(sigma_hat > 0.0)) {
-    throw std::invalid_argument("normalized_residual_score: sigma_hat <= 0");
-  }
+  VMINCQR_REQUIRE(sigma_hat > 0.0, "normalized_residual_score: sigma_hat <= 0");
   return std::abs(y - y_hat) / sigma_hat;
 }
 
 std::vector<double> absolute_residual_scores(
     const std::vector<double>& y, const std::vector<double>& y_hat) {
-  if (y.size() != y_hat.size()) {
-    throw std::invalid_argument("absolute_residual_scores: length mismatch");
-  }
+  VMINCQR_CHECK_SHAPE(y.size() == y_hat.size(),
+                      "absolute_residual_scores: length mismatch");
   std::vector<double> out(y.size());
   for (std::size_t i = 0; i < y.size(); ++i) {
     out[i] = absolute_residual_score(y[i], y_hat[i]);
@@ -36,9 +35,8 @@ std::vector<double> absolute_residual_scores(
 std::vector<double> cqr_scores(const std::vector<double>& y,
                                const std::vector<double>& lo,
                                const std::vector<double>& hi) {
-  if (y.size() != lo.size() || y.size() != hi.size()) {
-    throw std::invalid_argument("cqr_scores: length mismatch");
-  }
+  VMINCQR_CHECK_SHAPE(y.size() == lo.size() && y.size() == hi.size(),
+                      "cqr_scores: length mismatch");
   std::vector<double> out(y.size());
   for (std::size_t i = 0; i < y.size(); ++i) {
     out[i] = cqr_score(y[i], lo[i], hi[i]);

@@ -1,6 +1,9 @@
 #include "conformal/split_cp.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "core/contracts.hpp"
 
 #include "conformal/scores.hpp"
 #include "data/split.hpp"
@@ -25,13 +28,11 @@ SplitConformalRegressor::SplitConformalRegressor(
 }
 
 void SplitConformalRegressor::fit(const Matrix& x, const Vector& y) {
-  if (x.rows() < 3) {
-    throw std::invalid_argument(
-        "SplitConformalRegressor::fit: need at least 3 samples");
-  }
-  if (x.rows() != y.size()) {
-    throw std::invalid_argument("SplitConformalRegressor::fit: shape mismatch");
-  }
+  VMINCQR_REQUIRE(x.rows() >= 3,
+                  "SplitConformalRegressor::fit: need at least 3 samples");
+  VMINCQR_CHECK_SHAPE(x.rows() == y.size(),
+                      "SplitConformalRegressor::fit: shape mismatch");
+  VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   std::vector<std::size_t> indices(x.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   rng::Rng rng(config_.seed);
@@ -53,14 +54,18 @@ void SplitConformalRegressor::fit_with_split(const Matrix& x_train,
                                              const Vector& y_train,
                                              const Matrix& x_calib,
                                              const Vector& y_calib) {
-  if (x_calib.rows() == 0) {
-    throw std::invalid_argument(
-        "SplitConformalRegressor: empty calibration set");
-  }
+  VMINCQR_REQUIRE(x_calib.rows() > 0,
+                  "SplitConformalRegressor: empty calibration set");
+  VMINCQR_CHECK_SHAPE(x_calib.rows() == y_calib.size(),
+                      "SplitConformalRegressor: calibration shape mismatch");
+  VMINCQR_CHECK_FINITE(y_calib, "calibrate: calibration labels");
   model_->fit(x_train, y_train);
   const Vector y_hat = model_->predict(x_calib);
   const auto scores = absolute_residual_scores(y_calib, y_hat);
   q_hat_ = stats::conformal_quantile(scores, alpha_);
+  // +Inf is a legitimate conservative result (calibration set too small for
+  // the requested alpha -> infinite band); only NaN indicates a defect.
+  VMINCQR_ENSURE(!std::isnan(q_hat_), "calibrate: NaN q_hat");
   calibrated_ = true;
 }
 

@@ -1,0 +1,53 @@
+#include "core/contracts.hpp"
+
+#include <cmath>
+
+namespace vmincqr::core {
+
+namespace {
+
+std::string build_message(const char* kind, const char* expression,
+                          const char* function, const std::string& message) {
+  std::string out = "contract violation [";
+  out += kind;
+  out += "] in ";
+  out += function;
+  out += ": ";
+  out += message;
+  if (expression != nullptr && expression[0] != '\0') {
+    out += " (failed: ";
+    out += expression;
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+contract_violation::contract_violation(std::string kind,
+                                       std::string expression,
+                                       std::string function,
+                                       std::string message)
+    : std::invalid_argument(message),
+      kind_(std::move(kind)),
+      expression_(std::move(expression)),
+      function_(std::move(function)) {}
+
+void fail_contract(const char* kind, const char* expression,
+                   const char* function, const std::string& message) {
+  throw contract_violation(kind, expression, function,
+                           build_message(kind, expression, function, message));
+}
+
+bool all_finite(const double* data, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+bool all_finite(const std::vector<double>& values) noexcept {
+  return all_finite(values.data(), values.size());
+}
+
+}  // namespace vmincqr::core

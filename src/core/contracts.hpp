@@ -1,0 +1,145 @@
+// Runtime contract layer — the boundary between "statistical guarantee" and
+// "what the binary actually computes".
+//
+// CQR's coverage guarantee (paper Eq. (6)) is conditional on the scores being
+// computed from well-formed inputs: finite labels, matching shapes, non-empty
+// calibration sets. These macros pin those assumptions at the public entry
+// points of linalg::Matrix ops, models::*::fit/predict, and
+// conformal::*::calibrate/predict so violations surface at the API boundary
+// (with a named contract and location) instead of as NaN bands or sanitizer
+// reports deep in a kernel.
+//
+// Two tiers:
+//   * Always on (any build type): VMINCQR_REQUIRE, VMINCQR_ENSURE and
+//     VMINCQR_CHECK_SHAPE — O(1) argument/shape checks that back the
+//     documented "throws std::invalid_argument / std::logic_error" API
+//     behaviour. contract_violation derives from std::invalid_argument
+//     (itself a std::logic_error), so existing catch sites keep working.
+//   * Contract builds only (Debug, sanitizer, or -DVMINCQR_CONTRACTS=ON):
+//     VMINCQR_CHECK_FINITE and VMINCQR_AUDIT — O(n) data scans and
+//     postcondition audits, compiled out to `(void)0` in plain Release so
+//     hot paths carry no cost.
+//
+// This header is dependency-free below <vector>/<stdexcept> on purpose: it is
+// included from linalg, the bottom layer of the library.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+// CMake defines VMINCQR_CONTRACTS_LEVEL (0 or 1). Standalone consumers of the
+// headers get the assert-like default: on unless NDEBUG.
+#ifndef VMINCQR_CONTRACTS_LEVEL
+#ifdef NDEBUG
+#define VMINCQR_CONTRACTS_LEVEL 0
+#else
+#define VMINCQR_CONTRACTS_LEVEL 1
+#endif
+#endif
+
+namespace vmincqr::core {
+
+/// Thrown on any contract violation. Derives from std::invalid_argument so
+/// call sites written against the pre-contract API ("throws
+/// std::invalid_argument on shape mismatch") continue to compile and pass.
+class contract_violation : public std::invalid_argument {
+ public:
+  contract_violation(std::string kind, std::string expression,
+                     std::string function, std::string message);
+
+  /// Contract family: "precondition", "postcondition", "shape", "finite".
+  const std::string& kind() const noexcept { return kind_; }
+  /// The stringified condition that failed (empty for finite checks).
+  const std::string& expression() const noexcept { return expression_; }
+  /// __func__ of the violated entry point.
+  const std::string& function() const noexcept { return function_; }
+
+ private:
+  std::string kind_;
+  std::string expression_;
+  std::string function_;
+};
+
+/// True when the expensive contract tier (finite scans, audits) is compiled
+/// in. Tests use this to skip rather than fail in plain Release builds.
+constexpr bool contracts_enabled() noexcept {
+  return VMINCQR_CONTRACTS_LEVEL != 0;
+}
+
+/// Builds the diagnostic and throws contract_violation. Out-of-line so the
+/// throw path costs one call at each check site.
+[[noreturn]] void fail_contract(const char* kind, const char* expression,
+                                const char* function,
+                                const std::string& message);
+
+/// True iff every element is finite (no NaN, no +/-Inf).
+bool all_finite(const double* data, std::size_t n) noexcept;
+bool all_finite(const std::vector<double>& values) noexcept;
+
+namespace detail {
+
+/// Scans a Vector or anything Matrix-shaped (rows()/cols()/data()) and
+/// throws a "finite" contract_violation naming the offending index.
+template <typename T>
+void check_finite(const T& value, const char* what, const char* function) {
+  if constexpr (requires { value.rows(); value.data(); }) {
+    check_finite(value.data(), what, function);
+  } else {
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      if (!std::isfinite(value[i])) {
+        fail_contract("finite", "", function,
+                      std::string(what) + " contains a non-finite value at "
+                          "index " + std::to_string(i));
+      }
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace vmincqr::core
+
+/// Precondition on caller-supplied arguments. Always on.
+#define VMINCQR_REQUIRE(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::vmincqr::core::fail_contract("precondition", #cond, __func__,  \
+                                     (msg));                           \
+    }                                                                  \
+  } while (0)
+
+/// Postcondition on produced results. Always on (O(1) uses only).
+#define VMINCQR_ENSURE(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::vmincqr::core::fail_contract("postcondition", #cond, __func__, \
+                                     (msg));                           \
+    }                                                                  \
+  } while (0)
+
+/// Shape agreement between containers. Always on.
+#define VMINCQR_CHECK_SHAPE(cond, msg)                              \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::vmincqr::core::fail_contract("shape", #cond, __func__, (msg)); \
+    }                                                               \
+  } while (0)
+
+#if VMINCQR_CONTRACTS_LEVEL
+/// O(n) scan rejecting NaN/Inf in a Vector or Matrix. Contract builds only.
+#define VMINCQR_CHECK_FINITE(value, what) \
+  ::vmincqr::core::detail::check_finite((value), (what), __func__)
+/// Expensive postcondition audit. Contract builds only.
+#define VMINCQR_AUDIT(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::vmincqr::core::fail_contract("postcondition", #cond, __func__, \
+                                     (msg));                           \
+    }                                                                  \
+  } while (0)
+#else
+#define VMINCQR_CHECK_FINITE(value, what) ((void)0)
+#define VMINCQR_AUDIT(cond, msg) ((void)0)
+#endif

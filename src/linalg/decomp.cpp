@@ -4,15 +4,16 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/contracts.hpp"
 #include "linalg/ops.hpp"
 
 namespace vmincqr::linalg {
 
 std::optional<Matrix> cholesky(const Matrix& a) {
-  if (a.rows() != a.cols()) {
-    throw std::invalid_argument("cholesky: matrix must be square, got " +
-                                shape_string(a));
-  }
+  VMINCQR_CHECK_SHAPE(a.rows() == a.cols(),
+                      "cholesky: matrix must be square, got " +
+                          shape_string(a));
+  VMINCQR_CHECK_FINITE(a, "cholesky: input matrix");
   const std::size_t n = a.rows();
   Matrix l(n, n, 0.0);
   for (std::size_t j = 0; j < n; ++j) {
@@ -33,9 +34,8 @@ std::optional<Matrix> cholesky(const Matrix& a) {
 }
 
 Matrix cholesky_jittered(Matrix a, double initial_jitter, int max_tries) {
-  if (a.rows() != a.cols()) {
-    throw std::invalid_argument("cholesky_jittered: matrix must be square");
-  }
+  VMINCQR_CHECK_SHAPE(a.rows() == a.cols(),
+                      "cholesky_jittered: matrix must be square");
   double jitter = 0.0;
   for (int attempt = 0; attempt < max_tries; ++attempt) {
     Matrix trial = a;
@@ -51,9 +51,8 @@ Matrix cholesky_jittered(Matrix a, double initial_jitter, int max_tries) {
 
 Vector forward_substitute(const Matrix& l, const Vector& b) {
   const std::size_t n = l.rows();
-  if (l.cols() != n || b.size() != n) {
-    throw std::invalid_argument("forward_substitute: dimension mismatch");
-  }
+  VMINCQR_CHECK_SHAPE(l.cols() == n && b.size() == n,
+                      "forward_substitute: dimension mismatch");
   Vector x(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     double s = b[i];
@@ -66,10 +65,8 @@ Vector forward_substitute(const Matrix& l, const Vector& b) {
 
 Vector backward_substitute_transposed(const Matrix& l, const Vector& b) {
   const std::size_t n = l.rows();
-  if (l.cols() != n || b.size() != n) {
-    throw std::invalid_argument(
-        "backward_substitute_transposed: dimension mismatch");
-  }
+  VMINCQR_CHECK_SHAPE(l.cols() == n && b.size() == n,
+                      "backward_substitute_transposed: dimension mismatch");
   Vector x(n, 0.0);
   for (std::size_t ii = n; ii-- > 0;) {
     double s = b[ii];
@@ -82,7 +79,9 @@ Vector backward_substitute_transposed(const Matrix& l, const Vector& b) {
 Vector solve_spd(const Matrix& a, const Vector& b) {
   auto l = cholesky(a);
   if (!l) throw std::runtime_error("solve_spd: matrix not positive definite");
-  return backward_substitute_transposed(*l, forward_substitute(*l, b));
+  Vector x = backward_substitute_transposed(*l, forward_substitute(*l, b));
+  VMINCQR_AUDIT(core::all_finite(x), "solve_spd: non-finite solution");
+  return x;
 }
 
 Matrix solve_spd(const Matrix& a, const Matrix& b) {
@@ -200,20 +199,17 @@ Vector qr_least_squares(Matrix a, Vector b) {
 }  // namespace
 
 Vector least_squares(const Matrix& a, const Vector& b) {
-  if (a.rows() != b.size()) {
-    throw std::invalid_argument("least_squares: dimension mismatch");
-  }
+  VMINCQR_CHECK_SHAPE(a.rows() == b.size(),
+                      "least_squares: dimension mismatch");
+  VMINCQR_CHECK_FINITE(a, "least_squares: design matrix");
+  VMINCQR_CHECK_FINITE(b, "least_squares: rhs");
   if (a.cols() == 0) return {};
   return qr_least_squares(a, b);
 }
 
 Vector ridge_solve(const Matrix& a, const Vector& b, double lambda) {
-  if (lambda < 0.0) {
-    throw std::invalid_argument("ridge_solve: lambda must be >= 0");
-  }
-  if (a.rows() != b.size()) {
-    throw std::invalid_argument("ridge_solve: dimension mismatch");
-  }
+  VMINCQR_REQUIRE(lambda >= 0.0, "ridge_solve: lambda must be >= 0");
+  VMINCQR_CHECK_SHAPE(a.rows() == b.size(), "ridge_solve: dimension mismatch");
   if (lambda == 0.0) return least_squares(a, b);
   Matrix g = gram(a);
   for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += lambda;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/contracts.hpp"
+
 namespace vmincqr::linalg {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -12,19 +14,16 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   cols_ = rows_ == 0 ? 0 : rows.begin()->size();
   data_.reserve(rows_ * cols_);
   for (const auto& r : rows) {
-    if (r.size() != cols_) {
-      throw std::invalid_argument("Matrix: ragged initializer list");
-    }
+    VMINCQR_CHECK_SHAPE(r.size() == cols_, "Matrix: ragged initializer list");
     data_.insert(data_.end(), r.begin(), r.end());
   }
 }
 
 Matrix Matrix::from_rows(std::size_t rows, std::size_t cols, Vector data) {
-  if (data.size() != rows * cols) {
-    throw std::invalid_argument("Matrix::from_rows: data size " +
-                                std::to_string(data.size()) +
-                                " != " + std::to_string(rows * cols));
-  }
+  VMINCQR_CHECK_SHAPE(data.size() == rows * cols,
+                      "Matrix::from_rows: data size " +
+                          std::to_string(data.size()) + " != " +
+                          std::to_string(rows * cols));
   Matrix m;
   m.rows_ = rows;
   m.cols_ = cols;
@@ -69,17 +68,15 @@ Vector Matrix::col(std::size_t c) const {
 
 void Matrix::set_row(std::size_t r, const Vector& values) {
   if (r >= rows_) throw std::out_of_range("Matrix::set_row: index out of range");
-  if (values.size() != cols_) {
-    throw std::invalid_argument("Matrix::set_row: length mismatch");
-  }
+  VMINCQR_CHECK_SHAPE(values.size() == cols_,
+                      "Matrix::set_row: length mismatch");
   std::copy(values.begin(), values.end(), row_ptr(r));
 }
 
 void Matrix::set_col(std::size_t c, const Vector& values) {
   if (c >= cols_) throw std::out_of_range("Matrix::set_col: index out of range");
-  if (values.size() != rows_) {
-    throw std::invalid_argument("Matrix::set_col: length mismatch");
-  }
+  VMINCQR_CHECK_SHAPE(values.size() == rows_,
+                      "Matrix::set_col: length mismatch");
   for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = values[r];
 }
 
@@ -127,7 +124,14 @@ Matrix Matrix::with_intercept() const {
 }
 
 std::string shape_string(const Matrix& m) {
-  return "(" + std::to_string(m.rows()) + " x " + std::to_string(m.cols()) + ")";
+  // Built via append: the operator+ chain trips GCC 12's -Wrestrict false
+  // positive (PR 105329) when inlined at -O3.
+  std::string out = "(";
+  out.append(std::to_string(m.rows()));
+  out.append(" x ");
+  out.append(std::to_string(m.cols()));
+  out.push_back(')');
+  return out;
 }
 
 }  // namespace vmincqr::linalg

@@ -2,13 +2,13 @@
 
 #include <cmath>
 
+#include "core/contracts.hpp"
+
 namespace vmincqr::linalg {
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) {
-    throw std::invalid_argument("matmul: " + shape_string(a) + " * " +
-                                shape_string(b));
-  }
+  VMINCQR_CHECK_SHAPE(a.cols() == b.rows(), "matmul: " + shape_string(a) +
+                                                 " * " + shape_string(b));
   Matrix out(a.rows(), b.cols(), 0.0);
   // i-k-j ordering keeps the inner loop contiguous in both b and out.
   for (std::size_t i = 0; i < a.rows(); ++i) {
@@ -24,10 +24,9 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 }
 
 Vector matvec(const Matrix& a, const Vector& x) {
-  if (a.cols() != x.size()) {
-    throw std::invalid_argument("matvec: " + shape_string(a) + " * vector of " +
-                                std::to_string(x.size()));
-  }
+  VMINCQR_CHECK_SHAPE(a.cols() == x.size(),
+                      "matvec: " + shape_string(a) + " * vector of " +
+                          std::to_string(x.size()));
   Vector out(a.rows(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* row = a.row_ptr(i);
@@ -57,9 +56,8 @@ Matrix gram(const Matrix& a) {
 }
 
 Vector transpose_matvec(const Matrix& a, const Vector& y) {
-  if (a.rows() != y.size()) {
-    throw std::invalid_argument("transpose_matvec: dimension mismatch");
-  }
+  VMINCQR_CHECK_SHAPE(a.rows() == y.size(),
+                      "transpose_matvec: dimension mismatch");
   Vector out(a.cols(), 0.0);
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const double yr = y[r];
@@ -71,7 +69,7 @@ Vector transpose_matvec(const Matrix& a, const Vector& y) {
 }
 
 double dot(const Vector& a, const Vector& b) {
-  if (a.size() != b.size()) throw std::invalid_argument("dot: length mismatch");
+  VMINCQR_CHECK_SHAPE(a.size() == b.size(), "dot: length mismatch");
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
@@ -80,14 +78,14 @@ double dot(const Vector& a, const Vector& b) {
 double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
 
 Vector add(const Vector& a, const Vector& b) {
-  if (a.size() != b.size()) throw std::invalid_argument("add: length mismatch");
+  VMINCQR_CHECK_SHAPE(a.size() == b.size(), "add: length mismatch");
   Vector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
   return out;
 }
 
 Vector sub(const Vector& a, const Vector& b) {
-  if (a.size() != b.size()) throw std::invalid_argument("sub: length mismatch");
+  VMINCQR_CHECK_SHAPE(a.size() == b.size(), "sub: length mismatch");
   Vector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
   return out;
@@ -100,7 +98,7 @@ Vector scale(const Vector& v, double s) {
 }
 
 void axpy(double s, const Vector& b, Vector& a) {
-  if (a.size() != b.size()) throw std::invalid_argument("axpy: length mismatch");
+  VMINCQR_CHECK_SHAPE(a.size() == b.size(), "axpy: length mismatch");
   for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
 }
 

@@ -5,15 +5,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/contracts.hpp"
 #include "stats/distributions.hpp"
 
 namespace vmincqr::models {
 
 namespace {
 void check_alpha(double alpha) {
-  if (!(alpha > 0.0) || !(alpha < 1.0)) {
-    throw std::invalid_argument("IntervalRegressor: alpha outside (0, 1)");
-  }
+  VMINCQR_REQUIRE(alpha > 0.0 && alpha < 1.0,
+                  "IntervalRegressor: alpha outside (0, 1)");
 }
 }  // namespace
 
@@ -39,6 +39,8 @@ IntervalPrediction GpIntervalRegressor::predict_interval(
     out.lower[i] = post.mean[i] + k_lo * sigma;
     out.upper[i] = post.mean[i] + k_hi * sigma;
   }
+  VMINCQR_AUDIT(core::all_finite(out.lower) && core::all_finite(out.upper),
+                "predict_interval: non-finite GP band");
   return out;
 }
 
@@ -55,9 +57,7 @@ QuantilePairRegressor::QuantilePairRegressor(double alpha,
       upper_(std::move(upper)),
       label_(std::move(label)) {
   check_alpha(alpha);
-  if (!lower_ || !upper_) {
-    throw std::invalid_argument("QuantilePairRegressor: null prototype");
-  }
+  VMINCQR_REQUIRE(lower_ && upper_, "QuantilePairRegressor: null prototype");
 }
 
 void QuantilePairRegressor::fit(const Matrix& x, const Vector& y) {
@@ -70,6 +70,8 @@ IntervalPrediction QuantilePairRegressor::predict_interval(
   IntervalPrediction out;
   out.lower = lower_->predict(x);
   out.upper = upper_->predict(x);
+  VMINCQR_CHECK_SHAPE(out.lower.size() == out.upper.size(),
+                      "predict_interval: lower/upper length mismatch");
   for (std::size_t i = 0; i < out.lower.size(); ++i) {
     if (out.lower[i] > out.upper[i]) std::swap(out.lower[i], out.upper[i]);
   }

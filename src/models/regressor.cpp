@@ -1,28 +1,30 @@
 #include "models/regressor.hpp"
 
-#include <stdexcept>
+#include <string>
+
+#include "core/contracts.hpp"
 
 namespace vmincqr::models {
 
 void Regressor::check_fit_args(const Matrix& x, const Vector& y) {
-  if (x.rows() == 0 || x.cols() == 0) {
-    throw std::invalid_argument("Regressor::fit: empty design matrix");
-  }
-  if (x.rows() != y.size()) {
-    throw std::invalid_argument("Regressor::fit: X rows != y length");
-  }
+  VMINCQR_REQUIRE(x.rows() > 0 && x.cols() > 0,
+                  "fit: empty design matrix " + linalg::shape_string(x));
+  VMINCQR_CHECK_SHAPE(x.rows() == y.size(),
+                      "fit: X has " + std::to_string(x.rows()) +
+                          " rows but y has " + std::to_string(y.size()) +
+                          " labels");
+  VMINCQR_CHECK_FINITE(x, "fit: design matrix X");
+  VMINCQR_CHECK_FINITE(y, "fit: label vector y");
 }
 
 void Regressor::check_predict_args(const Matrix& x, std::size_t expected_cols,
                                    bool is_fitted) {
-  if (!is_fitted) {
-    throw std::logic_error("Regressor::predict: model not fitted");
-  }
-  if (x.cols() != expected_cols) {
-    throw std::invalid_argument(
-        "Regressor::predict: feature count mismatch, expected " +
-        std::to_string(expected_cols) + ", got " + std::to_string(x.cols()));
-  }
+  VMINCQR_REQUIRE(is_fitted, "predict: model not fitted");
+  VMINCQR_CHECK_SHAPE(x.cols() == expected_cols,
+                      "predict: feature count mismatch, expected " +
+                          std::to_string(expected_cols) + ", got " +
+                          std::to_string(x.cols()));
+  VMINCQR_CHECK_FINITE(x, "predict: design matrix X");
 }
 
 }  // namespace vmincqr::models
