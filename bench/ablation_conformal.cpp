@@ -98,32 +98,32 @@ int main() {
     };
     add("Split CP (LR)",
         std::make_unique<conformal::SplitConformalRegressor>(
-            alpha, models::make_point_regressor(models::ModelKind::kLinear)));
+            core::MiscoverageAlpha{alpha}, models::make_point_regressor(models::ModelKind::kLinear)));
     add("CQR (QR LR)",
         std::make_unique<conformal::ConformalizedQuantileRegressor>(
-            alpha, models::make_quantile_pair(models::ModelKind::kLinear,
-                                              alpha)));
+            core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kLinear,
+                                              core::MiscoverageAlpha{alpha})));
     add("CQR (QR CatBoost)",
         std::make_unique<conformal::ConformalizedQuantileRegressor>(
-            alpha, models::make_quantile_pair(models::ModelKind::kCatboost,
-                                              alpha)));
+            core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kCatboost,
+                                              core::MiscoverageAlpha{alpha})));
     // Mondrian grouping: split on the strongest feature's median as a proxy
     // for a process-corner group.
     const double split_value = stats::mean(data.x.col(0));
     add("Mondrian CQR (LR)",
         std::make_unique<conformal::MondrianCqr>(
-            alpha,
-            models::make_quantile_pair(models::ModelKind::kLinear, alpha),
+            core::MiscoverageAlpha{alpha},
+            models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{alpha}),
             [split_value](const double* row, std::size_t) {
               return row[0] > split_value ? 1 : 0;
             }));
     add("Normalized CP (LR+CB)",
         std::make_unique<conformal::NormalizedConformalRegressor>(
-            alpha, models::make_point_regressor(models::ModelKind::kLinear),
+            core::MiscoverageAlpha{alpha}, models::make_point_regressor(models::ModelKind::kLinear),
             models::make_point_regressor(models::ModelKind::kCatboost)));
     add("CV+ (LR, 5 folds)",
         std::make_unique<conformal::CvPlusRegressor>(
-            alpha, models::make_point_regressor(models::ModelKind::kLinear)));
+            core::MiscoverageAlpha{alpha}, models::make_point_regressor(models::ModelKind::kLinear)));
     std::printf("%s\n", table.to_string().c_str());
   }
 
@@ -135,7 +135,7 @@ int main() {
       conformal::CqrConfig config;
       config.train_fraction = frac;
       conformal::ConformalizedQuantileRegressor cqr(
-          alpha, models::make_quantile_pair(models::ModelKind::kLinear, alpha),
+          core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{alpha}),
           config);
       const auto s = evaluate(cqr, folds);
       table.add_row({core::format_double(frac, 2),
@@ -151,7 +151,7 @@ int main() {
                            "Length (mV)"});
     for (double a : {0.05, 0.1, 0.2, 0.3}) {
       conformal::ConformalizedQuantileRegressor cqr(
-          a, models::make_quantile_pair(models::ModelKind::kLinear, a));
+          core::MiscoverageAlpha{a}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{a}));
       const auto s = evaluate(cqr, folds);
       table.add_row({core::format_double(a, 2),
                      core::format_double((1.0 - a) * 100.0, 0),

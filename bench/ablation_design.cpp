@@ -48,7 +48,8 @@ CellScore run_cqr_cv(const data::Dataset& ds, const core::Scenario& scenario,
     conformal::CqrConfig config;
     config.seed = 42 + f;
     conformal::ConformalizedQuantileRegressor cqr(
-        0.1, models::make_quantile_pair(kind, 0.1), config);
+        core::MiscoverageAlpha{0.1}, models::make_quantile_pair(kind, core::MiscoverageAlpha{0.1}),
+        config);
     cqr.fit(x_train.take_cols(cols), y_train);
     const auto band = cqr.predict_interval(x_test.take_cols(cols));
     score.length_mv +=
@@ -186,7 +187,7 @@ int main() {
         conformal::CqrConfig config;
         config.seed = 42 + f;
         conformal::ConformalizedQuantileRegressor cqr(
-            0.1, models::make_quantile_pair(models::ModelKind::kLinear, 0.1),
+            core::MiscoverageAlpha{0.1}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{0.1}),
             config);
         cqr.fit(x_train.take_cols(cols), y_train);
         const auto band = cqr.predict_interval(x_test.take_cols(cols));

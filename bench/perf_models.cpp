@@ -75,7 +75,7 @@ VMINCQR_MODEL_BENCH(mlp, kMlp);
 static void fit_quantile_pair_linear(benchmark::State& state) {
   const auto p = make_problem(117, 8);
   for (auto _ : state) {
-    auto pair = models::make_quantile_pair(models::ModelKind::kLinear, 0.1);
+    auto pair = models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{0.1});
     pair->fit(p.x, p.y);
     benchmark::DoNotOptimize(pair);
   }
@@ -86,7 +86,7 @@ static void fit_cqr_linear(benchmark::State& state) {
   const auto p = make_problem(156, 8);
   for (auto _ : state) {
     conformal::ConformalizedQuantileRegressor cqr(
-        0.1, models::make_quantile_pair(models::ModelKind::kLinear, 0.1));
+        core::MiscoverageAlpha{0.1}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{0.1}));
     cqr.fit(p.x, p.y);
     benchmark::DoNotOptimize(cqr);
   }
@@ -97,7 +97,7 @@ static void fit_split_cp_linear(benchmark::State& state) {
   const auto p = make_problem(156, 8);
   for (auto _ : state) {
     conformal::SplitConformalRegressor cp(
-        0.1, models::make_point_regressor(models::ModelKind::kLinear));
+        core::MiscoverageAlpha{0.1}, models::make_point_regressor(models::ModelKind::kLinear));
     cp.fit(p.x, p.y);
     benchmark::DoNotOptimize(cp);
   }
@@ -109,7 +109,7 @@ BENCHMARK(fit_split_cp_linear)->Unit(benchmark::kMillisecond);
 // "computational efficiency" tick in Table I.
 static void cqr_calibration_overhead(benchmark::State& state) {
   const auto p = make_problem(156, 8);
-  auto pair = models::make_quantile_pair(models::ModelKind::kLinear, 0.1);
+  auto pair = models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{0.1});
   // Pre-fit the pair once; time only the calibrate step via fit_with_split
   // on a tiny already-fitted clone path: emulate by scoring + quantile.
   pair->fit(p.x, p.y);
@@ -120,7 +120,7 @@ static void cqr_calibration_overhead(benchmark::State& state) {
       scores[i] = std::max(band.lower[i] - p.y[i], p.y[i] - band.upper[i]);
     }
     benchmark::DoNotOptimize(
-        stats::conformal_quantile(std::move(scores), 0.1));
+        stats::conformal_quantile(std::move(scores), core::MiscoverageAlpha{0.1}));
   }
 }
 BENCHMARK(cqr_calibration_overhead)->Unit(benchmark::kMicrosecond);

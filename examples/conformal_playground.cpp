@@ -60,20 +60,20 @@ int main() {
         coverage[m][a] +=
             stats::interval_coverage(y_test, band.lower, band.upper);
       };
-      models::GpIntervalRegressor gp(alpha);
+      models::GpIntervalRegressor gp(core::MiscoverageAlpha{alpha});
       run(0, gp);
-      auto qr = models::make_quantile_pair(models::ModelKind::kLinear, alpha);
+      auto qr = models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{alpha});
       run(1, *qr);
       conformal::SplitConfig cp_config;
       cp_config.seed = 42 + static_cast<std::uint64_t>(split);
       conformal::SplitConformalRegressor cp(
-          alpha, models::make_point_regressor(models::ModelKind::kLinear),
+          core::MiscoverageAlpha{alpha}, models::make_point_regressor(models::ModelKind::kLinear),
           cp_config);
       run(2, cp);
       conformal::CqrConfig cqr_config;
       cqr_config.seed = 42 + static_cast<std::uint64_t>(split);
       conformal::ConformalizedQuantileRegressor cqr(
-          alpha, models::make_quantile_pair(models::ModelKind::kLinear, alpha),
+          core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{alpha}),
           cqr_config);
       run(3, cqr);
     }

@@ -54,7 +54,7 @@ int main() {
 
     const auto cols = data::cfs_select(x_train, y_train, 8);
     conformal::ConformalizedQuantileRegressor cqr(
-        alpha, models::make_quantile_pair(models::ModelKind::kLinear, alpha));
+        core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{alpha}));
     cqr.fit(x_train.take_cols(cols), y_train);
     const auto band = cqr.predict_interval(x_field.take_cols(cols));
 
@@ -101,7 +101,7 @@ int main() {
     }
     const auto cols = data::cfs_select(x_train, y_train, 8);
     conformal::ConformalizedQuantileRegressor cqr(
-        alpha, models::make_quantile_pair(models::ModelKind::kLinear, alpha));
+        core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{alpha}));
     cqr.fit(x_train.take_cols(cols), y_train);
     const auto band = cqr.predict_interval(x_field.take_cols(cols));
     std::printf("%-16s %-14s %s\n",

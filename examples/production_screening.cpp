@@ -47,7 +47,7 @@ int main() {
   const auto cols = data::top_correlated(x_train, y_train, 32);
   const double alpha = 0.1;
   conformal::ConformalizedQuantileRegressor cqr(
-      alpha, models::make_quantile_pair(models::ModelKind::kCatboost, alpha));
+      core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kCatboost, core::MiscoverageAlpha{alpha}));
   cqr.fit(x_train.take_cols(cols), y_train);
   const auto band = cqr.predict_interval(x_screen.take_cols(cols));
 
@@ -57,7 +57,7 @@ int main() {
 
   // min_spec: a realistic limit placed above the healthy population
   // (healthy cold Vmin ~ 0.595 V + spread).
-  const double min_spec = 0.655;
+  const core::Volt min_spec{0.655};
 
   linalg::Vector y_screen(screen_rows.size());
   for (std::size_t i = 0; i < screen_rows.size(); ++i) {
@@ -67,10 +67,11 @@ int main() {
   const auto interval_rule =
       core::screen_batch_interval(y_screen, band.lower, band.upper, min_spec);
   const auto point_rule =
-      core::screen_batch_point(y_screen, y_hat, /*guard_band=*/0.0, min_spec);
+      core::screen_batch_point(y_screen, y_hat, /*guard_band=*/core::Millivolt{0.0},
+                              min_spec);
 
   std::printf("production screening @ %s, min_spec = %.0f mV\n",
-              core::describe(scenario).c_str(), min_spec * 1e3);
+              core::describe(scenario).c_str(), min_spec.to_millivolts().value());
   std::printf("screened %zu chips, %zu truly out of spec\n\n",
               screen_rows.size(), interval_rule.n_truly_bad);
   std::printf("interval rule (CQR CatBoost, 90%% bands):\n");

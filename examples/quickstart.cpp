@@ -49,7 +49,7 @@ int main() {
   const auto cols = data::cfs_select(x_train, y_train, 8);
   const double alpha = 0.1;  // 90% target coverage
   conformal::ConformalizedQuantileRegressor cqr(
-      alpha, models::make_quantile_pair(models::ModelKind::kLinear, alpha));
+      core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{alpha}));
   cqr.fit(x_train.take_cols(cols), y_train);
 
   // 5. Predict intervals for the held-out chips.

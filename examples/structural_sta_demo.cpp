@@ -46,7 +46,7 @@ int main() {
   std::printf("%-10s %-10s %-12s %-12s %s\n", "stress", "temp", "Vmin (V)",
               "RO (GHz)", "STA evals");
   for (double t : {0.0, 168.0, 1008.0}) {
-    const double age = aging.delta_vth(chip, t);
+    const double age = aging.delta_vth(chip, core::Hours{t});
     for (double temp : {-45.0, 25.0, 125.0}) {
       const auto solution = netlist::solve_vmin(
           design, delay, clock_ns, temp,

@@ -51,7 +51,7 @@ int main() {
 
   const double alpha = 0.1;
   conformal::ConformalizedQuantileRegressor cqr(
-      alpha, models::make_quantile_pair(models::ModelKind::kCatboost, alpha));
+      core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kCatboost, core::MiscoverageAlpha{alpha}));
   cqr.fit(x_train.take_cols(cols), y_train);
 
   auto point = models::make_point_regressor(models::ModelKind::kLinear);
@@ -69,14 +69,13 @@ int main() {
   const auto interval_tune =
       core::bin_by_interval(tune_band.upper, y_tune, bins);
   const auto pred_tune = point->predict(x_tune);
-  double guard = 0.0;
-  for (double g = 0.0; g <= 0.08; g += 0.002) {
-    if (core::bin_by_point(pred_tune, g, y_tune, bins).violation_rate <=
+  core::Millivolt guard{0.0};
+  for (double g_mv = 0.0; g_mv <= 80.0; g_mv += 2.0) {
+    guard = core::Millivolt{g_mv};
+    if (core::bin_by_point(pred_tune, guard, y_tune, bins).violation_rate <=
         interval_tune.violation_rate + 1e-9) {
-      guard = g;
       break;
     }
-    guard = g;
   }
 
   // Production comparison.
@@ -91,7 +90,7 @@ int main() {
   std::printf("Vmin binning @ %s — %zu production chips, %zu bins, "
               "guard band (point scheme) = %.0f mV\n\n",
               core::describe(scenario).c_str(), prod_rows.size(),
-              bins.bin_voltages.size(), guard * 1e3);
+              bins.bin_voltages.size(), guard.value());
   core::TextTable table({"Scheme", "mean bin V", "violations", "unbinnable"});
   table.add_row({"interval (CQR upper bound)",
                  core::format_double(interval_bins.mean_voltage, 4),

@@ -12,12 +12,9 @@
 namespace vmincqr::conformal {
 
 ConformalizedQuantileRegressor::ConformalizedQuantileRegressor(
-    double alpha, std::unique_ptr<IntervalRegressor> base, CqrConfig config)
+    MiscoverageAlpha alpha, std::unique_ptr<IntervalRegressor> base,
+    CqrConfig config)
     : alpha_(alpha), base_(std::move(base)), config_(config) {
-  if (!(alpha > 0.0) || !(alpha < 1.0)) {
-    throw std::invalid_argument(
-        "ConformalizedQuantileRegressor: alpha outside (0, 1)");
-  }
   if (!base_) {
     throw std::invalid_argument("ConformalizedQuantileRegressor: null base");
   }
@@ -77,8 +74,8 @@ void ConformalizedQuantileRegressor::fit_with_split(const Matrix& x_train,
       lo_scores[i] = band.lower[i] - y_calib[i];
       hi_scores[i] = y_calib[i] - band.upper[i];
     }
-    q_hat_lo_ = stats::conformal_quantile(lo_scores, alpha_ / 2.0);
-    q_hat_hi_ = stats::conformal_quantile(hi_scores, alpha_ / 2.0);
+    q_hat_lo_ = stats::conformal_quantile(lo_scores, alpha_.halved());
+    q_hat_hi_ = stats::conformal_quantile(hi_scores, alpha_.halved());
   }
   // +Inf is a legitimate conservative result (calibration set too small for
   // the requested alpha -> infinite band); only NaN indicates a defect.

@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/units.hpp"
 #include "models/region.hpp"
 
 namespace vmincqr::conformal {
 
+using core::MiscoverageAlpha;
 using models::IntervalPrediction;
 using models::IntervalRegressor;
 using models::Matrix;
@@ -27,7 +29,7 @@ using models::Vector;
 ///  * kAsymmetric — CQR-m (Romano et al. appendix; Sesia & Candes 2020):
 ///    lower and upper bounds calibrated separately at level alpha/2 each,
 ///    giving per-tail validity at the cost of typically wider bands.
-enum class CqrMode { kSymmetric, kAsymmetric };
+enum class CqrMode : std::uint8_t { kSymmetric, kAsymmetric };
 
 struct CqrConfig {
   double train_fraction = 0.75;  ///< the paper's 75/25 split (Sec. IV-B)
@@ -39,8 +41,8 @@ class ConformalizedQuantileRegressor final : public IntervalRegressor {
  public:
   /// Takes ownership of an unfitted interval-regressor prototype whose own
   /// alpha should match `alpha` (checked; throws std::invalid_argument on
-  /// mismatch > 1e-9, null model, or alpha outside (0, 1)).
-  ConformalizedQuantileRegressor(double alpha,
+  /// mismatch > 1e-9 or a null model).
+  ConformalizedQuantileRegressor(MiscoverageAlpha alpha,
                                  std::unique_ptr<IntervalRegressor> base,
                                  CqrConfig config = {});
 
@@ -51,24 +53,24 @@ class ConformalizedQuantileRegressor final : public IntervalRegressor {
   void fit_with_split(const Matrix& x_train, const Vector& y_train,
                       const Matrix& x_calib, const Vector& y_calib);
 
-  IntervalPrediction predict_interval(const Matrix& x) const override;
+  [[nodiscard]] IntervalPrediction predict_interval(const Matrix& x) const override;
 
-  std::unique_ptr<IntervalRegressor> clone_config() const override;
-  std::string name() const override;
-  double alpha() const override { return alpha_; }
+  [[nodiscard]] std::unique_ptr<IntervalRegressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] MiscoverageAlpha alpha() const override { return alpha_; }
 
   /// Calibrated band adjustment (volts); negative means the raw QR band was
   /// conservative and has been tightened. In asymmetric mode this is the
   /// mean of the two per-tail adjustments.
-  double q_hat() const;
+  [[nodiscard]] double q_hat() const;
   /// Per-tail adjustments (equal in symmetric mode).
-  double q_hat_lower() const;
-  double q_hat_upper() const;
+  [[nodiscard]] double q_hat_lower() const;
+  [[nodiscard]] double q_hat_upper() const;
 
-  const IntervalRegressor& base() const { return *base_; }
+  [[nodiscard]] const IntervalRegressor& base() const { return *base_; }
 
  private:
-  double alpha_;
+  MiscoverageAlpha alpha_;
   std::unique_ptr<IntervalRegressor> base_;
   CqrConfig config_;
   double q_hat_lo_ = 0.0;

@@ -10,12 +10,10 @@
 
 namespace vmincqr::conformal {
 
-CvPlusRegressor::CvPlusRegressor(double alpha, std::unique_ptr<Regressor> model,
+CvPlusRegressor::CvPlusRegressor(MiscoverageAlpha alpha,
+                                 std::unique_ptr<Regressor> model,
                                  CvPlusConfig config)
     : alpha_(alpha), prototype_(std::move(model)), config_(config) {
-  if (!(alpha > 0.0) || !(alpha < 1.0)) {
-    throw std::invalid_argument("CvPlusRegressor: alpha outside (0, 1)");
-  }
   if (!prototype_) throw std::invalid_argument("CvPlusRegressor: null model");
   if (config_.n_folds < 2) {
     throw std::invalid_argument("CvPlusRegressor: n_folds < 2");

@@ -9,11 +9,13 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/units.hpp"
 #include "models/region.hpp"
 #include "models/regressor.hpp"
 
 namespace vmincqr::conformal {
 
+using core::MiscoverageAlpha;
 using models::IntervalPrediction;
 using models::IntervalRegressor;
 using models::Matrix;
@@ -27,19 +29,18 @@ struct CvPlusConfig {
 
 class CvPlusRegressor final : public IntervalRegressor {
  public:
-  /// Throws std::invalid_argument on null model, alpha outside (0, 1), or
-  /// n_folds < 2.
-  CvPlusRegressor(double alpha, std::unique_ptr<Regressor> model,
+  /// Throws std::invalid_argument on a null model or n_folds < 2.
+  CvPlusRegressor(MiscoverageAlpha alpha, std::unique_ptr<Regressor> model,
                   CvPlusConfig config = {});
 
   void fit(const Matrix& x, const Vector& y) override;
-  IntervalPrediction predict_interval(const Matrix& x) const override;
-  std::unique_ptr<IntervalRegressor> clone_config() const override;
-  std::string name() const override { return "CV+ " + prototype_->name(); }
-  double alpha() const override { return alpha_; }
+  [[nodiscard]] IntervalPrediction predict_interval(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<IntervalRegressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return "CV+ " + prototype_->name(); }
+  [[nodiscard]] MiscoverageAlpha alpha() const override { return alpha_; }
 
  private:
-  double alpha_;
+  MiscoverageAlpha alpha_;
   std::unique_ptr<Regressor> prototype_;
   CvPlusConfig config_;
   std::vector<std::unique_ptr<Regressor>> fold_models_;

@@ -11,15 +11,13 @@
 
 namespace vmincqr::conformal {
 
-MondrianCqr::MondrianCqr(double alpha, std::unique_ptr<IntervalRegressor> base,
+MondrianCqr::MondrianCqr(MiscoverageAlpha alpha,
+                         std::unique_ptr<IntervalRegressor> base,
                          GroupFn group_fn, MondrianConfig config)
     : alpha_(alpha),
       base_(std::move(base)),
       group_fn_(std::move(group_fn)),
       config_(config) {
-  if (!(alpha > 0.0) || !(alpha < 1.0)) {
-    throw std::invalid_argument("MondrianCqr: alpha outside (0, 1)");
-  }
   if (!base_) throw std::invalid_argument("MondrianCqr: null base");
   if (!group_fn_) throw std::invalid_argument("MondrianCqr: null group_fn");
   if (std::abs(base_->alpha() - alpha) > 1e-9) {

@@ -13,10 +13,12 @@
 #include <map>
 #include <memory>
 
+#include "core/units.hpp"
 #include "models/region.hpp"
 
 namespace vmincqr::conformal {
 
+using core::MiscoverageAlpha;
 using models::IntervalPrediction;
 using models::IntervalRegressor;
 using models::Matrix;
@@ -36,23 +38,23 @@ struct MondrianConfig {
 
 class MondrianCqr final : public IntervalRegressor {
  public:
-  /// Throws std::invalid_argument on null base/group function, alpha
-  /// mismatch with the base, or alpha outside (0, 1).
-  MondrianCqr(double alpha, std::unique_ptr<IntervalRegressor> base,
+  /// Throws std::invalid_argument on a null base/group function or alpha
+  /// mismatch with the base.
+  MondrianCqr(MiscoverageAlpha alpha, std::unique_ptr<IntervalRegressor> base,
               GroupFn group_fn, MondrianConfig config = {});
 
   void fit(const Matrix& x, const Vector& y) override;
-  IntervalPrediction predict_interval(const Matrix& x) const override;
-  std::unique_ptr<IntervalRegressor> clone_config() const override;
-  std::string name() const override { return "Mondrian " + base_->name(); }
-  double alpha() const override { return alpha_; }
+  [[nodiscard]] IntervalPrediction predict_interval(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<IntervalRegressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return "Mondrian " + base_->name(); }
+  [[nodiscard]] MiscoverageAlpha alpha() const override { return alpha_; }
 
   /// Per-group calibrated adjustments (group id -> q_hat).
-  const std::map<int, double>& group_q_hat() const { return group_q_hat_; }
-  double pooled_q_hat() const { return pooled_q_hat_; }
+  [[nodiscard]] const std::map<int, double>& group_q_hat() const { return group_q_hat_; }
+  [[nodiscard]] double pooled_q_hat() const { return pooled_q_hat_; }
 
  private:
-  double alpha_;
+  MiscoverageAlpha alpha_;
   std::unique_ptr<IntervalRegressor> base_;
   GroupFn group_fn_;
   MondrianConfig config_;

@@ -13,16 +13,12 @@
 namespace vmincqr::conformal {
 
 NormalizedConformalRegressor::NormalizedConformalRegressor(
-    double alpha, std::unique_ptr<Regressor> mean_model,
+    MiscoverageAlpha alpha, std::unique_ptr<Regressor> mean_model,
     std::unique_ptr<Regressor> sigma_model, NormalizedConfig config)
     : alpha_(alpha),
       mean_model_(std::move(mean_model)),
       sigma_model_(std::move(sigma_model)),
       config_(config) {
-  if (!(alpha > 0.0) || !(alpha < 1.0)) {
-    throw std::invalid_argument(
-        "NormalizedConformalRegressor: alpha outside (0, 1)");
-  }
   if (!mean_model_ || !sigma_model_) {
     throw std::invalid_argument("NormalizedConformalRegressor: null model");
   }
@@ -74,6 +70,8 @@ void NormalizedConformalRegressor::fit(const Matrix& x, const Vector& y) {
 Vector NormalizedConformalRegressor::predict_sigma(const Matrix& x) const {
   Vector sigma = sigma_model_->predict(x);
   for (auto& s : sigma) s = std::max(s, config_.sigma_floor);
+  VMINCQR_ENSURE(core::all_finite(sigma),
+                 "predict_sigma: non-finite difficulty estimate");
   return sigma;
 }
 

@@ -8,11 +8,13 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/units.hpp"
 #include "models/region.hpp"
 #include "models/regressor.hpp"
 
 namespace vmincqr::conformal {
 
+using core::MiscoverageAlpha;
 using models::IntervalPrediction;
 using models::IntervalRegressor;
 using models::Matrix;
@@ -29,26 +31,26 @@ class NormalizedConformalRegressor final : public IntervalRegressor {
  public:
   /// `mean_model` predicts y; `sigma_model` is trained on |residuals| of the
   /// mean model over the proper-training set. Throws std::invalid_argument
-  /// on null models or alpha outside (0, 1).
-  NormalizedConformalRegressor(double alpha,
+  /// on null models.
+  NormalizedConformalRegressor(MiscoverageAlpha alpha,
                                std::unique_ptr<Regressor> mean_model,
                                std::unique_ptr<Regressor> sigma_model,
                                NormalizedConfig config = {});
 
   void fit(const Matrix& x, const Vector& y) override;
-  IntervalPrediction predict_interval(const Matrix& x) const override;
-  std::unique_ptr<IntervalRegressor> clone_config() const override;
-  std::string name() const override {
+  [[nodiscard]] IntervalPrediction predict_interval(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<IntervalRegressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override {
     return "Normalized CP " + mean_model_->name();
   }
-  double alpha() const override { return alpha_; }
+  [[nodiscard]] MiscoverageAlpha alpha() const override { return alpha_; }
 
-  double q_hat() const;
+  [[nodiscard]] double q_hat() const;
 
  private:
-  Vector predict_sigma(const Matrix& x) const;
+  [[nodiscard]] Vector predict_sigma(const Matrix& x) const;
 
-  double alpha_;
+  MiscoverageAlpha alpha_;
   std::unique_ptr<Regressor> mean_model_;
   std::unique_ptr<Regressor> sigma_model_;
   NormalizedConfig config_;

@@ -88,14 +88,10 @@ double ConformalPredictiveDistribution::cdf(const Vector& x_row,
   return std::clamp(q, 1.0 / (m + 1.0), m / (m + 1.0));
 }
 
-double ConformalPredictiveDistribution::quantile(const Vector& x_row,
-                                                 double beta) const {
+double ConformalPredictiveDistribution::quantile(
+    const Vector& x_row, core::QuantileLevel beta) const {
   if (!calibrated_) {
     throw std::logic_error("ConformalPredictiveDistribution: not calibrated");
-  }
-  if (!(beta > 0.0) || !(beta < 1.0)) {
-    throw std::invalid_argument(
-        "ConformalPredictiveDistribution::quantile: beta outside (0, 1)");
   }
   const double mu = predict_one(x_row);
   const auto m = static_cast<double>(residuals_.size());
@@ -105,12 +101,12 @@ double ConformalPredictiveDistribution::quantile(const Vector& x_row,
 }
 
 double ConformalPredictiveDistribution::exceedance_probability(
-    const Vector& x_row, double threshold) const {
+    const Vector& x_row, core::Volt threshold) const {
   return 1.0 - cdf(x_row, threshold);
 }
 
 Vector ConformalPredictiveDistribution::exceedance_probabilities(
-    const Matrix& x, double threshold) const {
+    const Matrix& x, core::Volt threshold) const {
   Vector out(x.rows());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     out[i] = exceedance_probability(x.row(i), threshold);

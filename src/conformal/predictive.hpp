@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/units.hpp"
 #include "models/regressor.hpp"
 
 namespace vmincqr::conformal {
@@ -47,22 +48,24 @@ class ConformalPredictiveDistribution {
   /// Calibrated CDF value Q(y | x) in [1/(M+1), M/(M+1)] (never exactly 0
   /// or 1 — finite-sample honesty). x_row is one feature row.
   /// Throws std::logic_error if not fitted.
-  double cdf(const Vector& x_row, double y) const;
+  [[nodiscard]] double cdf(const Vector& x_row, double y) const;
 
-  /// Calibrated quantile: smallest value v with cdf(x, v) >= beta.
-  /// beta in (0, 1); throws std::invalid_argument otherwise.
-  double quantile(const Vector& x_row, double beta) const;
+  /// Calibrated quantile: smallest value v with cdf(x, v) >= beta;
+  /// core::QuantileLevel construction guarantees beta in (0, 1).
+  [[nodiscard]] double quantile(const Vector& x_row, core::QuantileLevel beta) const;
 
-  /// P(Y > threshold | x), calibrated: 1 - cdf(x, threshold).
-  double exceedance_probability(const Vector& x_row, double threshold) const;
+  /// P(Y > threshold | x), calibrated: 1 - cdf(x, threshold). The threshold
+  /// is a spec limit in volts (the unit of every Vmin label).
+  double exceedance_probability(const Vector& x_row,
+                                core::Volt threshold) const;
 
   /// Vectorized exceedance over the rows of x.
-  Vector exceedance_probabilities(const Matrix& x, double threshold) const;
+  [[nodiscard]] Vector exceedance_probabilities(const Matrix& x, core::Volt threshold) const;
 
-  std::size_t calibration_size() const noexcept { return residuals_.size(); }
+  [[nodiscard]] std::size_t calibration_size() const noexcept { return residuals_.size(); }
 
  private:
-  double predict_one(const Vector& x_row) const;
+  [[nodiscard]] double predict_one(const Vector& x_row) const;
 
   std::unique_ptr<Regressor> model_;
   PredictiveConfig config_;

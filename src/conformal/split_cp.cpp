@@ -12,12 +12,9 @@
 namespace vmincqr::conformal {
 
 SplitConformalRegressor::SplitConformalRegressor(
-    double alpha, std::unique_ptr<Regressor> model, SplitConfig config)
+    MiscoverageAlpha alpha, std::unique_ptr<Regressor> model,
+    SplitConfig config)
     : alpha_(alpha), model_(std::move(model)), config_(config) {
-  if (!(alpha > 0.0) || !(alpha < 1.0)) {
-    throw std::invalid_argument(
-        "SplitConformalRegressor: alpha outside (0, 1)");
-  }
   if (!model_) {
     throw std::invalid_argument("SplitConformalRegressor: null model");
   }

@@ -11,11 +11,13 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/units.hpp"
 #include "models/region.hpp"
 #include "models/regressor.hpp"
 
 namespace vmincqr::conformal {
 
+using core::MiscoverageAlpha;
 using models::IntervalPrediction;
 using models::IntervalRegressor;
 using models::Matrix;
@@ -30,8 +32,9 @@ struct SplitConfig {
 class SplitConformalRegressor final : public IntervalRegressor {
  public:
   /// Takes ownership of an unfitted point-regressor prototype.
-  /// Throws std::invalid_argument on null model or alpha outside (0, 1).
-  SplitConformalRegressor(double alpha, std::unique_ptr<Regressor> model,
+  /// Throws std::invalid_argument on a null model.
+  SplitConformalRegressor(MiscoverageAlpha alpha,
+                          std::unique_ptr<Regressor> model,
                           SplitConfig config = {});
 
   /// Splits (x, y) internally, fits, and calibrates.
@@ -43,21 +46,21 @@ class SplitConformalRegressor final : public IntervalRegressor {
   void fit_with_split(const Matrix& x_train, const Vector& y_train,
                       const Matrix& x_calib, const Vector& y_calib);
 
-  IntervalPrediction predict_interval(const Matrix& x) const override;
+  [[nodiscard]] IntervalPrediction predict_interval(const Matrix& x) const override;
 
   /// The underlying point prediction (centre of the interval).
-  Vector predict_point(const Matrix& x) const;
+  [[nodiscard]] Vector predict_point(const Matrix& x) const;
 
-  std::unique_ptr<IntervalRegressor> clone_config() const override;
-  std::string name() const override { return "CP " + model_->name(); }
-  double alpha() const override { return alpha_; }
+  [[nodiscard]] std::unique_ptr<IntervalRegressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return "CP " + model_->name(); }
+  [[nodiscard]] MiscoverageAlpha alpha() const override { return alpha_; }
 
   /// Calibrated half-width q_hat (volts); +inf when the calibration set was
   /// too small for the requested coverage.
-  double q_hat() const;
+  [[nodiscard]] double q_hat() const;
 
  private:
-  double alpha_;
+  MiscoverageAlpha alpha_;
   std::unique_ptr<Regressor> model_;
   SplitConfig config_;
   double q_hat_ = 0.0;

@@ -64,14 +64,14 @@ BinningResult bin_chips(const Vector& required_voltage, const Vector& truth,
   return result;
 }
 
-BinningResult bin_by_point(const Vector& predicted, double guard_band,
+BinningResult bin_by_point(const Vector& predicted, Millivolt guard_band,
                            const Vector& truth, const BinningConfig& config) {
-  if (guard_band < 0.0) {
+  if (guard_band.value() < 0.0) {
     throw std::invalid_argument("bin_by_point: negative guard band");
   }
   Vector required(predicted.size());
   for (std::size_t i = 0; i < predicted.size(); ++i) {
-    required[i] = predicted[i] + guard_band;
+    required[i] = predicted[i] + guard_band.to_volts();
   }
   return bin_chips(required, truth, config);
 }

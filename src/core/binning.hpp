@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/units.hpp"
 #include "linalg/matrix.hpp"
 
 namespace vmincqr::core {
@@ -50,8 +51,9 @@ inline BinningResult bin_by_interval(const Vector& upper, const Vector& truth,
   return bin_chips(upper, truth, config);
 }
 
-/// Convenience: point-based binning with a uniform guard band.
-BinningResult bin_by_point(const Vector& predicted, double guard_band,
+/// Convenience: point-based binning with a uniform guard band (mV, as in
+/// screening.hpp).
+BinningResult bin_by_point(const Vector& predicted, Millivolt guard_band,
                            const Vector& truth, const BinningConfig& config);
 
 /// Mean supply saved per chip (volts) by scheme A relative to scheme B,

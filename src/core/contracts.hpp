@@ -51,11 +51,11 @@ class contract_violation : public std::invalid_argument {
                      std::string function, std::string message);
 
   /// Contract family: "precondition", "postcondition", "shape", "finite".
-  const std::string& kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& kind() const noexcept { return kind_; }
   /// The stringified condition that failed (empty for finite checks).
-  const std::string& expression() const noexcept { return expression_; }
+  [[nodiscard]] const std::string& expression() const noexcept { return expression_; }
   /// __func__ of the violated entry point.
-  const std::string& function() const noexcept { return function_; }
+  [[nodiscard]] const std::string& function() const noexcept { return function_; }
 
  private:
   std::string kind_;

@@ -130,7 +130,7 @@ RegionMethodScore evaluate_region_method(const data::Dataset& ds,
   const ScenarioData data = assemble_scenario(ds, scenario);
   rng::Rng cv_rng(config.cv_seed);
   const auto folds = data::k_fold(data.x.rows(), config.n_folds, cv_rng);
-  const double alpha = config.pipeline.alpha;
+  const MiscoverageAlpha alpha = config.pipeline.alpha;
 
   double total_length = 0.0;
   double total_coverage = 0.0;

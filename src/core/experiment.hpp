@@ -50,11 +50,11 @@ std::vector<PointModelScore> evaluate_point_models(
 // Region prediction (Table III).
 
 struct RegionMethodSpec {
-  enum class Family { kGp, kQr, kCqr };
+  enum class Family : std::uint8_t { kGp, kQr, kCqr };
   Family family = Family::kCqr;
   models::ModelKind base = models::ModelKind::kLinear;  ///< ignored for kGp
 
-  std::string label() const;
+  [[nodiscard]] std::string label() const;
 };
 
 /// The nine Table III rows: GP, QR x {LR, NN, XGB, CatBoost}, CQR x same.

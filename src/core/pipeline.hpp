@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "core/scenario.hpp"
+#include "core/units.hpp"
 #include "data/dataset.hpp"
 #include "models/factory.hpp"
 
@@ -22,7 +23,9 @@ using linalg::Matrix;
 using linalg::Vector;
 
 struct PipelineConfig {
-  double alpha = 0.1;              ///< target miscoverage (paper Sec. IV-E)
+  /// Target miscoverage (paper Sec. IV-E); strongly typed so it cannot be
+  /// swapped with a quantile level or train fraction.
+  MiscoverageAlpha alpha{0.1};
   std::size_t cfs_max_features = 10;
   std::size_t tree_prefilter = 32;
   double train_fraction = 0.75;    ///< conformal train/calibration split

@@ -17,9 +17,9 @@ class TextTable {
   void add_row(std::vector<std::string> row);
 
   /// Renders with columns padded to their widest cell.
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
-  std::size_t n_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t n_rows() const noexcept { return rows_.size(); }
 
  private:
   std::vector<std::string> header_;

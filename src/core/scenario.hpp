@@ -10,6 +10,7 @@
 // Table IV ablation.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,7 @@
 
 namespace vmincqr::core {
 
-enum class FeatureSet {
+enum class FeatureSet : std::uint8_t {
   kParametricOnly,
   kOnChipOnly,
   kBoth,
@@ -36,7 +37,7 @@ struct Scenario {
   /// default) means "up to the label's own read point".
   double monitor_horizon_hours = -1.0;
 
-  double effective_horizon() const {
+  [[nodiscard]] double effective_horizon() const {
     return monitor_horizon_hours >= 0.0 ? monitor_horizon_hours
                                         : read_point_hours;
   }

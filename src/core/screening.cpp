@@ -16,7 +16,7 @@ std::string to_string(ScreenDecision decision) {
   return "unknown";
 }
 
-ScreenDecision screen_interval(double lower, double upper, double min_spec) {
+ScreenDecision screen_interval(double lower, double upper, Volt min_spec) {
   if (lower > upper) {
     throw std::invalid_argument("screen_interval: lower > upper");
   }
@@ -25,13 +25,14 @@ ScreenDecision screen_interval(double lower, double upper, double min_spec) {
   return ScreenDecision::kRetest;
 }
 
-ScreenDecision screen_point(double prediction, double guard_band,
-                            double min_spec) {
-  if (guard_band < 0.0) {
+ScreenDecision screen_point(double prediction, Millivolt guard_band,
+                            Volt min_spec) {
+  if (guard_band.value() < 0.0) {
     throw std::invalid_argument("screen_point: negative guard band");
   }
-  return prediction + guard_band <= min_spec ? ScreenDecision::kPass
-                                             : ScreenDecision::kFail;
+  return prediction + guard_band.to_volts() <= min_spec
+             ? ScreenDecision::kPass
+             : ScreenDecision::kFail;
 }
 
 namespace {
@@ -65,7 +66,7 @@ void record(ScreeningReport& report, ScreenDecision decision, bool bad) {
 }  // namespace
 
 ScreeningReport screen_batch_interval(const Vector& truth, const Vector& lower,
-                                      const Vector& upper, double min_spec) {
+                                      const Vector& upper, Volt min_spec) {
   check_batch(truth, lower, "screen_batch_interval");
   check_batch(truth, upper, "screen_batch_interval");
   ScreeningReport report;
@@ -77,7 +78,7 @@ ScreeningReport screen_batch_interval(const Vector& truth, const Vector& lower,
 }
 
 ScreeningReport screen_batch_point(const Vector& truth, const Vector& predicted,
-                                   double guard_band, double min_spec) {
+                                   Millivolt guard_band, Volt min_spec) {
   check_batch(truth, predicted, "screen_batch_point");
   ScreeningReport report;
   for (std::size_t i = 0; i < truth.size(); ++i) {
@@ -87,14 +88,14 @@ ScreeningReport screen_batch_point(const Vector& truth, const Vector& predicted,
   return report;
 }
 
-double calibrate_guard_band(const Vector& truth, const Vector& predicted,
-                            double min_spec,
-                            const std::vector<double>& candidates,
-                            double max_underkill) {
+Millivolt calibrate_guard_band(const Vector& truth, const Vector& predicted,
+                               Volt min_spec,
+                               const std::vector<Millivolt>& candidates,
+                               double max_underkill) {
   if (candidates.empty()) {
     throw std::invalid_argument("calibrate_guard_band: no candidates");
   }
-  for (double guard : candidates) {
+  for (Millivolt guard : candidates) {
     const auto report =
         screen_batch_point(truth, predicted, guard, min_spec);
     if (report.underkill_rate() <= max_underkill) return guard;

@@ -9,16 +9,18 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/units.hpp"
 #include "linalg/matrix.hpp"
 
 namespace vmincqr::core {
 
-using linalg::Vector;
+using linalg::Vector;  // Volt/Millivolt already live in this namespace (units.hpp).
 
-enum class ScreenDecision {
+enum class ScreenDecision : std::uint8_t {
   kPass,    ///< confidently within spec
   kFail,    ///< confidently out of spec
   kRetest,  ///< uncertain: route to (costly) real Vmin measurement
@@ -28,14 +30,18 @@ std::string to_string(ScreenDecision decision);
 
 /// Interval rule for one chip: pass iff the whole interval is below
 /// min_spec, fail iff the whole interval is above, retest otherwise.
-/// Throws std::invalid_argument if lower > upper.
-ScreenDecision screen_interval(double lower, double upper, double min_spec);
+/// Bounds are in volts (the unit of the label vectors); the spec limit is
+/// typed to keep it in the same unit. Throws std::invalid_argument if
+/// lower > upper.
+ScreenDecision screen_interval(double lower, double upper, Volt min_spec);
 
 /// Guard-banded point rule: pass iff prediction + guard_band <= min_spec.
 /// (The industry-standard alternative to intervals; never retests.)
+/// Guard bands are quoted in millivolts — industry convention, and a
+/// classic volts-for-millivolts confusion site, hence the strong type.
 /// Throws std::invalid_argument if guard_band < 0.
-ScreenDecision screen_point(double prediction, double guard_band,
-                            double min_spec);
+ScreenDecision screen_point(double prediction, Millivolt guard_band,
+                            Volt min_spec);
 
 /// Aggregate outcome of screening a batch against known truth.
 struct ScreeningReport {
@@ -46,17 +52,17 @@ struct ScreeningReport {
   std::size_t n_underkill = 0;  ///< passed but truth > min_spec
   std::size_t n_truly_bad = 0;  ///< chips with truth > min_spec
 
-  std::size_t total() const noexcept { return n_pass + n_fail + n_retest; }
-  double retest_rate() const {
+  [[nodiscard]] std::size_t total() const noexcept { return n_pass + n_fail + n_retest; }
+  [[nodiscard]] double retest_rate() const {
     return total() ? static_cast<double>(n_retest) / static_cast<double>(total())
                    : 0.0;
   }
-  double overkill_rate() const {
+  [[nodiscard]] double overkill_rate() const {
     const auto good = total() - n_truly_bad;
     return good ? static_cast<double>(n_overkill) / static_cast<double>(good)
                 : 0.0;
   }
-  double underkill_rate() const {
+  [[nodiscard]] double underkill_rate() const {
     return n_truly_bad ? static_cast<double>(n_underkill) /
                              static_cast<double>(n_truly_bad)
                        : 0.0;
@@ -66,19 +72,19 @@ struct ScreeningReport {
 /// Evaluates the interval rule over a batch. All vectors must have equal,
 /// non-zero length; throws std::invalid_argument otherwise.
 ScreeningReport screen_batch_interval(const Vector& truth, const Vector& lower,
-                                      const Vector& upper, double min_spec);
+                                      const Vector& upper, Volt min_spec);
 
 /// Evaluates the guard-banded point rule over a batch.
 ScreeningReport screen_batch_point(const Vector& truth, const Vector& predicted,
-                                   double guard_band, double min_spec);
+                                   Millivolt guard_band, Volt min_spec);
 
 /// Smallest guard band (searched over the given candidates, ascending) whose
 /// point rule achieves underkill_rate <= max_underkill on the batch; returns
 /// the last candidate if none qualifies. Used to compare "interval + retest"
 /// against "how big a guard band would you need instead".
-double calibrate_guard_band(const Vector& truth, const Vector& predicted,
-                            double min_spec,
-                            const std::vector<double>& candidates,
-                            double max_underkill);
+Millivolt calibrate_guard_band(const Vector& truth, const Vector& predicted,
+                               Volt min_spec,
+                               const std::vector<Millivolt>& candidates,
+                               double max_underkill);
 
 }  // namespace vmincqr::core

@@ -7,6 +7,7 @@
 // Table II of the paper.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -20,7 +21,7 @@ using linalg::Matrix;
 using linalg::Vector;
 
 /// Feature provenance classes from Table II of the paper.
-enum class FeatureType {
+enum class FeatureType : std::uint8_t {
   kParametric,  ///< ATE parametric test (IDDQ, trip IDD, leakage, ...)
   kRodMonitor,  ///< on-chip Ring Oscillator Delay sensor
   kCpdMonitor,  ///< on-chip in-situ Critical Path Delay sensor
@@ -53,32 +54,34 @@ class Dataset {
   /// Constructs a dataset; feature_info.size() must equal features.cols(),
   /// and every label series must have features.rows() entries.
   /// Throws std::invalid_argument otherwise.
+  // Sink parameter: the matrix is moved into the member, so by-value is
+  // the cheapest correct signature.  vmincqr-lint: allow(matrix-by-value)
   Dataset(Matrix features, std::vector<FeatureInfo> feature_info,
           std::vector<LabelSeries> labels);
 
-  std::size_t n_chips() const noexcept { return features_.rows(); }
-  std::size_t n_features() const noexcept { return features_.cols(); }
+  [[nodiscard]] std::size_t n_chips() const noexcept { return features_.rows(); }
+  [[nodiscard]] std::size_t n_features() const noexcept { return features_.cols(); }
 
-  const Matrix& features() const noexcept { return features_; }
-  const std::vector<FeatureInfo>& feature_info() const noexcept {
+  [[nodiscard]] const Matrix& features() const noexcept { return features_; }
+  [[nodiscard]] const std::vector<FeatureInfo>& feature_info() const noexcept {
     return feature_info_;
   }
-  const FeatureInfo& feature_info(std::size_t j) const {
+  [[nodiscard]] const FeatureInfo& feature_info(std::size_t j) const {
     return feature_info_.at(j);
   }
-  const std::vector<LabelSeries>& labels() const noexcept { return labels_; }
+  [[nodiscard]] const std::vector<LabelSeries>& labels() const noexcept { return labels_; }
 
   /// Finds the label series for (read point, temperature); exact match on
   /// both keys. Throws std::out_of_range if absent.
-  const LabelSeries& label(double read_point_hours, double temperature_c) const;
+  [[nodiscard]] const LabelSeries& label(double read_point_hours, double temperature_c) const;
 
   /// True if a label series exists for the key.
-  bool has_label(double read_point_hours, double temperature_c) const;
+  [[nodiscard]] bool has_label(double read_point_hours, double temperature_c) const;
 
   /// Sorted unique read points present in the label table.
-  std::vector<double> label_read_points() const;
+  [[nodiscard]] std::vector<double> label_read_points() const;
   /// Sorted unique temperatures present in the label table.
-  std::vector<double> label_temperatures() const;
+  [[nodiscard]] std::vector<double> label_temperatures() const;
 
   /// Indices of feature columns matching a predicate over FeatureInfo.
   std::vector<std::size_t> select_features(
@@ -86,10 +89,10 @@ class Dataset {
 
   /// New dataset containing only the listed chips (rows), all features and
   /// labels subset accordingly. Throws std::out_of_range on bad indices.
-  Dataset take_chips(const std::vector<std::size_t>& chip_indices) const;
+  [[nodiscard]] Dataset take_chips(const std::vector<std::size_t>& chip_indices) const;
 
   /// New dataset containing only the listed feature columns (labels kept).
-  Dataset take_features(const std::vector<std::size_t>& feature_indices) const;
+  [[nodiscard]] Dataset take_features(const std::vector<std::size_t>& feature_indices) const;
 
  private:
   Matrix features_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "stats/descriptive.hpp"
 
 namespace vmincqr::data {
@@ -43,6 +44,7 @@ Matrix StandardScaler::transform(const Matrix& x) const {
 }
 
 Matrix StandardScaler::fit_transform(const Matrix& x) {
+  VMINCQR_REQUIRE(!x.empty(), "StandardScaler::fit_transform: empty matrix");
   fit(x);
   return transform(x);
 }

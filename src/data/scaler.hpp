@@ -19,17 +19,17 @@ class StandardScaler {
 
   /// Applies the learned transform. Throws std::logic_error if not fitted,
   /// std::invalid_argument on column-count mismatch.
-  Matrix transform(const Matrix& x) const;
+  [[nodiscard]] Matrix transform(const Matrix& x) const;
 
   /// fit + transform in one step.
   Matrix fit_transform(const Matrix& x);
 
   /// Inverse transform (for diagnostics).
-  Matrix inverse_transform(const Matrix& x) const;
+  [[nodiscard]] Matrix inverse_transform(const Matrix& x) const;
 
-  bool fitted() const noexcept { return fitted_; }
-  const Vector& means() const noexcept { return means_; }
-  const Vector& scales() const noexcept { return scales_; }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] const Vector& means() const noexcept { return means_; }
+  [[nodiscard]] const Vector& scales() const noexcept { return scales_; }
 
  private:
   Vector means_;
@@ -42,12 +42,12 @@ class StandardScaler {
 class LabelScaler {
  public:
   void fit(const Vector& y);
-  Vector transform(const Vector& y) const;
-  Vector inverse_transform(const Vector& y) const;
-  double inverse_transform(double y) const;
+  [[nodiscard]] Vector transform(const Vector& y) const;
+  [[nodiscard]] Vector inverse_transform(const Vector& y) const;
+  [[nodiscard]] double inverse_transform(double y) const;
   /// Scale factor alone (for mapping residual widths back to volts).
-  double scale() const noexcept { return scale_; }
-  bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
 
  private:
   double mean_ = 0.0;

@@ -33,7 +33,8 @@ std::optional<Matrix> cholesky(const Matrix& a) {
   return l;
 }
 
-Matrix cholesky_jittered(Matrix a, double initial_jitter, int max_tries) {
+Matrix cholesky_jittered(const Matrix& a, double initial_jitter,
+                         int max_tries) {
   VMINCQR_CHECK_SHAPE(a.rows() == a.cols(),
                       "cholesky_jittered: matrix must be square");
   double jitter = 0.0;
@@ -43,7 +44,7 @@ Matrix cholesky_jittered(Matrix a, double initial_jitter, int max_tries) {
       for (std::size_t i = 0; i < trial.rows(); ++i) trial(i, i) += jitter;
     }
     if (auto l = cholesky(trial)) return *std::move(l);
-    jitter = (jitter == 0.0) ? initial_jitter : jitter * 10.0;
+    jitter = (attempt == 0) ? initial_jitter : jitter * 10.0;
   }
   throw std::runtime_error(
       "cholesky_jittered: matrix not positive definite after max jitter");
@@ -98,9 +99,11 @@ Matrix solve_spd(const Matrix& a, const Matrix& b) {
 
 namespace {
 
-// Householder QR with column pivoting, applied in place.
+// Householder QR with column pivoting, applied in place: the by-value
+// Matrix is the scratch buffer the reflectors overwrite.
 // Returns the solution of min ||A x - b||, zeroing coefficients beyond the
 // numerical rank.
+// vmincqr-lint: allow(matrix-by-value)
 Vector qr_least_squares(Matrix a, Vector b) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
@@ -134,7 +137,7 @@ Vector qr_least_squares(Matrix a, Vector b) {
     double norm_x = 0.0;
     for (std::size_t r = k; r < m; ++r) norm_x += a(r, k) * a(r, k);
     norm_x = std::sqrt(norm_x);
-    if (norm_x == 0.0) {
+    if (norm_x <= 0.0) {
       rank = k;
       break;
     }
@@ -144,7 +147,7 @@ Vector qr_least_squares(Matrix a, Vector b) {
     for (std::size_t r = k + 1; r < m; ++r) v[r - k] = a(r, k);
     double vtv = 0.0;
     for (double vi : v) vtv += vi * vi;
-    if (vtv == 0.0) {
+    if (vtv <= 0.0) {
       rank = k;
       break;
     }
@@ -210,7 +213,8 @@ Vector least_squares(const Matrix& a, const Vector& b) {
 Vector ridge_solve(const Matrix& a, const Vector& b, double lambda) {
   VMINCQR_REQUIRE(lambda >= 0.0, "ridge_solve: lambda must be >= 0");
   VMINCQR_CHECK_SHAPE(a.rows() == b.size(), "ridge_solve: dimension mismatch");
-  if (lambda == 0.0) return least_squares(a, b);
+  // Exact-zero lambda is the documented "no ridge" sentinel.
+  if (lambda == 0.0) return least_squares(a, b);  // vmincqr-lint: allow(float-equality)
   Matrix g = gram(a);
   for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += lambda;
   return solve_spd(g, transpose_matvec(a, b));

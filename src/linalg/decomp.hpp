@@ -19,7 +19,7 @@ std::optional<Matrix> cholesky(const Matrix& a);
 /// succeeds. Throws std::runtime_error if it never succeeds.
 /// Used by the Gaussian-process model where the kernel matrix may be
 /// numerically semi-definite.
-Matrix cholesky_jittered(Matrix a, double initial_jitter = 1e-10,
+Matrix cholesky_jittered(const Matrix& a, double initial_jitter = 1e-10,
                          int max_tries = 10);
 
 /// Solves L x = b where L is lower triangular. Throws on mismatch.

@@ -40,9 +40,9 @@ class Matrix {
   /// Identity matrix of size n.
   static Matrix identity(std::size_t n);
 
-  std::size_t rows() const noexcept { return rows_; }
-  std::size_t cols() const noexcept { return cols_; }
-  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
 
   /// Unchecked element access (hot paths).
   double& operator()(std::size_t r, std::size_t c) noexcept {
@@ -54,18 +54,18 @@ class Matrix {
 
   /// Bounds-checked element access. Throws std::out_of_range.
   double& at(std::size_t r, std::size_t c);
-  double at(std::size_t r, std::size_t c) const;
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
 
   /// Pointer to the first element of row r (row-major contiguity contract).
   double* row_ptr(std::size_t r) noexcept { return data_.data() + r * cols_; }
-  const double* row_ptr(std::size_t r) const noexcept {
+  [[nodiscard]] const double* row_ptr(std::size_t r) const noexcept {
     return data_.data() + r * cols_;
   }
 
   /// Copies row r into a Vector. Throws std::out_of_range.
-  Vector row(std::size_t r) const;
+  [[nodiscard]] Vector row(std::size_t r) const;
   /// Copies column c into a Vector. Throws std::out_of_range.
-  Vector col(std::size_t c) const;
+  [[nodiscard]] Vector col(std::size_t c) const;
 
   /// Overwrites row r. Throws on dimension mismatch.
   void set_row(std::size_t r, const Vector& values);
@@ -73,20 +73,20 @@ class Matrix {
   void set_col(std::size_t c, const Vector& values);
 
   /// Returns the transpose.
-  Matrix transposed() const;
+  [[nodiscard]] Matrix transposed() const;
 
   /// Returns the submatrix given by the listed row indices (in order),
   /// keeping all columns. Indices may repeat. Throws std::out_of_range.
-  Matrix take_rows(const std::vector<std::size_t>& indices) const;
+  [[nodiscard]] Matrix take_rows(const std::vector<std::size_t>& indices) const;
 
   /// Returns the submatrix given by the listed column indices (in order).
-  Matrix take_cols(const std::vector<std::size_t>& indices) const;
+  [[nodiscard]] Matrix take_cols(const std::vector<std::size_t>& indices) const;
 
   /// Appends a column of ones on the left (intercept augmentation).
-  Matrix with_intercept() const;
+  [[nodiscard]] Matrix with_intercept() const;
 
   /// Raw storage (row-major). Useful for serialization and tests.
-  const Vector& data() const noexcept { return data_; }
+  [[nodiscard]] const Vector& data() const noexcept { return data_; }
 
   bool operator==(const Matrix& other) const = default;
 

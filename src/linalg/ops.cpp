@@ -14,7 +14,8 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
-      if (aik == 0.0) continue;
+      // Sparsity fast path: skipping an exact zero is lossless.
+      if (aik == 0.0) continue;  // vmincqr-lint: allow(float-equality)
       const double* brow = b.row_ptr(k);
       double* orow = out.row_ptr(i);
       for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
@@ -43,7 +44,8 @@ Matrix gram(const Matrix& a) {
     const double* row = a.row_ptr(r);
     for (std::size_t i = 0; i < a.cols(); ++i) {
       const double ri = row[i];
-      if (ri == 0.0) continue;
+      // Sparsity fast path: skipping an exact zero is lossless.
+      if (ri == 0.0) continue;  // vmincqr-lint: allow(float-equality)
       double* orow = out.row_ptr(i);
       for (std::size_t j = i; j < a.cols(); ++j) orow[j] += ri * row[j];
     }
@@ -61,7 +63,8 @@ Vector transpose_matvec(const Matrix& a, const Vector& y) {
   Vector out(a.cols(), 0.0);
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const double yr = y[r];
-    if (yr == 0.0) continue;
+    // Sparsity fast path: skipping an exact zero is lossless.
+    if (yr == 0.0) continue;  // vmincqr-lint: allow(float-equality)
     const double* row = a.row_ptr(r);
     for (std::size_t c = 0; c < a.cols(); ++c) out[c] += yr * row[c];
   }

@@ -63,7 +63,7 @@ void ElasticNetRegressor::fit(const Matrix& x, const Vector& y) {
   for (int it = 0; it < config_.max_iterations; ++it) {
     double max_delta = 0.0;
     for (std::size_t j = 0; j < d; ++j) {
-      if (col_sq[j] == 0.0) continue;  // constant column: keep coef at 0
+      if (col_sq[j] <= 0.0) continue;  // constant column: keep coef at 0
       // rho = (1/n) x_j . (residual + x_j * b_j)
       double rho = 0.0;
       for (std::size_t r = 0; r < n; ++r) {
@@ -73,7 +73,9 @@ void ElasticNetRegressor::fit(const Matrix& x, const Vector& y) {
       const double new_coef =
           soft_threshold(rho, l1) / (col_sq[j] + l2);
       const double delta = new_coef - coef_[j];
-      if (delta != 0.0) {
+      // Exact-zero delta means soft_threshold clamped the step; skipping
+      // the residual update is lossless (additive identity).
+      if (delta != 0.0) {  // vmincqr-lint: allow(float-equality)
         for (std::size_t r = 0; r < n; ++r) residual[r] -= delta * xs(r, j);
         coef_[j] = new_coef;
         max_delta = std::max(max_delta, std::abs(delta));
@@ -105,7 +107,8 @@ std::unique_ptr<Regressor> ElasticNetRegressor::clone_config() const {
 std::vector<std::size_t> ElasticNetRegressor::selected_features() const {
   std::vector<std::size_t> idx;
   for (std::size_t j = 0; j < coef_.size(); ++j) {
-    if (coef_[j] != 0.0) idx.push_back(j);
+    // Soft-thresholding produces exact zeros; != 0.0 is the sparsity test.
+    if (coef_[j] != 0.0) idx.push_back(j);  // vmincqr-lint: allow(float-equality)
   }
   std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
     return std::abs(coef_[a]) > std::abs(coef_[b]);

@@ -28,21 +28,21 @@ class ElasticNetRegressor final : public Regressor {
   explicit ElasticNetRegressor(ElasticNetConfig config = {});
 
   void fit(const Matrix& x, const Vector& y) override;
-  Vector predict(const Matrix& x) const override;
-  std::unique_ptr<Regressor> clone_config() const override;
-  std::string name() const override { return "Elastic Net"; }
-  bool fitted() const override { return fitted_; }
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<Regressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return "Elastic Net"; }
+  [[nodiscard]] bool fitted() const override { return fitted_; }
 
   /// Coefficients in the standardized feature space (no intercept entry;
   /// the intercept is absorbed by centring).
-  const Vector& coefficients() const { return coef_; }
+  [[nodiscard]] const Vector& coefficients() const { return coef_; }
 
   /// Indices of features with non-zero coefficients (the embedded
   /// selection), sorted by descending |coefficient|.
-  std::vector<std::size_t> selected_features() const;
+  [[nodiscard]] std::vector<std::size_t> selected_features() const;
 
   /// Number of coordinate-descent sweeps the last fit used.
-  int iterations_used() const noexcept { return iterations_used_; }
+  [[nodiscard]] int iterations_used() const noexcept { return iterations_used_; }
 
  private:
   ElasticNetConfig config_;

@@ -67,13 +67,10 @@ std::unique_ptr<Regressor> make_point_regressor(ModelKind kind, Loss loss) {
   throw std::invalid_argument("make_point_regressor: unknown kind");
 }
 
-std::unique_ptr<QuantilePairRegressor> make_quantile_pair(ModelKind kind,
-                                                          double alpha) {
-  if (!(alpha > 0.0) || !(alpha < 1.0)) {
-    throw std::invalid_argument("make_quantile_pair: alpha outside (0, 1)");
-  }
-  auto lower = make_point_regressor(kind, Loss::pinball(alpha / 2.0));
-  auto upper = make_point_regressor(kind, Loss::pinball(1.0 - alpha / 2.0));
+std::unique_ptr<QuantilePairRegressor> make_quantile_pair(
+    ModelKind kind, core::MiscoverageAlpha alpha) {
+  auto lower = make_point_regressor(kind, Loss::pinball(alpha.lower_tau()));
+  auto upper = make_point_regressor(kind, Loss::pinball(alpha.upper_tau()));
   return std::make_unique<QuantilePairRegressor>(
       alpha, std::move(lower), std::move(upper), "QR " + model_name(kind));
 }

@@ -2,6 +2,7 @@
 // (Sec. IV-C) and their quantile-regression variants (Sec. IV-E).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,7 +13,7 @@
 
 namespace vmincqr::models {
 
-enum class ModelKind {
+enum class ModelKind : std::uint8_t {
   kLinear,    ///< Linear Regression
   kGp,        ///< Gaussian Process
   kXgboost,   ///< second-order gradient boosting
@@ -31,8 +32,8 @@ std::unique_ptr<Regressor> make_point_regressor(ModelKind kind,
 
 /// Creates the QR interval model of Sec. II-B.2: two copies of `kind`
 /// trained at quantiles alpha/2 and 1 - alpha/2.
-std::unique_ptr<QuantilePairRegressor> make_quantile_pair(ModelKind kind,
-                                                          double alpha);
+std::unique_ptr<QuantilePairRegressor> make_quantile_pair(
+    ModelKind kind, core::MiscoverageAlpha alpha);
 
 /// All five point-prediction models (Fig. 2).
 const std::vector<ModelKind>& point_model_zoo();

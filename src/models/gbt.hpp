@@ -29,16 +29,16 @@ class GradientBoostedTrees final : public Regressor {
   explicit GradientBoostedTrees(GbtConfig config = {});
 
   void fit(const Matrix& x, const Vector& y) override;
-  Vector predict(const Matrix& x) const override;
-  std::unique_ptr<Regressor> clone_config() const override;
-  std::string name() const override { return "XGBoost"; }
-  bool fitted() const override { return fitted_; }
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<Regressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return "XGBoost"; }
+  [[nodiscard]] bool fitted() const override { return fitted_; }
 
-  std::size_t n_trees() const noexcept { return trees_.size(); }
+  [[nodiscard]] std::size_t n_trees() const noexcept { return trees_.size(); }
 
   /// Gain-based feature importance (normalized to sum 1; all-zero when no
   /// split was ever made). Throws std::logic_error if not fitted.
-  Vector feature_importance() const;
+  [[nodiscard]] Vector feature_importance() const;
 
  private:
   GbtConfig config_;

@@ -108,6 +108,8 @@ void GaussianProcessRegressor::fit(const Matrix& x, const Vector& y) {
   fitted_ = true;
 }
 
+// Input validation runs in posterior() (check_predict_args).
+// vmincqr-lint: allow(contract-coverage)
 Vector GaussianProcessRegressor::predict(const Matrix& x) const {
   return posterior(x).mean;
 }

@@ -33,22 +33,22 @@ class GaussianProcessRegressor final : public Regressor {
   explicit GaussianProcessRegressor(GpConfig config = {});
 
   void fit(const Matrix& x, const Vector& y) override;
-  Vector predict(const Matrix& x) const override;
-  std::unique_ptr<Regressor> clone_config() const override;
-  std::string name() const override { return "Gaussian Process"; }
-  bool fitted() const override { return fitted_; }
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<Regressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return "Gaussian Process"; }
+  [[nodiscard]] bool fitted() const override { return fitted_; }
 
   /// Posterior mean and variance, in label units (volts).
-  GpPosterior posterior(const Matrix& x) const;
+  [[nodiscard]] GpPosterior posterior(const Matrix& x) const;
 
-  double length_scale() const noexcept { return length_scale_; }
-  double noise_variance() const noexcept { return noise_variance_; }
-  double log_marginal_likelihood() const noexcept { return best_lml_; }
+  [[nodiscard]] double length_scale() const noexcept { return length_scale_; }
+  [[nodiscard]] double noise_variance() const noexcept { return noise_variance_; }
+  [[nodiscard]] double log_marginal_likelihood() const noexcept { return best_lml_; }
 
  private:
   double compute_lml(const Matrix& k, const Vector& ys, Matrix* chol_out,
                      Vector* alpha_out) const;
-  Matrix kernel(const Matrix& a, const Matrix& b, double length_scale) const;
+  [[nodiscard]] Matrix kernel(const Matrix& a, const Matrix& b, double length_scale) const;
 
   GpConfig config_;
   data::StandardScaler scaler_;

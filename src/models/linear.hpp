@@ -28,13 +28,13 @@ class LinearRegressor final : public Regressor {
   explicit LinearRegressor(LinearConfig config = {});
 
   void fit(const Matrix& x, const Vector& y) override;
-  Vector predict(const Matrix& x) const override;
-  std::unique_ptr<Regressor> clone_config() const override;
-  std::string name() const override { return "Linear Regression"; }
-  bool fitted() const override { return fitted_; }
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<Regressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return "Linear Regression"; }
+  [[nodiscard]] bool fitted() const override { return fitted_; }
 
   /// Coefficients in the standardized feature space; [0] is the intercept.
-  const Vector& coefficients() const { return coef_; }
+  [[nodiscard]] const Vector& coefficients() const { return coef_; }
 
   /// The fitted model as a raw-feature-space affine function
   /// y = intercept + weights . x — the form an on-chip hardware accelerator
@@ -44,10 +44,10 @@ class LinearRegressor final : public Regressor {
   struct Affine {
     Vector weights;
     double intercept = 0.0;
-    double evaluate(const Vector& x) const;
+    [[nodiscard]] double evaluate(const Vector& x) const;
   };
   /// Throws std::logic_error if not fitted.
-  Affine raw_affine() const;
+  [[nodiscard]] Affine raw_affine() const;
 
  private:
   void fit_squared(const Matrix& xs, const Vector& ys);

@@ -5,11 +5,8 @@
 
 namespace vmincqr::models {
 
-Loss Loss::pinball(double q) {
-  if (!(q > 0.0) || !(q < 1.0)) {
-    throw std::invalid_argument("Loss::pinball: quantile outside (0, 1)");
-  }
-  return {LossKind::kPinball, q};
+Loss Loss::pinball(core::QuantileLevel q) {
+  return {LossKind::kPinball, q.value()};
 }
 
 double Loss::value(double y, double y_hat) const {

@@ -3,11 +3,14 @@
 // regressor (paper Sec. II-B.2).
 #pragma once
 
+#include <cstdint>
 #include <string>
+
+#include "core/units.hpp"
 
 namespace vmincqr::models {
 
-enum class LossKind {
+enum class LossKind : std::uint8_t {
   kSquared,  ///< mean squared error -> conditional mean
   kPinball,  ///< quantile loss -> conditional quantile
 };
@@ -19,23 +22,24 @@ struct Loss {
   double quantile = 0.5;  ///< only meaningful for kPinball; in (0, 1)
 
   static Loss squared() { return {LossKind::kSquared, 0.5}; }
-  /// Throws std::invalid_argument if q outside (0, 1).
-  static Loss pinball(double q);
+  /// Pinball loss at level q; construction of core::QuantileLevel already
+  /// guarantees q in (0, 1).
+  static Loss pinball(core::QuantileLevel q);
 
   /// Loss value for one sample.
-  double value(double y, double y_hat) const;
+  [[nodiscard]] double value(double y, double y_hat) const;
 
   /// d(loss)/d(y_hat). For pinball this is the subgradient, with the
   /// convention gradient(y == y_hat) = (1 - q) - ... = q-side value 0 is
   /// avoided by returning the right-limit (1 - q).
-  double gradient(double y, double y_hat) const;
+  [[nodiscard]] double gradient(double y, double y_hat) const;
 
   /// d2(loss)/d(y_hat)^2. Pinball has zero curvature almost everywhere;
   /// we return the constant 1 surrogate used by gradient boosting
   /// implementations so leaf weights stay well-defined.
-  double hessian(double y, double y_hat) const;
+  [[nodiscard]] double hessian(double y, double y_hat) const;
 
-  std::string describe() const;
+  [[nodiscard]] std::string describe() const;
 };
 
 }  // namespace vmincqr::models

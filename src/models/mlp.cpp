@@ -94,7 +94,8 @@ void MlpRegressor::fit(const Matrix& x, const Vector& y) {
       for (std::size_t j = 0; j < h; ++j) {
         gw2[j] += dl * hidden[j];
         const double dh = dl * w2[j] * relu_mask[j];
-        if (dh == 0.0) continue;
+        // ReLU mask zeroes dh exactly; skipping dead units is lossless.
+        if (dh == 0.0) continue;  // vmincqr-lint: allow(float-equality)
         gb1[j] += dh;
         for (std::size_t k = 0; k < d; ++k) gw1[k * h + j] += dh * row[k];
       }

@@ -29,13 +29,13 @@ class MlpRegressor final : public Regressor {
   explicit MlpRegressor(MlpConfig config = {});
 
   void fit(const Matrix& x, const Vector& y) override;
-  Vector predict(const Matrix& x) const override;
-  std::unique_ptr<Regressor> clone_config() const override;
-  std::string name() const override { return "Neural Network"; }
-  bool fitted() const override { return fitted_; }
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<Regressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return "Neural Network"; }
+  [[nodiscard]] bool fitted() const override { return fitted_; }
 
  private:
-  Vector forward(const Matrix& xs) const;
+  [[nodiscard]] Vector forward(const Matrix& xs) const;
 
   MlpConfig config_;
   data::StandardScaler scaler_;

@@ -53,14 +53,14 @@ struct ObliviousTree {
   std::vector<double> leaf_values;
 
   /// Leaf index for a feature row (bit l set iff row[feature_l] > thr_l).
-  std::size_t leaf_index(const double* row) const {
+  [[nodiscard]] std::size_t leaf_index(const double* row) const {
     std::size_t idx = 0;
     for (std::size_t l = 0; l < features.size(); ++l) {
       idx |= static_cast<std::size_t>(row[features[l]] > thresholds[l]) << l;
     }
     return idx;
   }
-  double predict_row(const double* row) const {
+  [[nodiscard]] double predict_row(const double* row) const {
     return leaf_values[leaf_index(row)];
   }
 };
@@ -70,20 +70,20 @@ class OrderedBoostedTrees final : public Regressor {
   explicit OrderedBoostedTrees(OrderedBoostConfig config = {});
 
   void fit(const Matrix& x, const Vector& y) override;
-  Vector predict(const Matrix& x) const override;
-  std::unique_ptr<Regressor> clone_config() const override;
-  std::string name() const override { return "CatBoost"; }
-  bool fitted() const override { return fitted_; }
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<Regressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return "CatBoost"; }
+  [[nodiscard]] bool fitted() const override { return fitted_; }
 
-  std::size_t n_trees() const noexcept { return trees_.size(); }
+  [[nodiscard]] std::size_t n_trees() const noexcept { return trees_.size(); }
 
   /// Gain-based feature importance (normalized to sum 1; all-zero when no
   /// split improved the objective). Throws std::logic_error if not fitted.
-  Vector feature_importance() const;
+  [[nodiscard]] Vector feature_importance() const;
 
  private:
   /// Quantile-based candidate thresholds per feature.
-  std::vector<std::vector<double>> compute_borders(const Matrix& x) const;
+  [[nodiscard]] std::vector<std::vector<double>> compute_borders(const Matrix& x) const;
 
   OrderedBoostConfig config_;
   std::vector<ObliviousTree> trees_;

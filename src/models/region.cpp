@@ -10,27 +10,22 @@
 
 namespace vmincqr::models {
 
-namespace {
-void check_alpha(double alpha) {
-  VMINCQR_REQUIRE(alpha > 0.0 && alpha < 1.0,
-                  "IntervalRegressor: alpha outside (0, 1)");
-}
-}  // namespace
-
-GpIntervalRegressor::GpIntervalRegressor(double alpha, GpConfig config)
-    : alpha_(alpha), config_(config), gp_(config) {
-  check_alpha(alpha);
-}
+GpIntervalRegressor::GpIntervalRegressor(MiscoverageAlpha alpha,
+                                         GpConfig config)
+    : alpha_(alpha), config_(config), gp_(config) {}
 
 void GpIntervalRegressor::fit(const Matrix& x, const Vector& y) {
+  VMINCQR_REQUIRE(x.rows() > 0, "GpIntervalRegressor::fit: empty training set");
+  VMINCQR_CHECK_SHAPE(x.rows() == y.size(),
+                      "GpIntervalRegressor::fit: rows/labels mismatch");
   gp_.fit(x, y);
 }
 
 IntervalPrediction GpIntervalRegressor::predict_interval(
     const Matrix& x) const {
   const GpPosterior post = gp_.posterior(x);
-  const double k_lo = stats::normal_quantile(alpha_ / 2.0);
-  const double k_hi = stats::normal_quantile(1.0 - alpha_ / 2.0);
+  const double k_lo = stats::normal_quantile(alpha_.lower_tau());
+  const double k_hi = stats::normal_quantile(alpha_.upper_tau());
   IntervalPrediction out;
   out.lower.resize(post.mean.size());
   out.upper.resize(post.mean.size());
@@ -48,7 +43,7 @@ std::unique_ptr<IntervalRegressor> GpIntervalRegressor::clone_config() const {
   return std::make_unique<GpIntervalRegressor>(alpha_, config_);
 }
 
-QuantilePairRegressor::QuantilePairRegressor(double alpha,
+QuantilePairRegressor::QuantilePairRegressor(MiscoverageAlpha alpha,
                                              std::unique_ptr<Regressor> lower,
                                              std::unique_ptr<Regressor> upper,
                                              std::string label)
@@ -56,11 +51,14 @@ QuantilePairRegressor::QuantilePairRegressor(double alpha,
       lower_(std::move(lower)),
       upper_(std::move(upper)),
       label_(std::move(label)) {
-  check_alpha(alpha);
   VMINCQR_REQUIRE(lower_ && upper_, "QuantilePairRegressor: null prototype");
 }
 
 void QuantilePairRegressor::fit(const Matrix& x, const Vector& y) {
+  VMINCQR_REQUIRE(x.rows() > 0,
+                  "QuantilePairRegressor::fit: empty training set");
+  VMINCQR_CHECK_SHAPE(x.rows() == y.size(),
+                      "QuantilePairRegressor::fit: rows/labels mismatch");
   lower_->fit(x, y);
   upper_->fit(x, y);
 }

@@ -10,10 +10,13 @@
 
 #include <memory>
 
+#include "core/units.hpp"
 #include "models/gp.hpp"
 #include "models/regressor.hpp"
 
 namespace vmincqr::models {
+
+using core::MiscoverageAlpha;
 
 /// Elementwise prediction interval [lower_i, upper_i].
 struct IntervalPrediction {
@@ -35,25 +38,24 @@ class IntervalRegressor {
   virtual std::string name() const = 0;
 
   /// Target miscoverage rate alpha (interval aims at 1 - alpha coverage).
-  virtual double alpha() const = 0;
+  virtual MiscoverageAlpha alpha() const = 0;
 };
 
 /// Eq. (4): [mu + K_lo * sigma, mu + K_hi * sigma] with K = Phi^{-1} bounds.
 class GpIntervalRegressor final : public IntervalRegressor {
  public:
-  /// Throws std::invalid_argument if alpha outside (0, 1).
-  explicit GpIntervalRegressor(double alpha, GpConfig config = {});
+  explicit GpIntervalRegressor(MiscoverageAlpha alpha, GpConfig config = {});
 
   void fit(const Matrix& x, const Vector& y) override;
-  IntervalPrediction predict_interval(const Matrix& x) const override;
-  std::unique_ptr<IntervalRegressor> clone_config() const override;
-  std::string name() const override { return "GP"; }
-  double alpha() const override { return alpha_; }
+  [[nodiscard]] IntervalPrediction predict_interval(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<IntervalRegressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return "GP"; }
+  [[nodiscard]] MiscoverageAlpha alpha() const override { return alpha_; }
 
-  const GaussianProcessRegressor& gp() const { return gp_; }
+  [[nodiscard]] const GaussianProcessRegressor& gp() const { return gp_; }
 
  private:
-  double alpha_;
+  MiscoverageAlpha alpha_;
   GpConfig config_;
   GaussianProcessRegressor gp_;
 };
@@ -65,21 +67,21 @@ class QuantilePairRegressor final : public IntervalRegressor {
  public:
   /// The prototypes must already be configured with pinball losses at the
   /// matching quantiles; `make_quantile_pair` in factory.hpp does this.
-  /// Throws std::invalid_argument on null prototypes or alpha outside (0, 1).
-  QuantilePairRegressor(double alpha, std::unique_ptr<Regressor> lower,
+  /// Throws std::invalid_argument on null prototypes.
+  QuantilePairRegressor(MiscoverageAlpha alpha, std::unique_ptr<Regressor> lower,
                         std::unique_ptr<Regressor> upper, std::string label);
 
   void fit(const Matrix& x, const Vector& y) override;
-  IntervalPrediction predict_interval(const Matrix& x) const override;
-  std::unique_ptr<IntervalRegressor> clone_config() const override;
-  std::string name() const override { return label_; }
-  double alpha() const override { return alpha_; }
+  [[nodiscard]] IntervalPrediction predict_interval(const Matrix& x) const override;
+  [[nodiscard]] std::unique_ptr<IntervalRegressor> clone_config() const override;
+  [[nodiscard]] std::string name() const override { return label_; }
+  [[nodiscard]] MiscoverageAlpha alpha() const override { return alpha_; }
 
-  const Regressor& lower_model() const { return *lower_; }
-  const Regressor& upper_model() const { return *upper_; }
+  [[nodiscard]] const Regressor& lower_model() const { return *lower_; }
+  [[nodiscard]] const Regressor& upper_model() const { return *upper_; }
 
  private:
-  double alpha_;
+  MiscoverageAlpha alpha_;
   std::unique_ptr<Regressor> lower_;
   std::unique_ptr<Regressor> upper_;
   std::string label_;

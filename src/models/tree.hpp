@@ -37,26 +37,26 @@ class RegressionTree {
 
   /// Prediction for one feature row of length d (must equal the training
   /// feature count; unchecked hot path).
-  double predict_row(const double* row) const;
+  [[nodiscard]] double predict_row(const double* row) const;
 
   /// Predictions for every row of x. Throws std::logic_error if not fitted.
-  Vector predict(const Matrix& x) const;
+  [[nodiscard]] Vector predict(const Matrix& x) const;
 
   /// Leaf id per *training* row index (size = x.rows() passed to fit;
   /// untrained rows get -1 when a row subset was used).
-  const std::vector<std::int32_t>& train_leaf_ids() const {
+  [[nodiscard]] const std::vector<std::int32_t>& train_leaf_ids() const {
     return train_leaf_ids_;
   }
 
   /// Leaf id a feature row would land in.
-  std::int32_t leaf_id_for_row(const double* row) const;
+  [[nodiscard]] std::int32_t leaf_id_for_row(const double* row) const;
 
-  std::size_t n_leaves() const noexcept { return n_leaves_; }
-  bool fitted() const noexcept { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t n_leaves() const noexcept { return n_leaves_; }
+  [[nodiscard]] bool fitted() const noexcept { return !nodes_.empty(); }
 
   /// Overwrites the value of a leaf (by leaf id). Throws std::out_of_range.
   void set_leaf_value(std::int32_t leaf_id, double value);
-  double leaf_value(std::int32_t leaf_id) const;
+  [[nodiscard]] double leaf_value(std::int32_t leaf_id) const;
 
   /// Adds each internal node's split gain to gains[feature]. gains must be
   /// sized to the training feature count. Throws std::invalid_argument on a

@@ -41,13 +41,13 @@ class Netlist {
   /// Seeded random layered DAG. Deterministic in (config, rng state).
   static Netlist random(const RandomNetlistConfig& config, rng::Rng& rng);
 
-  std::size_t n_inputs() const noexcept { return n_inputs_; }
-  std::size_t n_nodes() const noexcept { return n_inputs_ + gates_.size(); }
-  const std::vector<Gate>& gates() const noexcept { return gates_; }
-  const std::vector<std::size_t>& outputs() const noexcept { return outputs_; }
+  [[nodiscard]] std::size_t n_inputs() const noexcept { return n_inputs_; }
+  [[nodiscard]] std::size_t n_nodes() const noexcept { return n_inputs_ + gates_.size(); }
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+  [[nodiscard]] const std::vector<std::size_t>& outputs() const noexcept { return outputs_; }
 
   /// Gate for a node id >= n_inputs(). Throws std::out_of_range.
-  const Gate& gate_at(std::size_t node) const;
+  [[nodiscard]] const Gate& gate_at(std::size_t node) const;
 
  private:
   std::size_t n_inputs_;

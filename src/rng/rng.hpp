@@ -49,7 +49,7 @@ class Rng {
   /// Shuffles a vector of indices in place.
   void shuffle(std::vector<std::size_t>& v);
 
-  std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Raw engine access for std::distributions not wrapped here.
   std::mt19937_64& engine() noexcept { return engine_; }

@@ -17,9 +17,9 @@ AgingModel::AgingModel(AgingConfig config) : config_(config) {
   }
 }
 
-double AgingModel::delta_vth(const ChipLatent& chip, double hours) const {
-  if (hours < 0.0) throw std::invalid_argument("AgingModel: negative hours");
-  if (hours == 0.0) return 0.0;
+double AgingModel::delta_vth(const ChipLatent& chip,
+                             core::Hours hours) const {
+  if (hours.value() <= 0.0) return 0.0;
   const double base =
       config_.amplitude *
       std::pow(hours / config_.t_ref_hours, config_.exponent);
@@ -33,13 +33,17 @@ std::vector<double> AgingModel::delta_vth_series(
     const ChipLatent& chip, const std::vector<double>& hours) const {
   std::vector<double> out;
   out.reserve(hours.size());
-  for (double h : hours) out.push_back(delta_vth(chip, h));
+  for (double h : hours) out.push_back(delta_vth(chip, core::Hours{h}));
   return out;
 }
 
 const std::vector<double>& standard_read_points() {
   static const std::vector<double> points = {0.0, 24.0, 48.0, 168.0, 504.0, 1008.0};
   return points;
+}
+
+core::Hours standard_read_point(core::ReadPointIdx idx) {
+  return core::Hours{standard_read_points().at(idx.value())};
 }
 
 const std::vector<double>& standard_temperatures() {

@@ -52,7 +52,7 @@ GeneratedDataset generate_dataset(const GeneratorConfig& config) {
       features(chip_idx, col++) = v;
     }
     for (double t : config.read_points_hours) {
-      for (double v : monitors.measure(chip, aging, t, chip_rng)) {
+      for (double v : monitors.measure(chip, aging, core::Hours{t}, chip_rng)) {
         features(chip_idx, col++) = v;
       }
     }
@@ -63,8 +63,8 @@ GeneratedDataset generate_dataset(const GeneratorConfig& config) {
     std::size_t series_idx = 0;
     for (double t : config.read_points_hours) {
       for (double temp : config.vmin_temperatures_c) {
-        labels[series_idx++].values[chip_idx] =
-            vmin_model.measure_vmin(chip, t, temp, chip_rng);
+        labels[series_idx++].values[chip_idx] = vmin_model.measure_vmin(
+            chip, core::Hours{t}, core::Celsius{temp}, chip_rng);
       }
     }
   }

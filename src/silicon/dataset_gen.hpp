@@ -33,6 +33,13 @@ struct GeneratedDataset {
   data::Dataset dataset;
   std::vector<ChipLatent> latents;
   GeneratorConfig config;
+
+  /// Ground-truth latent state of one chip, by strongly-typed index (so a
+  /// feature-column or read-point index cannot be used by mistake).
+  /// Throws std::out_of_range past the population.
+  [[nodiscard]] const ChipLatent& latent(core::ChipId chip) const {
+    return latents.at(chip.value());
+  }
 };
 
 /// Generates the full synthetic experiment. Deterministic in config.seed.

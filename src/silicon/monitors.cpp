@@ -51,9 +51,9 @@ MonitorBank::MonitorBank(MonitorConfig config, rng::Rng& catalogue_rng)
 }
 
 std::vector<double> MonitorBank::measure(const ChipLatent& chip,
-                                         const AgingModel& aging, double hours,
+                                         const AgingModel& aging,
+                                         core::Hours hours,
                                          rng::Rng& meas_rng) const {
-  if (hours < 0.0) throw std::invalid_argument("MonitorBank: negative hours");
   const double age_shift = aging.delta_vth(chip, hours);
   const auto& paths = standard_critical_paths();
   std::vector<double> out;

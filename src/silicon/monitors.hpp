@@ -50,15 +50,15 @@ class MonitorBank {
   /// Builds the sensor catalogue deterministically from `catalogue_rng`.
   MonitorBank(MonitorConfig config, rng::Rng& catalogue_rng);
 
-  std::size_t n_sensors() const noexcept { return specs_.size(); }
-  const std::vector<MonitorSpec>& specs() const noexcept { return specs_; }
+  [[nodiscard]] std::size_t n_sensors() const noexcept { return specs_.size(); }
+  [[nodiscard]] const std::vector<MonitorSpec>& specs() const noexcept { return specs_; }
 
   /// Reads every sensor for one chip at stress time `hours`.
   std::vector<double> measure(const ChipLatent& chip, const AgingModel& aging,
-                              double hours, rng::Rng& meas_rng) const;
+                              core::Hours hours, rng::Rng& meas_rng) const;
 
   /// Feature metadata for a given read point (names get a _t<hours> suffix).
-  std::vector<data::FeatureInfo> feature_info(double hours) const;
+  [[nodiscard]] std::vector<data::FeatureInfo> feature_info(double hours) const;
 
  private:
   MonitorConfig config_;

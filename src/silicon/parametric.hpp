@@ -8,6 +8,7 @@
 // are only weakly related to Vmin.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,7 @@
 namespace vmincqr::silicon {
 
 /// Families of parametric tests; the family decides the response shape.
-enum class ParametricFamily {
+enum class ParametricFamily : std::uint8_t {
   kIddq,     ///< quiescent leakage current (log-scale, leakage-driven)
   kTripIdd,  ///< dynamic switching current
   kLeakage,  ///< per-domain leakage
@@ -54,17 +55,17 @@ class ParametricTestBank {
   /// Builds the feature catalogue deterministically from `catalogue_rng`.
   ParametricTestBank(ParametricConfig config, rng::Rng& catalogue_rng);
 
-  std::size_t n_features() const noexcept { return specs_.size(); }
-  const std::vector<ParametricFeatureSpec>& specs() const noexcept {
+  [[nodiscard]] std::size_t n_features() const noexcept { return specs_.size(); }
+  [[nodiscard]] const std::vector<ParametricFeatureSpec>& specs() const noexcept {
     return specs_;
   }
 
   /// Measures all features for one chip (adds measurement noise from
   /// `meas_rng`). Returns n_features() values.
-  std::vector<double> measure(const ChipLatent& chip, rng::Rng& meas_rng) const;
+  [[nodiscard]] std::vector<double> measure(const ChipLatent& chip, rng::Rng& meas_rng) const;
 
   /// Feature metadata rows for Dataset construction.
-  std::vector<data::FeatureInfo> feature_info() const;
+  [[nodiscard]] std::vector<data::FeatureInfo> feature_info() const;
 
  private:
   ParametricConfig config_;

@@ -42,12 +42,12 @@ class ProcessModel {
   explicit ProcessModel(ProcessConfig config = {});
 
   /// Draws a single chip. Deterministic in the RNG state.
-  ChipLatent sample(rng::Rng& rng) const;
+  [[nodiscard]] ChipLatent sample(rng::Rng& rng) const;
 
   /// Draws a population of n chips.
-  std::vector<ChipLatent> sample_population(std::size_t n, rng::Rng& rng) const;
+  [[nodiscard]] std::vector<ChipLatent> sample_population(std::size_t n, rng::Rng& rng) const;
 
-  const ProcessConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ProcessConfig& config() const noexcept { return config_; }
 
  private:
   ProcessConfig config_;

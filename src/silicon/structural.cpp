@@ -115,7 +115,7 @@ StructuralDataset generate_structural_dataset(const StructuralConfig& config) {
 
     // RO frequencies per read point (25 C readout).
     for (double t : config.read_points_hours) {
-      const double age = aging.delta_vth(chip, t);
+      const double age = aging.delta_vth(chip, core::Hours{t});
       for (const auto& ro : ros) {
         const double freq = netlist::ring_oscillator_frequency(
             ro, config.delay, config.ro_vdd, chip.dvth + age, 25.0);
@@ -130,7 +130,7 @@ StructuralDataset generate_structural_dataset(const StructuralConfig& config) {
     // Vmin labels from timing closure.
     std::size_t series = 0;
     for (double t : config.read_points_hours) {
-      state.age_shift = aging.delta_vth(chip, t);
+      state.age_shift = aging.delta_vth(chip, core::Hours{t});
       for (double temp : config.vmin_temperatures_c) {
         const auto solution = netlist::solve_vmin(
             design, config.delay, clock_period_ns, temp,

@@ -22,8 +22,10 @@ double VminModel::k_vth(double temperature_c) const {
   return config_.k_vth_room + (config_.k_vth_hot - config_.k_vth_room) * f;
 }
 
-double VminModel::expected_vmin(const ChipLatent& chip, double hours,
-                                double temperature_c) const {
+core::Volt VminModel::expected_vmin(const ChipLatent& chip,
+                                    core::Hours hours,
+                                    core::Celsius temperature) const {
+  const double temperature_c = temperature.value();
   double v = config_.nominal_v;
   // Temperature offsets (linear blend matching k_vth's regimes).
   if (temperature_c <= 25.0) {
@@ -47,11 +49,12 @@ double VminModel::expected_vmin(const ChipLatent& chip, double hours,
     defect_effect *= 1.0 + (config_.defect_cold_boost - 1.0) * f;
   }
   v += defect_effect;
-  return v;
+  return core::Volt{v};
 }
 
 double VminModel::noise_stddev(const ChipLatent& chip,
-                               double temperature_c) const {
+                               core::Celsius temperature) const {
+  const double temperature_c = temperature.value();
   double sd = config_.noise_base + config_.noise_mismatch * chip.mismatch +
               config_.noise_defect * chip.defect +
               config_.noise_leak * chip.leak_corner;
@@ -62,10 +65,11 @@ double VminModel::noise_stddev(const ChipLatent& chip,
   return sd;
 }
 
-double VminModel::measure_vmin(const ChipLatent& chip, double hours,
-                               double temperature_c, rng::Rng& meas_rng) const {
-  return expected_vmin(chip, hours, temperature_c) +
-         meas_rng.normal(0.0, noise_stddev(chip, temperature_c));
+core::Volt VminModel::measure_vmin(const ChipLatent& chip, core::Hours hours,
+                                   core::Celsius temperature,
+                                   rng::Rng& meas_rng) const {
+  return core::Volt{expected_vmin(chip, hours, temperature) +
+                    meas_rng.normal(0.0, noise_stddev(chip, temperature))};
 }
 
 }  // namespace vmincqr::silicon

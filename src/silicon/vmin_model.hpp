@@ -7,6 +7,7 @@
 // tail that motivates interval-based screening.
 #pragma once
 
+#include "core/units.hpp"
 #include "silicon/aging.hpp"
 #include "silicon/critical_path.hpp"
 #include "silicon/process.hpp"
@@ -42,23 +43,24 @@ class VminModel {
  public:
   explicit VminModel(VminConfig config = {}, AgingConfig aging = {});
 
-  /// Noise-free (expected) Vmin in volts.
-  double expected_vmin(const ChipLatent& chip, double hours,
-                       double temperature_c) const;
+  /// Noise-free (expected) Vmin.
+  core::Volt expected_vmin(const ChipLatent& chip, core::Hours hours,
+                           core::Celsius temperature) const;
 
   /// Measured Vmin: expected value plus heteroscedastic noise.
-  double measure_vmin(const ChipLatent& chip, double hours,
-                      double temperature_c, rng::Rng& meas_rng) const;
+  core::Volt measure_vmin(const ChipLatent& chip, core::Hours hours,
+                          core::Celsius temperature, rng::Rng& meas_rng) const;
 
-  /// Standard deviation of the measurement noise for this chip/condition —
-  /// exposed so tests can verify the heteroscedasticity CQR exploits.
-  double noise_stddev(const ChipLatent& chip, double temperature_c) const;
+  /// Standard deviation of the measurement noise (volts) for this
+  /// chip/condition — exposed so tests can verify the heteroscedasticity
+  /// CQR exploits.
+  [[nodiscard]] double noise_stddev(const ChipLatent& chip, core::Celsius temperature) const;
 
-  const VminConfig& config() const noexcept { return config_; }
-  const AgingModel& aging() const noexcept { return aging_; }
+  [[nodiscard]] const VminConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const AgingModel& aging() const noexcept { return aging_; }
 
  private:
-  double k_vth(double temperature_c) const;
+  [[nodiscard]] double k_vth(double temperature_c) const;
 
   VminConfig config_;
   AgingModel aging_;

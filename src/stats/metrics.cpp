@@ -29,7 +29,12 @@ double r_squared(const std::vector<double>& truth,
     ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
     ss_tot += (truth[i] - m) * (truth[i] - m);
   }
-  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  // A constant truth vector can leave ss_tot at rounding-noise scale
+  // (~1e-30) rather than exactly zero; dividing by it turns R^2 into
+  // garbage of either sign. Treat anything at noise scale as degenerate.
+  const double tiny =
+      1e-12 * static_cast<double>(truth.size()) * (1.0 + m * m);
+  if (ss_tot <= tiny) return ss_res <= tiny ? 1.0 : 0.0;
   return 1.0 - ss_res / ss_tot;
 }
 

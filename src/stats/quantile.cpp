@@ -34,12 +34,10 @@ double quantile_higher(std::vector<double> values, double q) {
   return values[rank - 1];
 }
 
-double conformal_quantile(std::vector<double> scores, double alpha) {
+double conformal_quantile(std::vector<double> scores,
+                          core::MiscoverageAlpha alpha) {
   if (scores.empty()) {
     throw std::invalid_argument("conformal_quantile: empty calibration set");
-  }
-  if (alpha < 0.0 || alpha > 1.0) {
-    throw std::invalid_argument("conformal_quantile: alpha outside [0, 1]");
   }
   const auto m = scores.size();
   const double target =
@@ -54,12 +52,7 @@ double conformal_quantile(std::vector<double> scores, double alpha) {
   return scores[rank - 1];
 }
 
-std::size_t min_calibration_size(double alpha) {
-  if (alpha <= 0.0) {
-    // alpha == 0 demands certainty; no finite calibration set suffices.
-    return std::numeric_limits<std::size_t>::max();
-  }
-  if (alpha >= 1.0) return 1;
+std::size_t min_calibration_size(core::MiscoverageAlpha alpha) {
   // ceil((M+1)(1-alpha)) <= M  <=>  M >= ceil(1/alpha) - 1 ... search directly
   // to avoid floating-point edge cases.
   for (std::size_t m = 1; m < 1u << 26; ++m) {

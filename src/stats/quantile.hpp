@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/units.hpp"
+
 namespace vmincqr::stats {
 
 /// Linear-interpolation empirical quantile (the common "type 7" rule).
@@ -22,11 +24,13 @@ double quantile_higher(std::vector<double> values, double q);
 /// When ceil((M+1)(1-alpha)) > M (calibration set too small for the target
 /// coverage) the interval must be infinite to retain the guarantee; this
 /// function then returns +infinity.
-/// Throws std::invalid_argument if scores is empty or alpha outside [0, 1].
-double conformal_quantile(std::vector<double> scores, double alpha);
+/// Throws std::invalid_argument if scores is empty; alpha validity is
+/// guaranteed by core::MiscoverageAlpha construction.
+double conformal_quantile(std::vector<double> scores,
+                          core::MiscoverageAlpha alpha);
 
 /// Smallest calibration-set size for which conformal_quantile is finite at
 /// miscoverage alpha: the least M with ceil((M+1)(1-alpha)) <= M.
-std::size_t min_calibration_size(double alpha);
+std::size_t min_calibration_size(core::MiscoverageAlpha alpha);
 
 }  // namespace vmincqr::stats

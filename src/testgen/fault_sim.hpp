@@ -29,7 +29,7 @@ struct FaultSimResult {
   std::size_t n_detected = 0;
   std::size_t n_faults = 0;
   std::vector<bool> detected;  ///< per fault, aligned with the fault list
-  double coverage() const {
+  [[nodiscard]] double coverage() const {
     return n_faults ? static_cast<double>(n_detected) /
                           static_cast<double>(n_faults)
                     : 0.0;

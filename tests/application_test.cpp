@@ -8,19 +8,33 @@ namespace vmincqr::core {
 namespace {
 
 TEST(Screening, IntervalRuleDecisions) {
-  EXPECT_EQ(screen_interval(0.50, 0.60, 0.65), ScreenDecision::kPass);
-  EXPECT_EQ(screen_interval(0.66, 0.70, 0.65), ScreenDecision::kFail);
-  EXPECT_EQ(screen_interval(0.60, 0.70, 0.65), ScreenDecision::kRetest);
+  const Volt spec{0.65};
+  EXPECT_EQ(screen_interval(0.50, 0.60, spec), ScreenDecision::kPass);
+  EXPECT_EQ(screen_interval(0.66, 0.70, spec), ScreenDecision::kFail);
+  EXPECT_EQ(screen_interval(0.60, 0.70, spec), ScreenDecision::kRetest);
   // Boundary: upper exactly at spec passes; lower exactly at spec retests.
-  EXPECT_EQ(screen_interval(0.60, 0.65, 0.65), ScreenDecision::kPass);
-  EXPECT_EQ(screen_interval(0.65, 0.70, 0.65), ScreenDecision::kRetest);
-  EXPECT_THROW(screen_interval(0.7, 0.6, 0.65), std::invalid_argument);
+  EXPECT_EQ(screen_interval(0.60, 0.65, spec), ScreenDecision::kPass);
+  EXPECT_EQ(screen_interval(0.65, 0.70, spec), ScreenDecision::kRetest);
+  EXPECT_THROW(screen_interval(0.7, 0.6, spec), std::invalid_argument);
 }
 
 TEST(Screening, PointRuleDecisions) {
-  EXPECT_EQ(screen_point(0.60, 0.02, 0.65), ScreenDecision::kPass);
-  EXPECT_EQ(screen_point(0.64, 0.02, 0.65), ScreenDecision::kFail);
-  EXPECT_THROW(screen_point(0.6, -0.01, 0.65), std::invalid_argument);
+  const Volt spec{0.65};
+  EXPECT_EQ(screen_point(0.60, Millivolt{20.0}, spec), ScreenDecision::kPass);
+  EXPECT_EQ(screen_point(0.64, Millivolt{20.0}, spec), ScreenDecision::kFail);
+  EXPECT_THROW(screen_point(0.6, Millivolt{-10.0}, spec),
+               std::invalid_argument);
+}
+
+TEST(Screening, GuardBandUnitsAreMillivolts) {
+  // A 20 mV guard band shifts the effective limit by 0.020 V, not by 20 V:
+  // prediction 0.64 + 0.020 exceeds the 0.655 V spec.
+  EXPECT_EQ(screen_point(0.64, Millivolt{20.0}, Volt{0.655}),
+            ScreenDecision::kFail);
+  EXPECT_EQ(screen_point(0.63, Millivolt{20.0}, Volt{0.655}),
+            ScreenDecision::kPass);
+  EXPECT_DOUBLE_EQ(Millivolt{20.0}.to_volts().value(), 0.020);
+  EXPECT_DOUBLE_EQ(Volt{0.655}.to_millivolts().value(), 655.0);
 }
 
 TEST(Screening, BatchAccounting) {
@@ -30,7 +44,7 @@ TEST(Screening, BatchAccounting) {
   const Vector upper = {0.62, 0.62, 0.70, 0.70};
   // min_spec 0.65: A pass(good), B pass(bad->underkill),
   // C fail(good->overkill), D retest.
-  const auto report = screen_batch_interval(truth, lower, upper, 0.65);
+  const auto report = screen_batch_interval(truth, lower, upper, Volt{0.65});
   EXPECT_EQ(report.n_pass, 2u);
   EXPECT_EQ(report.n_fail, 1u);
   EXPECT_EQ(report.n_retest, 1u);
@@ -43,8 +57,9 @@ TEST(Screening, BatchAccounting) {
 }
 
 TEST(Screening, BatchValidation) {
-  EXPECT_THROW(screen_batch_interval({}, {}, {}, 0.5), std::invalid_argument);
-  EXPECT_THROW(screen_batch_interval({1.0}, {1.0, 2.0}, {1.0}, 0.5),
+  EXPECT_THROW(screen_batch_interval({}, {}, {}, Volt{0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(screen_batch_interval({1.0}, {1.0, 2.0}, {1.0}, Volt{0.5}),
                std::invalid_argument);
 }
 
@@ -56,10 +71,13 @@ TEST(Screening, GuardBandCalibration) {
     truth.push_back(0.60 + 0.002 * i);
     pred.push_back(truth.back() - 0.03);
   }
-  const double guard = calibrate_guard_band(
-      truth, pred, 0.65, {0.0, 0.01, 0.02, 0.03, 0.05}, 0.0);
-  EXPECT_DOUBLE_EQ(guard, 0.03);
-  EXPECT_THROW(calibrate_guard_band(truth, pred, 0.65, {}, 0.0),
+  const Millivolt guard = calibrate_guard_band(
+      truth, pred, Volt{0.65},
+      {Millivolt{0.0}, Millivolt{10.0}, Millivolt{20.0}, Millivolt{30.0},
+       Millivolt{50.0}},
+      0.0);
+  EXPECT_DOUBLE_EQ(guard.value(), 30.0);
+  EXPECT_THROW(calibrate_guard_band(truth, pred, Volt{0.65}, {}, 0.0),
                std::invalid_argument);
 }
 
@@ -94,15 +112,15 @@ TEST(Binning, Validation) {
                std::invalid_argument);
   EXPECT_THROW(bin_chips({0.5}, {0.5, 0.6}, BinningConfig{{0.6}}),
                std::invalid_argument);
-  EXPECT_THROW(bin_by_point({0.5}, -0.01, {}, BinningConfig{{0.6}}),
+  EXPECT_THROW(bin_by_point({0.5}, Millivolt{-10.0}, {}, BinningConfig{{0.6}}),
                std::invalid_argument);
 }
 
 TEST(Binning, PointRuleAddsGuardBand) {
   BinningConfig config{{0.55, 0.60, 0.65}};
   const Vector predicted = {0.56};
-  const auto no_guard = bin_by_point(predicted, 0.0, {}, config);
-  const auto guarded = bin_by_point(predicted, 0.05, {}, config);
+  const auto no_guard = bin_by_point(predicted, Millivolt{0.0}, {}, config);
+  const auto guarded = bin_by_point(predicted, Millivolt{50.0}, {}, config);
   EXPECT_EQ(no_guard.bin_of_chip[0], 1);
   EXPECT_EQ(guarded.bin_of_chip[0], 2);
 }

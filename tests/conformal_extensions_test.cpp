@@ -38,8 +38,8 @@ int group_of(const double* row, std::size_t) { return row[0] > 0.0 ? 1 : 0; }
 
 TEST(Mondrian, PerGroupAdjustmentsDiffer) {
   const auto p = make_grouped(600, 1);
-  MondrianCqr mondrian(0.1,
-                       models::make_quantile_pair(ModelKind::kLinear, 0.1),
+  MondrianCqr mondrian(core::MiscoverageAlpha{0.1},
+                       models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}),
                        group_of);
   mondrian.fit(p.x, p.y);
   ASSERT_EQ(mondrian.group_q_hat().size(), 2u);
@@ -55,8 +55,8 @@ TEST(Mondrian, GroupConditionalCoverage) {
     const auto test = make_grouped(600, 200 + static_cast<std::uint64_t>(t));
     MondrianConfig config;
     config.seed = static_cast<std::uint64_t>(t);
-    MondrianCqr mondrian(0.1,
-                         models::make_quantile_pair(ModelKind::kLinear, 0.1),
+    MondrianCqr mondrian(core::MiscoverageAlpha{0.1},
+                         models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}),
                          group_of, config);
     mondrian.fit(train.x, train.y);
     const auto band = mondrian.predict_interval(test.x);
@@ -83,8 +83,8 @@ TEST(Mondrian, SmallGroupsFallBackToPooled) {
   const auto p = make_grouped(60, 3);
   MondrianConfig config;
   config.min_group_size = 1000;  // force fallback for every group
-  MondrianCqr mondrian(0.1,
-                       models::make_quantile_pair(ModelKind::kLinear, 0.1),
+  MondrianCqr mondrian(core::MiscoverageAlpha{0.1},
+                       models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}),
                        group_of, config);
   mondrian.fit(p.x, p.y);
   for (const auto& [g, q] : mondrian.group_q_hat()) {
@@ -93,9 +93,9 @@ TEST(Mondrian, SmallGroupsFallBackToPooled) {
 }
 
 TEST(Mondrian, Validation) {
-  EXPECT_THROW(MondrianCqr(0.1, nullptr, group_of), std::invalid_argument);
-  EXPECT_THROW(MondrianCqr(0.1,
-                           models::make_quantile_pair(ModelKind::kLinear, 0.1),
+  EXPECT_THROW(MondrianCqr(core::MiscoverageAlpha{0.1}, nullptr, group_of), std::invalid_argument);
+  EXPECT_THROW(MondrianCqr(core::MiscoverageAlpha{0.1},
+                           models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}),
                            nullptr),
                std::invalid_argument);
 }
@@ -103,7 +103,7 @@ TEST(Mondrian, Validation) {
 TEST(NormalizedCp, WidthsAdaptToDifficulty) {
   const auto p = make_grouped(800, 4);
   NormalizedConformalRegressor ncp(
-      0.1, models::make_point_regressor(ModelKind::kLinear),
+      core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear),
       models::make_point_regressor(ModelKind::kCatboost));
   ncp.fit(p.x, p.y);
   models::Matrix quiet(1, 2), noisy(1, 2);
@@ -125,7 +125,7 @@ TEST(NormalizedCp, CoversOnAverage) {
     NormalizedConfig config;
     config.seed = static_cast<std::uint64_t>(t);
     NormalizedConformalRegressor ncp(
-        0.1, models::make_point_regressor(ModelKind::kLinear),
+        core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear),
         models::make_point_regressor(ModelKind::kCatboost), config);
     ncp.fit(train.x, train.y);
     const auto band = ncp.predict_interval(test.x);
@@ -136,10 +136,10 @@ TEST(NormalizedCp, CoversOnAverage) {
 
 TEST(NormalizedCp, Validation) {
   EXPECT_THROW(NormalizedConformalRegressor(
-                   0.1, nullptr, models::make_point_regressor(ModelKind::kLinear)),
+                   core::MiscoverageAlpha{0.1}, nullptr, models::make_point_regressor(ModelKind::kLinear)),
                std::invalid_argument);
   NormalizedConformalRegressor ncp(
-      0.1, models::make_point_regressor(ModelKind::kLinear),
+      core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear),
       models::make_point_regressor(ModelKind::kLinear));
   EXPECT_THROW(ncp.predict_interval(models::Matrix(1, 2)), std::logic_error);
 }
@@ -152,7 +152,7 @@ TEST(CvPlus, CoversOnAverage) {
     const auto test = make_grouped(400, 500 + static_cast<std::uint64_t>(t));
     CvPlusConfig config;
     config.seed = static_cast<std::uint64_t>(t);
-    CvPlusRegressor cvp(0.1, models::make_point_regressor(ModelKind::kLinear),
+    CvPlusRegressor cvp(core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear),
                         config);
     cvp.fit(train.x, train.y);
     const auto band = cvp.predict_interval(test.x);
@@ -163,7 +163,7 @@ TEST(CvPlus, CoversOnAverage) {
 
 TEST(CvPlus, UsesAllTrainingResiduals) {
   const auto p = make_grouped(100, 6);
-  CvPlusRegressor cvp(0.1, models::make_point_regressor(ModelKind::kLinear));
+  CvPlusRegressor cvp(core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear));
   cvp.fit(p.x, p.y);
   const auto band = cvp.predict_interval(p.x.take_rows({0, 1}));
   EXPECT_EQ(band.lower.size(), 2u);
@@ -171,14 +171,14 @@ TEST(CvPlus, UsesAllTrainingResiduals) {
 }
 
 TEST(CvPlus, Validation) {
-  EXPECT_THROW(CvPlusRegressor(0.1, nullptr), std::invalid_argument);
+  EXPECT_THROW(CvPlusRegressor(core::MiscoverageAlpha{0.1}, nullptr), std::invalid_argument);
   CvPlusConfig bad;
   bad.n_folds = 1;
-  EXPECT_THROW(CvPlusRegressor(0.1,
+  EXPECT_THROW(CvPlusRegressor(core::MiscoverageAlpha{0.1},
                                models::make_point_regressor(ModelKind::kLinear),
                                bad),
                std::invalid_argument);
-  CvPlusRegressor cvp(0.1, models::make_point_regressor(ModelKind::kLinear));
+  CvPlusRegressor cvp(core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear));
   EXPECT_THROW(cvp.predict_interval(models::Matrix(1, 2)), std::logic_error);
 }
 

@@ -57,7 +57,8 @@ TEST_P(CoverageGuarantee, CqrMeetsTargetOnAverage) {
     CqrConfig config;
     config.seed = 77 + static_cast<std::uint64_t>(trial);
     ConformalizedQuantileRegressor cqr(
-        alpha, models::make_quantile_pair(kind, alpha), config);
+        core::MiscoverageAlpha{alpha}, models::make_quantile_pair(kind, core::MiscoverageAlpha{alpha}),
+        config);
     cqr.fit(train.x, train.y);
     const auto band = cqr.predict_interval(test.x);
     total_coverage +=
@@ -92,7 +93,7 @@ TEST_P(CpCoverage, SplitCpMeetsTargetOnAverage) {
     SplitConfig config;
     config.seed = 99 + static_cast<std::uint64_t>(trial);
     SplitConformalRegressor cp(
-        alpha, models::make_point_regressor(ModelKind::kLinear), config);
+        core::MiscoverageAlpha{alpha}, models::make_point_regressor(ModelKind::kLinear), config);
     cp.fit(train.x, train.y);
     const auto band = cp.predict_interval(test.x);
     total_coverage +=
@@ -119,7 +120,7 @@ TEST(ExactCoverage, SplitCpMatchesTheFiniteSampleFormula) {
     // Calibration residuals and one test point from the same N(0,1).
     std::vector<double> scores(m);
     for (auto& s : scores) s = std::abs(rng.normal());
-    const double q = stats::conformal_quantile(scores, alpha);
+    const double q = stats::conformal_quantile(scores, core::MiscoverageAlpha{alpha});
     const double test_score = std::abs(rng.normal());
     covered += test_score <= q;
     ++total;
@@ -140,7 +141,7 @@ TEST(CoverageContrast, RawQrUndercoversWhereCqrDoesNot) {
     const auto train = sample_problem(60, rng);
     const auto test = sample_problem(400, rng);
 
-    auto qr = models::make_quantile_pair(ModelKind::kCatboost, alpha);
+    auto qr = models::make_quantile_pair(ModelKind::kCatboost, core::MiscoverageAlpha{alpha});
     qr->fit(train.x, train.y);
     const auto qr_band = qr->predict_interval(test.x);
     qr_cov += stats::interval_coverage(test.y, qr_band.lower, qr_band.upper);
@@ -148,7 +149,7 @@ TEST(CoverageContrast, RawQrUndercoversWhereCqrDoesNot) {
     CqrConfig config;
     config.seed = 5 + static_cast<std::uint64_t>(trial);
     ConformalizedQuantileRegressor cqr(
-        alpha, models::make_quantile_pair(ModelKind::kCatboost, alpha),
+        core::MiscoverageAlpha{alpha}, models::make_quantile_pair(ModelKind::kCatboost, core::MiscoverageAlpha{alpha}),
         config);
     cqr.fit(train.x, train.y);
     const auto cqr_band = cqr.predict_interval(test.x);
@@ -169,12 +170,12 @@ TEST(CoverageContrast, CqrIntervalsAdaptButCpIntervalsDoNot) {
   const double alpha = 0.1;
 
   SplitConformalRegressor cp(
-      alpha, models::make_point_regressor(ModelKind::kCatboost));
+      core::MiscoverageAlpha{alpha}, models::make_point_regressor(ModelKind::kCatboost));
   cp.fit(train.x, train.y);
   const auto cp_band = cp.predict_interval(test.x);
 
   ConformalizedQuantileRegressor cqr(
-      alpha, models::make_quantile_pair(ModelKind::kCatboost, alpha));
+      core::MiscoverageAlpha{alpha}, models::make_quantile_pair(ModelKind::kCatboost, core::MiscoverageAlpha{alpha}));
   cqr.fit(train.x, train.y);
   const auto cqr_band = cqr.predict_interval(test.x);
 

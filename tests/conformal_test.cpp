@@ -63,19 +63,19 @@ TEST(Scores, VectorizedHelpersValidate) {
 
 TEST(SplitCp, ConstructionValidation) {
   EXPECT_THROW(SplitConformalRegressor(
-                   0.0, models::make_point_regressor(ModelKind::kLinear)),
+                   core::MiscoverageAlpha{0.0}, models::make_point_regressor(ModelKind::kLinear)),
                std::invalid_argument);
-  EXPECT_THROW(SplitConformalRegressor(0.1, nullptr), std::invalid_argument);
+  EXPECT_THROW(SplitConformalRegressor(core::MiscoverageAlpha{0.1}, nullptr), std::invalid_argument);
   SplitConfig bad;
   bad.train_fraction = 1.0;
   EXPECT_THROW(SplitConformalRegressor(
-                   0.1, models::make_point_regressor(ModelKind::kLinear), bad),
+                   core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear), bad),
                std::invalid_argument);
 }
 
 TEST(SplitCp, ConstantWidthIntervals) {
   const auto p = make_hetero(200, 1);
-  SplitConformalRegressor cp(0.1,
+  SplitConformalRegressor cp(core::MiscoverageAlpha{0.1},
                              models::make_point_regressor(ModelKind::kLinear));
   cp.fit(p.x, p.y);
   const auto test = make_hetero(100, 2);
@@ -89,7 +89,7 @@ TEST(SplitCp, ConstantWidthIntervals) {
 
 TEST(SplitCp, CoversAtTargetRate) {
   const auto p = make_hetero(600, 3);
-  SplitConformalRegressor cp(0.1,
+  SplitConformalRegressor cp(core::MiscoverageAlpha{0.1},
                              models::make_point_regressor(ModelKind::kLinear));
   cp.fit(p.x, p.y);
   const auto test = make_hetero(2000, 4);
@@ -101,7 +101,7 @@ TEST(SplitCp, CoversAtTargetRate) {
 TEST(SplitCp, InfiniteIntervalWhenCalibrationTooSmall) {
   // 8 samples, 25% calibration -> 2 calibration points; alpha = 0.1 needs 9.
   const auto p = make_hetero(8, 5);
-  SplitConformalRegressor cp(0.1,
+  SplitConformalRegressor cp(core::MiscoverageAlpha{0.1},
                              models::make_point_regressor(ModelKind::kLinear));
   cp.fit(p.x, p.y);
   EXPECT_TRUE(std::isinf(cp.q_hat()));
@@ -112,7 +112,7 @@ TEST(SplitCp, InfiniteIntervalWhenCalibrationTooSmall) {
 TEST(SplitCp, ExplicitSplitMatchesManualCalibration) {
   const auto train = make_hetero(100, 6);
   const auto calib = make_hetero(50, 7);
-  SplitConformalRegressor cp(0.2,
+  SplitConformalRegressor cp(core::MiscoverageAlpha{0.2},
                              models::make_point_regressor(ModelKind::kLinear));
   cp.fit_with_split(train.x, train.y, calib.x, calib.y);
   // q_hat must be one of the calibration scores (an order statistic).
@@ -127,25 +127,25 @@ TEST(SplitCp, ExplicitSplitMatchesManualCalibration) {
 }
 
 TEST(SplitCp, ErrorsBeforeFit) {
-  SplitConformalRegressor cp(0.1,
+  SplitConformalRegressor cp(core::MiscoverageAlpha{0.1},
                              models::make_point_regressor(ModelKind::kLinear));
   EXPECT_THROW(cp.predict_interval(models::Matrix(1, 2)), std::logic_error);
-  EXPECT_THROW(cp.q_hat(), std::logic_error);
+  EXPECT_THROW(static_cast<void>(cp.q_hat()), std::logic_error);
 }
 
 TEST(Cqr, ConstructionValidation) {
-  EXPECT_THROW(ConformalizedQuantileRegressor(0.1, nullptr),
+  EXPECT_THROW(ConformalizedQuantileRegressor(core::MiscoverageAlpha{0.1}, nullptr),
                std::invalid_argument);
   // Base alpha mismatch.
   EXPECT_THROW(ConformalizedQuantileRegressor(
-                   0.1, models::make_quantile_pair(ModelKind::kLinear, 0.2)),
+                   core::MiscoverageAlpha{0.1}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.2})),
                std::invalid_argument);
 }
 
 TEST(Cqr, AdaptiveWidthsTrackHeteroscedasticity) {
   const auto p = make_hetero(500, 8);
   ConformalizedQuantileRegressor cqr(
-      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1));
+      core::MiscoverageAlpha{0.1}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}));
   cqr.fit(p.x, p.y);
 
   // Query at low-noise and high-noise ends of the x0 axis.
@@ -165,12 +165,12 @@ TEST(Cqr, CalibratesUndercoveringBands) {
   // undercovers; CQR must widen it (q_hat > 0) and restore coverage.
   const auto p = make_hetero(500, 9);
   auto narrow_pair = std::make_unique<models::QuantilePairRegressor>(
-      0.1, models::make_point_regressor(ModelKind::kLinear,
-                                        models::Loss::pinball(0.3)),
+      core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear,
+                                        models::Loss::pinball(core::QuantileLevel{0.3})),
       models::make_point_regressor(ModelKind::kLinear,
-                                   models::Loss::pinball(0.7)),
+                                   models::Loss::pinball(core::QuantileLevel{0.7})),
       "QR narrow");
-  ConformalizedQuantileRegressor cqr(0.1, std::move(narrow_pair));
+  ConformalizedQuantileRegressor cqr(core::MiscoverageAlpha{0.1}, std::move(narrow_pair));
   cqr.fit(p.x, p.y);
   EXPECT_GT(cqr.q_hat(), 0.0);
   const auto test = make_hetero(1500, 10);
@@ -183,26 +183,26 @@ TEST(Cqr, ShrinksOvercoveringBands) {
   // overcovers; the signed CQR score must tighten it (q_hat < 0).
   const auto p = make_hetero(500, 11);
   auto wide_pair = std::make_unique<models::QuantilePairRegressor>(
-      0.2, models::make_point_regressor(ModelKind::kLinear,
-                                        models::Loss::pinball(0.01)),
+      core::MiscoverageAlpha{0.2}, models::make_point_regressor(ModelKind::kLinear,
+                                        models::Loss::pinball(core::QuantileLevel{0.01})),
       models::make_point_regressor(ModelKind::kLinear,
-                                   models::Loss::pinball(0.99)),
+                                   models::Loss::pinball(core::QuantileLevel{0.99})),
       "QR wide");
-  ConformalizedQuantileRegressor cqr(0.2, std::move(wide_pair));
+  ConformalizedQuantileRegressor cqr(core::MiscoverageAlpha{0.2}, std::move(wide_pair));
   cqr.fit(p.x, p.y);
   EXPECT_LT(cqr.q_hat(), 0.0);
 }
 
 TEST(Cqr, NameComposition) {
   ConformalizedQuantileRegressor cqr(
-      0.1, models::make_quantile_pair(ModelKind::kCatboost, 0.1));
+      core::MiscoverageAlpha{0.1}, models::make_quantile_pair(ModelKind::kCatboost, core::MiscoverageAlpha{0.1}));
   EXPECT_EQ(cqr.name(), "CQR CatBoost");
 }
 
 TEST(Cqr, CloneConfigIsIndependent) {
   const auto p = make_hetero(120, 12);
   ConformalizedQuantileRegressor cqr(
-      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1));
+      core::MiscoverageAlpha{0.1}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}));
   auto clone = cqr.clone_config();
   cqr.fit(p.x, p.y);
   // The clone is unfitted and usable independently.
@@ -232,7 +232,7 @@ TEST(Cqr, AsymmetricModeCalibratesEachTail) {
   CqrConfig config;
   config.mode = CqrMode::kAsymmetric;
   ConformalizedQuantileRegressor cqr(
-      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1), config);
+      core::MiscoverageAlpha{0.1}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}), config);
   cqr.fit(x, y);
   EXPECT_NE(cqr.q_hat_lower(), cqr.q_hat_upper());
   EXPECT_NE(cqr.name().find("(asym)"), std::string::npos);
@@ -254,11 +254,11 @@ TEST(Cqr, AsymmetricModeCalibratesEachTail) {
 TEST(Cqr, AsymmetricAtLeastAsWideAsSymmetricOnAverage) {
   const auto p = make_hetero(400, 33);
   ConformalizedQuantileRegressor sym(
-      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1));
+      core::MiscoverageAlpha{0.1}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}));
   CqrConfig asym_config;
   asym_config.mode = CqrMode::kAsymmetric;
   ConformalizedQuantileRegressor asym(
-      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1), asym_config);
+      core::MiscoverageAlpha{0.1}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}), asym_config);
   sym.fit(p.x, p.y);
   asym.fit(p.x, p.y);
   const auto test = make_hetero(300, 34);
@@ -271,7 +271,8 @@ TEST(Cqr, AsymmetricAtLeastAsWideAsSymmetricOnAverage) {
 
 TEST(GpInterval, WidthScalesWithAlpha) {
   const auto p = make_hetero(80, 13);
-  models::GpIntervalRegressor tight(0.5), loose(0.05);
+  models::GpIntervalRegressor tight(core::MiscoverageAlpha{0.5}),
+      loose(core::MiscoverageAlpha{0.05});
   tight.fit(p.x, p.y);
   loose.fit(p.x, p.y);
   const auto band_tight = tight.predict_interval(p.x);
@@ -284,7 +285,7 @@ TEST(GpInterval, WidthScalesWithAlpha) {
 
 TEST(GpInterval, SymmetricAroundPosterior) {
   const auto p = make_hetero(60, 14);
-  models::GpIntervalRegressor gp(0.1);
+  models::GpIntervalRegressor gp(core::MiscoverageAlpha{0.1});
   gp.fit(p.x, p.y);
   const auto band = gp.predict_interval(p.x);
   const auto post = gp.gp().posterior(p.x);
@@ -298,11 +299,11 @@ TEST(QuantilePair, RepairsCrossingBounds) {
   // return lower <= upper everywhere.
   const auto p = make_hetero(150, 15);
   models::QuantilePairRegressor pair(
-      0.1,
+      core::MiscoverageAlpha{0.1},
       models::make_point_regressor(ModelKind::kLinear,
-                                   models::Loss::pinball(0.95)),
+                                   models::Loss::pinball(core::QuantileLevel{0.95})),
       models::make_point_regressor(ModelKind::kLinear,
-                                   models::Loss::pinball(0.05)),
+                                   models::Loss::pinball(core::QuantileLevel{0.05})),
       "QR inverted");
   pair.fit(p.x, p.y);
   const auto band = pair.predict_interval(p.x);

@@ -16,6 +16,11 @@
 #include "linalg/matrix.hpp"
 #include "linalg/ops.hpp"
 #include "models/factory.hpp"
+#include "conformal/normalized.hpp"
+#include "core/units.hpp"
+#include "data/scaler.hpp"
+#include "models/linear.hpp"
+#include "models/region.hpp"
 
 namespace {
 
@@ -134,7 +139,8 @@ TEST(Contracts, PredictRejectsFeatureCountMismatch) {
 class CqrContracts : public ::testing::Test {
  protected:
   static std::unique_ptr<vmincqr::conformal::ConformalizedQuantileRegressor>
-  make_cqr(double alpha = 0.1) {
+  make_cqr(vmincqr::core::MiscoverageAlpha alpha =
+               vmincqr::core::MiscoverageAlpha{0.1}) {
     return std::make_unique<
         vmincqr::conformal::ConformalizedQuantileRegressor>(
         alpha, vmincqr::models::make_quantile_pair(
@@ -198,6 +204,58 @@ TEST_F(CqrContracts, CleanFitStillWorksUnderContracts) {
     EXPECT_TRUE(std::isfinite(band.upper[i]));
     EXPECT_LE(band.lower[i], band.upper[i]);
   }
+}
+
+// --- regressions for entry points the domain linter found unguarded --------
+
+TEST(Contracts, GpIntervalFitRejectsRowLabelMismatch) {
+  vmincqr::models::GpIntervalRegressor gp(
+      vmincqr::core::MiscoverageAlpha{0.1}, {});
+  EXPECT_THROW(gp.fit(make_design(6), make_labels(5)), contract_violation);
+  EXPECT_THROW(gp.fit(Matrix(0, 2), Vector{}), contract_violation);
+}
+
+TEST(Contracts, QuantilePairFitRejectsRowLabelMismatch) {
+  vmincqr::models::QuantilePairRegressor qp(
+      vmincqr::core::MiscoverageAlpha{0.1},
+      std::make_unique<vmincqr::models::LinearRegressor>(),
+      std::make_unique<vmincqr::models::LinearRegressor>(), "qp");
+  EXPECT_THROW(qp.fit(make_design(6), make_labels(4)), contract_violation);
+}
+
+TEST(Contracts, ScalerFitTransformRejectsEmptyMatrix) {
+  vmincqr::data::StandardScaler scaler;
+  EXPECT_THROW(static_cast<void>(scaler.fit_transform(Matrix(0, 0))),
+               contract_violation);
+}
+
+namespace {
+// A sigma model that returns NaN "difficulty" estimates: max(NaN, floor)
+// keeps the NaN, so only the predict_sigma ENSURE can stop it from
+// poisoning normalized calibration.
+class NanSigmaModel final : public vmincqr::models::Regressor {
+ public:
+  void fit(const Matrix&, const Vector&) override { fitted_ = true; }
+  Vector predict(const Matrix& x) const override {
+    return Vector(x.rows(), kNaN);
+  }
+  std::unique_ptr<vmincqr::models::Regressor> clone_config() const override {
+    return std::make_unique<NanSigmaModel>();
+  }
+  std::string name() const override { return "NaN sigma"; }
+  bool fitted() const override { return fitted_; }
+
+ private:
+  bool fitted_ = false;
+};
+}  // namespace
+
+TEST(Contracts, NormalizedCpRejectsNonFiniteSigmaEstimates) {
+  vmincqr::conformal::NormalizedConformalRegressor ncp(
+      vmincqr::core::MiscoverageAlpha{0.1},
+      std::make_unique<vmincqr::models::LinearRegressor>(),
+      std::make_unique<NanSigmaModel>());
+  EXPECT_THROW(ncp.fit(make_design(24), make_labels(24)), contract_violation);
 }
 
 }  // namespace

@@ -47,7 +47,7 @@ TEST(Dataset, LabelLookup) {
   EXPECT_DOUBLE_EQ(ds.label(24.0, 125.0).values[2], 0.72);
   EXPECT_TRUE(ds.has_label(0.0, 25.0));
   EXPECT_FALSE(ds.has_label(48.0, 25.0));
-  EXPECT_THROW(ds.label(48.0, 25.0), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(ds.label(48.0, 25.0)), std::out_of_range);
 }
 
 TEST(Dataset, LabelKeysEnumeration) {

@@ -133,5 +133,26 @@ TEST(ElasticNetCv, PicksAReasonableLambda) {
                std::invalid_argument);
 }
 
+TEST(ElasticNet, ConstantColumnKeepsZeroCoefficient) {
+  // A zero-variance feature has col_sq == 0 after standardization; the
+  // coordinate-descent skip must hold its coefficient at exactly zero
+  // instead of dividing by the (near-)zero curvature.
+  rng::Rng rng(7);
+  Matrix x(60, 3);
+  Vector y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = 4.2;  // constant
+    x(i, 2) = rng.normal();
+    y[i] = 1.5 * x(i, 0) - 0.5 * x(i, 2) + rng.normal(0.0, 0.01);
+  }
+  ElasticNetConfig config;
+  config.l1_ratio = 1.0;  // pure lasso: no l2 term to mask a blow-up
+  ElasticNetRegressor model(config);
+  model.fit(x, y);
+  EXPECT_EQ(model.coefficients()[1], 0.0);
+  for (const double p : model.predict(x)) EXPECT_TRUE(std::isfinite(p));
+}
+
 }  // namespace
 }  // namespace vmincqr::models

@@ -1,0 +1,6 @@
+// Fixture: an unremarkable translation unit. Must lint clean.
+#include <cmath>
+
+double fixture_norm(double a, double b) {
+  return std::sqrt(a * a + b * b);
+}

@@ -1,0 +1,16 @@
+// Fixture: an out-of-line fit() with no input validation. Fires
+// contract-coverage exactly once; the guarded predict() does not fire.
+#include "fixture_model.hpp"
+
+namespace fx {
+
+void Model::fit(const Matrix& x, const Vector& y) {
+  coef_ = solve(x, y);
+}
+
+Vector Model::predict(const Matrix& x) const {
+  VMINCQR_REQUIRE(x.cols() == coef_.size(), "predict: column mismatch");
+  return x * coef_;
+}
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Fixture: exact comparison against a floating literal. Fires
+// float-equality exactly once; the tolerance-based compare does not fire.
+#include <cmath>
+
+bool fixture_is_zero(double x) {
+  return x == 0.0;
+}
+
+bool fixture_is_near_zero(double x) {
+  return std::abs(x) < 1e-12;
+}

@@ -1,0 +1,11 @@
+// Fixture: Matrix parameter by value. Fires matrix-by-value exactly once;
+// the const-reference signature does not fire.
+#pragma once
+
+namespace fx {
+class Matrix;
+class Vector;
+
+Vector fit_copy(Matrix x);
+Vector fit_ref(const Matrix& x);
+}  // namespace fx

@@ -1,0 +1,6 @@
+// Fixture: std::endl in an output statement. Fires no-endl exactly once.
+#include <iostream>
+
+void fixture_log() {
+  std::cout << "hello" << std::endl;
+}

@@ -1,0 +1,12 @@
+// Fixture: libc rand() in place of rng::Rng. Fires no-rand exactly once.
+#include <cstdlib>
+
+int fixture_noise() {
+  return rand() % 7;
+}
+
+// Member calls named rand are out of scope for the rule (no firing):
+struct Rng {
+  int rand();
+};
+int fixture_ok(Rng& rng) { return rng.rand(); }

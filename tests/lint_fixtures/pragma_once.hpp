@@ -1,0 +1,5 @@
+// Fixture: header whose first directive is an include, not #pragma once.
+// The pragma-once rule must fire exactly once (at the first directive).
+#include <vector>
+
+inline int fixture_value() { return 1; }

@@ -1,0 +1,11 @@
+// Fixture: public signature with a raw double named after a level. Fires
+// raw-double-param exactly once; the strong-typed overload does not fire.
+#pragma once
+
+namespace fx {
+class QuantileLevel;
+
+void set_level(double tau);
+void set_level(QuantileLevel tau);
+void set_scale(double scale);  // not a banned name: no firing
+}  // namespace fx

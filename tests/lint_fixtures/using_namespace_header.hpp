@@ -1,0 +1,8 @@
+// Fixture: 'using namespace' in a header. Fires using-namespace-header once.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string fixture_name() { return "bad"; }

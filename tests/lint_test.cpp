@@ -1,0 +1,118 @@
+// Golden-file tests for vmincqr_lint: each fixture in tests/lint_fixtures/
+// makes exactly one rule fire, suppressions silence diagnostics, and the
+// real src/ tree is clean. Suite names are lowercase so `ctest -R lint`
+// selects every linter-related test.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using vmincqr::lint::Diagnostic;
+using vmincqr::lint::lint_file;
+using vmincqr::lint::lint_source;
+
+std::string fixture(const std::string& name) {
+  return std::string(VMINCQR_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+struct GoldenCase {
+  const char* file;
+  const char* rule;
+};
+
+// One fixture per rule; the linter must fire exactly once, with the right id.
+const GoldenCase kGolden[] = {
+    {"pragma_once.hpp", "pragma-once"},
+    {"using_namespace_header.hpp", "using-namespace-header"},
+    {"no_rand.cpp", "no-rand"},
+    {"no_endl.cpp", "no-endl"},
+    {"float_equality.cpp", "float-equality"},
+    {"raw_double_param.hpp", "raw-double-param"},
+    {"matrix_by_value.hpp", "matrix-by-value"},
+    {"contract_coverage.cpp", "contract-coverage"},
+};
+
+TEST(lint, EveryRuleFiresExactlyOnceOnItsFixture) {
+  for (const auto& test_case : kGolden) {
+    const auto diags = lint_file(fixture(test_case.file));
+    ASSERT_EQ(diags.size(), 1u)
+        << test_case.file << ": expected exactly one diagnostic, got "
+        << diags.size();
+    EXPECT_EQ(diags[0].rule, test_case.rule) << test_case.file;
+    EXPECT_GT(diags[0].line, 0u);
+  }
+}
+
+TEST(lint, FixturesCoverEveryRuleInTheTable) {
+  std::set<std::string> fired;
+  for (const auto& test_case : kGolden) fired.insert(test_case.rule);
+  for (const auto& rule : vmincqr::lint::rule_table()) {
+    EXPECT_TRUE(fired.count(rule.id) == 1)
+        << "rule '" << rule.id << "' has no golden fixture";
+  }
+  EXPECT_EQ(fired.size(), vmincqr::lint::rule_table().size());
+}
+
+TEST(lint, RuleIdsAreUnique) {
+  std::set<std::string> ids;
+  for (const auto& rule : vmincqr::lint::rule_table()) {
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
+  }
+}
+
+TEST(lint, SuppressionsSilenceSameLineAndPreviousLine) {
+  EXPECT_TRUE(lint_file(fixture("suppressed.cpp")).empty());
+}
+
+TEST(lint, CleanFileProducesNoDiagnostics) {
+  EXPECT_TRUE(lint_file(fixture("clean.cpp")).empty());
+}
+
+TEST(lint, SuppressionIsPerRule) {
+  // An allow() for a different rule must not silence the finding.
+  const std::string src =
+      "bool f(double x) {\n"
+      "  return x == 0.0;  // vmincqr-lint: allow(no-endl)\n"
+      "}\n";
+  const auto diags = lint_source("probe.cpp", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "float-equality");
+}
+
+TEST(lint, CommentsAndStringsAreNotCode) {
+  const std::string src =
+      "// rand() and std::endl in comments are fine\n"
+      "const char* s = \"x == 0.0 and rand()\";\n"
+      "/* block: y != 1.5 */\n";
+  EXPECT_TRUE(lint_source("probe.cpp", src).empty());
+}
+
+TEST(lint, FormatIsFileLineRuleMessage) {
+  const Diagnostic d{"a/b.cpp", 12, "no-rand", "msg"};
+  EXPECT_EQ(vmincqr::lint::format(d), "a/b.cpp:12: [no-rand] msg");
+}
+
+TEST(lint, RealTreeIsClean) {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       fs::recursive_directory_iterator(VMINCQR_LINT_SRC_DIR)) {
+    if (entry.is_regular_file() &&
+        vmincqr::lint::is_lintable(entry.path().string())) {
+      files.push_back(entry.path().string());
+    }
+  }
+  ASSERT_GT(files.size(), 50u) << "src tree not found where expected";
+  for (const auto& file : files) {
+    const auto diags = lint_file(file);
+    for (const auto& d : diags) ADD_FAILURE() << vmincqr::lint::format(d);
+  }
+}
+
+}  // namespace

@@ -41,9 +41,9 @@ TEST_P(QuantileOrdering, PredictionsMonotoneInQuantileLevel) {
   const double alpha = std::get<1>(GetParam());
   const auto p = make_problem(250, 11);
 
-  auto lo = make_point_regressor(kind, Loss::pinball(alpha / 2.0));
-  auto mid = make_point_regressor(kind, Loss::pinball(0.5));
-  auto hi = make_point_regressor(kind, Loss::pinball(1.0 - alpha / 2.0));
+  auto lo = make_point_regressor(kind, Loss::pinball(core::QuantileLevel{alpha / 2.0}));
+  auto mid = make_point_regressor(kind, Loss::pinball(core::QuantileLevel{0.5}));
+  auto hi = make_point_regressor(kind, Loss::pinball(core::QuantileLevel{1.0 - alpha / 2.0}));
   lo->fit(p.x, p.y);
   mid->fit(p.x, p.y);
   hi->fit(p.x, p.y);
@@ -56,8 +56,8 @@ TEST_P(QuantileOrdering, PredictionsMonotoneInQuantileLevel) {
   EXPECT_LT(stats::mean(mid_pred), stats::mean(hi_pred));
 
   // The (lo, hi) band must capture more than the (0.35, 0.65) band.
-  auto nlo = make_point_regressor(kind, Loss::pinball(0.35));
-  auto nhi = make_point_regressor(kind, Loss::pinball(0.65));
+  auto nlo = make_point_regressor(kind, Loss::pinball(core::QuantileLevel{0.35}));
+  auto nhi = make_point_regressor(kind, Loss::pinball(core::QuantileLevel{0.65}));
   nlo->fit(p.x, p.y);
   nhi->fit(p.x, p.y);
   const double wide_cov =
@@ -129,7 +129,8 @@ class LossGradientCheck : public ::testing::TestWithParam<double> {};
 
 TEST_P(LossGradientCheck, MatchesFiniteDifferences) {
   const double q = GetParam();
-  const Loss loss = q < 0 ? Loss::squared() : Loss::pinball(q);
+  const Loss loss =
+      q < 0 ? Loss::squared() : Loss::pinball(core::QuantileLevel{q});
   const double y = 1.3;
   const double eps = 1e-6;
   // Probe away from the kink at y_hat == y.

@@ -34,15 +34,15 @@ LinearProblem make_linear_problem(std::size_t n, double sigma,
 }
 
 TEST(Loss, PinballValueAndGradient) {
-  const Loss l = Loss::pinball(0.9);
+  const Loss l = Loss::pinball(core::QuantileLevel{0.9});
   // y above prediction: loss = q * (y - yhat), gradient = -q.
   EXPECT_DOUBLE_EQ(l.value(2.0, 1.0), 0.9);
   EXPECT_DOUBLE_EQ(l.gradient(2.0, 1.0), -0.9);
   // y below prediction: loss = (1-q) * (yhat - y), gradient = 1-q.
   EXPECT_DOUBLE_EQ(l.value(1.0, 2.0), 0.1);
   EXPECT_NEAR(l.gradient(1.0, 2.0), 0.1, 1e-12);
-  EXPECT_THROW(Loss::pinball(0.0), std::invalid_argument);
-  EXPECT_THROW(Loss::pinball(1.0), std::invalid_argument);
+  EXPECT_THROW(Loss::pinball(core::QuantileLevel{0.0}), std::invalid_argument);
+  EXPECT_THROW(Loss::pinball(core::QuantileLevel{1.0}), std::invalid_argument);
 }
 
 TEST(Loss, SquaredGradient) {
@@ -102,7 +102,7 @@ TEST(LinearRegressor, QuantileModeMatchesEmpiricalQuantileOnInterceptOnly) {
   Vector y = rng.normal_vector(n, 0.0, 1.0);
   for (double q : {0.1, 0.5, 0.9}) {
     LinearConfig config;
-    config.loss = Loss::pinball(q);
+    config.loss = Loss::pinball(core::QuantileLevel{q});
     LinearRegressor model(config);
     model.fit(x, y);
     const double pred = model.predict(x)[0];
@@ -114,8 +114,8 @@ TEST(LinearRegressor, QuantileModeMatchesEmpiricalQuantileOnInterceptOnly) {
 TEST(LinearRegressor, QuantileBandsOrdered) {
   const auto p = make_linear_problem(200, 0.5, 7);
   LinearConfig lo_config, hi_config;
-  lo_config.loss = Loss::pinball(0.05);
-  hi_config.loss = Loss::pinball(0.95);
+  lo_config.loss = Loss::pinball(core::QuantileLevel{0.05});
+  hi_config.loss = Loss::pinball(core::QuantileLevel{0.95});
   LinearRegressor lo(lo_config), hi(hi_config);
   lo.fit(p.x, p.y);
   hi.fit(p.x, p.y);
@@ -164,13 +164,13 @@ TEST(LinearRegressor, RawAffineReproducesPredictExactly) {
 
   LinearRegressor unfitted;
   EXPECT_THROW(unfitted.raw_affine(), std::logic_error);
-  EXPECT_THROW(a.evaluate({1.0}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(a.evaluate({1.0})), std::invalid_argument);
 }
 
 TEST(LinearRegressor, RawAffineWorksForQuantileMode) {
   const auto p = make_linear_problem(200, 0.4, 23);
   LinearConfig config;
-  config.loss = Loss::pinball(0.9);
+  config.loss = Loss::pinball(core::QuantileLevel{0.9});
   LinearRegressor model(config);
   model.fit(p.x, p.y);
   const auto affine = model.raw_affine();
@@ -287,8 +287,8 @@ TEST(Mlp, PinballModeShiftsPredictions) {
   const auto p = make_linear_problem(150, 0.5, 13);
   MlpConfig lo_config, hi_config;
   lo_config.epochs = hi_config.epochs = 800;
-  lo_config.loss = Loss::pinball(0.1);
-  hi_config.loss = Loss::pinball(0.9);
+  lo_config.loss = Loss::pinball(core::QuantileLevel{0.1});
+  hi_config.loss = Loss::pinball(core::QuantileLevel{0.9});
   MlpRegressor lo(lo_config), hi(hi_config);
   lo.fit(p.x, p.y);
   hi.fit(p.x, p.y);
@@ -314,15 +314,15 @@ TEST(Factory, NamesAndZoos) {
 }
 
 TEST(Factory, GpRejectsPinball) {
-  EXPECT_THROW(make_point_regressor(ModelKind::kGp, Loss::pinball(0.5)),
+  EXPECT_THROW(make_point_regressor(ModelKind::kGp, Loss::pinball(core::QuantileLevel{0.5})),
                std::invalid_argument);
 }
 
 TEST(Factory, QuantilePairWiring) {
-  auto pair = make_quantile_pair(ModelKind::kLinear, 0.2);
+  auto pair = make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.2});
   EXPECT_EQ(pair->name(), "QR Linear Regression");
   EXPECT_DOUBLE_EQ(pair->alpha(), 0.2);
-  EXPECT_THROW(make_quantile_pair(ModelKind::kLinear, 0.0),
+  EXPECT_THROW(make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.0}),
                std::invalid_argument);
 }
 

@@ -143,8 +143,8 @@ TEST(Gbt, PinballQuantilesBracketTheData) {
     y[i] = x(i, 0) + rng.normal(0.0, 0.2 + 0.5 * std::abs(x(i, 0)));
   }
   GbtConfig lo_config, hi_config;
-  lo_config.loss = Loss::pinball(0.05);
-  hi_config.loss = Loss::pinball(0.95);
+  lo_config.loss = Loss::pinball(core::QuantileLevel{0.05});
+  hi_config.loss = Loss::pinball(core::QuantileLevel{0.95});
   GradientBoostedTrees lo(lo_config), hi(hi_config);
   lo.fit(x, y);
   hi.fit(x, y);
@@ -207,8 +207,8 @@ TEST(OrderedBoost, OrderedAndPlainBothLearn) {
 TEST(OrderedBoost, PinballQuantilesOrdered) {
   const auto p = make_step_problem(300, 0.5, 14);
   OrderedBoostConfig lo_config, hi_config;
-  lo_config.loss = Loss::pinball(0.05);
-  hi_config.loss = Loss::pinball(0.95);
+  lo_config.loss = Loss::pinball(core::QuantileLevel{0.05});
+  hi_config.loss = Loss::pinball(core::QuantileLevel{0.95});
   OrderedBoostedTrees lo(lo_config), hi(hi_config);
   lo.fit(p.x, p.y);
   hi.fit(p.x, p.y);

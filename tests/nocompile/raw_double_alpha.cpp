@@ -1,0 +1,14 @@
+// Negative-compile check: a bare double literal must not bind to the
+// MiscoverageAlpha parameter of a conformal regressor (explicit ctor).
+#include "conformal/split_cp.hpp"
+
+namespace nc = vmincqr::core;
+
+void probe() {
+#ifdef VMINCQR_NOCOMPILE
+  vmincqr::conformal::SplitConformalRegressor cp(0.1, nullptr);
+#else
+  vmincqr::conformal::SplitConformalRegressor cp(nc::MiscoverageAlpha{0.1},
+                                                 nullptr);
+#endif
+}

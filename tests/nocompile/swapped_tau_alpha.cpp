@@ -1,0 +1,14 @@
+// Negative-compile check: a MiscoverageAlpha must not be accepted where a
+// QuantileLevel is expected — the classic alpha-for-tau swap that silently
+// destroys coverage when both are raw doubles.
+#include "models/losses.hpp"
+
+namespace nc = vmincqr::core;
+
+vmincqr::models::Loss probe() {
+#ifdef VMINCQR_NOCOMPILE
+  return vmincqr::models::Loss::pinball(nc::MiscoverageAlpha{0.05});
+#else
+  return vmincqr::models::Loss::pinball(nc::QuantileLevel{0.05});
+#endif
+}

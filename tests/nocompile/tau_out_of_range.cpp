@@ -1,0 +1,14 @@
+// Negative-compile check: QuantileLevel{1.2} in a constant expression must
+// fail to compile (the validating constructor throws during constant
+// evaluation, which is ill-formed).
+#include "core/units.hpp"
+
+namespace nc = vmincqr::core;
+
+#ifdef VMINCQR_NOCOMPILE
+constexpr nc::QuantileLevel kTau{1.2};
+#else
+constexpr nc::QuantileLevel kTau{0.05};
+#endif
+
+double probe() { return kTau.value(); }

@@ -1,0 +1,16 @@
+// Negative-compile check: a guard band quoted in volts must not bind to the
+// Millivolt parameter of screen_point. Compiled twice by ctest: once plain
+// (control, must succeed) and once with -DVMINCQR_NOCOMPILE (must fail).
+#include "core/screening.hpp"
+
+namespace nc = vmincqr::core;
+
+nc::ScreenDecision probe() {
+#ifdef VMINCQR_NOCOMPILE
+  // 0.02 V passed where millivolts are expected: Volt and Millivolt do not
+  // interconvert implicitly, so this is a compile error.
+  return nc::screen_point(0.6, nc::Volt{0.02}, nc::Volt{0.65});
+#else
+  return nc::screen_point(0.6, nc::Millivolt{20.0}, nc::Volt{0.65});
+#endif
+}

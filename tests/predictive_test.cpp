@@ -61,7 +61,7 @@ TEST(Predictive, CalibratedCoverageOfQuantiles) {
   for (double beta : {0.1, 0.5, 0.9}) {
     std::size_t below = 0;
     for (std::size_t i = 0; i < test.y.size(); ++i) {
-      if (test.y[i] <= cpd.quantile(test.x.row(i), beta)) ++below;
+      if (test.y[i] <= cpd.quantile(test.x.row(i), core::QuantileLevel{beta})) ++below;
     }
     const double freq = static_cast<double>(below) /
                         static_cast<double>(test.y.size());
@@ -75,9 +75,9 @@ TEST(Predictive, ExceedanceMatchesOneMinusCdf) {
       models::make_point_regressor(ModelKind::kLinear));
   cpd.fit(p.x, p.y);
   const linalg::Vector x_row = {0.0, 0.0};
-  EXPECT_NEAR(cpd.exceedance_probability(x_row, 0.55),
+  EXPECT_NEAR(cpd.exceedance_probability(x_row, core::Volt{0.55}),
               1.0 - cpd.cdf(x_row, 0.55), 1e-12);
-  const auto batch = cpd.exceedance_probabilities(p.x, 0.55);
+  const auto batch = cpd.exceedance_probabilities(p.x, core::Volt{0.55});
   EXPECT_EQ(batch.size(), p.x.rows());
 }
 
@@ -87,8 +87,8 @@ TEST(Predictive, RiskierChipsGetHigherExceedance) {
       models::make_point_regressor(ModelKind::kLinear));
   cpd.fit(p.x, p.y);
   // y grows with x0: a high-x0 chip must carry more exceedance risk.
-  EXPECT_GT(cpd.exceedance_probability({2.0, 0.0}, 0.6),
-            cpd.exceedance_probability({-2.0, 0.0}, 0.6));
+  EXPECT_GT(cpd.exceedance_probability({2.0, 0.0}, core::Volt{0.6}),
+            cpd.exceedance_probability({-2.0, 0.0}, core::Volt{0.6}));
 }
 
 TEST(Predictive, Validation) {
@@ -96,11 +96,12 @@ TEST(Predictive, Validation) {
                std::invalid_argument);
   ConformalPredictiveDistribution cpd(
       models::make_point_regressor(ModelKind::kLinear));
-  EXPECT_THROW(cpd.cdf({0.0}, 0.5), std::logic_error);
+  EXPECT_THROW(static_cast<void>(cpd.cdf({0.0}, 0.5)), std::logic_error);
   const auto p = make_problem(50, 6);
   cpd.fit(p.x, p.y);
-  EXPECT_THROW(cpd.quantile({0.0, 0.0}, 0.0), std::invalid_argument);
-  EXPECT_THROW(cpd.quantile({0.0, 0.0}, 1.0), std::invalid_argument);
+  // Degenerate levels are rejected by QuantileLevel itself.
+  EXPECT_THROW(core::QuantileLevel{0.0}, std::invalid_argument);
+  EXPECT_THROW(core::QuantileLevel{1.0}, std::invalid_argument);
 }
 
 TEST(ForecastScenario, HorizonRestrictsMonitorHistory) {

@@ -81,7 +81,7 @@ TEST(Robustness, DuplicatedRowsDoNotBreakConformal) {
     y[i] = 0.5 + 0.01 * static_cast<double>(i % 3);
   }
   conformal::SplitConformalRegressor cp(
-      0.1, models::make_point_regressor(ModelKind::kLinear));
+      core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear));
   cp.fit(x, y);
   const auto band = cp.predict_interval(x);
   EXPECT_GE(stats::interval_coverage(y, band.lower, band.upper), 0.9);
@@ -94,7 +94,7 @@ TEST(Robustness, ExtremeAlphasAreHandled) {
 
   // alpha close to 1: near-empty intervals are fine.
   conformal::ConformalizedQuantileRegressor loose(
-      0.9, models::make_quantile_pair(ModelKind::kLinear, 0.9));
+      core::MiscoverageAlpha{0.9}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.9}));
   loose.fit(x, y);
   const auto narrow_band = loose.predict_interval(x);
   for (std::size_t i = 0; i < y.size(); ++i) {
@@ -103,7 +103,7 @@ TEST(Robustness, ExtremeAlphasAreHandled) {
 
   // alpha tiny vs calibration size: infinite-width intervals, still ordered.
   conformal::ConformalizedQuantileRegressor strict(
-      0.001, models::make_quantile_pair(ModelKind::kLinear, 0.001));
+      core::MiscoverageAlpha{0.001}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.001}));
   strict.fit(x, y);
   const auto wide_band = strict.predict_interval(x);
   EXPECT_TRUE(std::isinf(wide_band.upper[0] - wide_band.lower[0]));
@@ -113,7 +113,7 @@ TEST(Robustness, ExtremeAlphasAreHandled) {
 
   // Constructor rejects the degenerate endpoints outright.
   EXPECT_THROW(conformal::ConformalizedQuantileRegressor(
-                   0.0, models::make_quantile_pair(ModelKind::kLinear, 0.1)),
+                   core::MiscoverageAlpha{0.0}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1})),
                std::invalid_argument);
 }
 
@@ -130,7 +130,7 @@ TEST(Robustness, TinyPopulationPipeline) {
 
   const auto cols = data::cfs_select(ds.features(), y, 3);
   conformal::ConformalizedQuantileRegressor cqr(
-      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1));
+      core::MiscoverageAlpha{0.1}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}));
   cqr.fit(ds.features().take_cols(cols), y);
   const auto band = cqr.predict_interval(ds.features().take_cols(cols));
   // 3 calibration points < min_calibration_size(0.1) = 9 -> infinite bands.
@@ -168,7 +168,7 @@ TEST(Robustness, OutlierLabelDoesNotPoisonCoverage) {
   }
   y[17] = 50.0;  // broken measurement
   conformal::ConformalizedQuantileRegressor cqr(
-      0.1, models::make_quantile_pair(ModelKind::kLinear, 0.1));
+      core::MiscoverageAlpha{0.1}, models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}));
   cqr.fit(x, y);
   const auto test_x = random_matrix(300, 2, 10);
   rng::Rng rng2(11);

@@ -56,22 +56,40 @@ TEST(AgingModel, ZeroAtTimeZeroAndMonotone) {
   AgingModel aging;
   ChipLatent chip;
   chip.activity = 1.2;
-  EXPECT_DOUBLE_EQ(aging.delta_vth(chip, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(aging.delta_vth(chip, core::Hours{0.0}), 0.0);
   double prev = 0.0;
   for (double t : standard_read_points()) {
-    const double v = aging.delta_vth(chip, t);
+    const double v = aging.delta_vth(chip, core::Hours{t});
     EXPECT_GE(v, prev);
     prev = v;
   }
-  EXPECT_THROW(aging.delta_vth(chip, -1.0), std::invalid_argument);
+  EXPECT_THROW(
+      static_cast<void>(aging.delta_vth(chip, core::Hours{-1.0})),
+      std::invalid_argument);
+}
+
+TEST(AgingModel, TinyPositiveHoursStayFiniteAndContinuous) {
+  // Regression for the exact `hours == 0.0` early-out: a denormal-scale
+  // stress time is *not* zero, so the power law must evaluate (finitely)
+  // rather than fall into 0^exponent edge cases, and the result must
+  // approach the t = 0 value of exactly zero.
+  AgingModel aging;
+  ChipLatent chip;
+  chip.activity = 1.2;
+  for (double t : {1e-300, 1e-12, 1e-6}) {
+    const double v = aging.delta_vth(chip, core::Hours{t});
+    EXPECT_TRUE(std::isfinite(v)) << t;
+    EXPECT_GE(v, 0.0) << t;
+    EXPECT_LT(v, 1e-3) << t;  // continuous: vanishes as t -> 0
+  }
 }
 
 TEST(AgingModel, SubLinearPowerLaw) {
   AgingModel aging;
   ChipLatent chip;
   // Power law: doubling time multiplies degradation by 2^n < 2.
-  const double d1 = aging.delta_vth(chip, 100.0);
-  const double d2 = aging.delta_vth(chip, 200.0);
+  const double d1 = aging.delta_vth(chip, core::Hours{100.0});
+  const double d2 = aging.delta_vth(chip, core::Hours{200.0});
   EXPECT_NEAR(d2 / d1, std::pow(2.0, aging.config().exponent), 1e-9);
 }
 
@@ -82,8 +100,8 @@ TEST(AgingModel, ActivityAndDefectAccelerate) {
   active.activity = 2.0;
   ChipLatent defective = base;
   defective.defect = 2.0;
-  EXPECT_GT(aging.delta_vth(active, 500.0), aging.delta_vth(base, 500.0));
-  EXPECT_GT(aging.delta_vth(defective, 500.0), aging.delta_vth(base, 500.0));
+  EXPECT_GT(aging.delta_vth(active, core::Hours{500.0}), aging.delta_vth(base, core::Hours{500.0}));
+  EXPECT_GT(aging.delta_vth(defective, core::Hours{500.0}), aging.delta_vth(base, core::Hours{500.0}));
 }
 
 TEST(AgingModel, ValidatesConfig) {
@@ -157,8 +175,8 @@ TEST(MonitorBank, DelaysGrowWithAging) {
   ChipLatent chip;
   chip.activity = 1.0;
   rng::Rng m1(8), m2(8);
-  const auto d0 = bank.measure(chip, aging, 0.0, m1);
-  const auto d1008 = bank.measure(chip, aging, 1008.0, m2);
+  const auto d0 = bank.measure(chip, aging, core::Hours{0.0}, m1);
+  const auto d1008 = bank.measure(chip, aging, core::Hours{1008.0}, m2);
   std::size_t grew = 0;
   for (std::size_t i = 0; i < d0.size(); ++i) grew += d1008[i] > d0[i];
   // Aging raises Vth raises delay; nearly all sensors must increase.
@@ -245,10 +263,10 @@ TEST(MonitorBank, FeatureInfoEncodesReadPoint) {
 TEST(VminModel, ColdAndDegradedChipsNeedMoreVoltage) {
   VminModel model;
   ChipLatent chip;
-  const double v_room = model.expected_vmin(chip, 0.0, 25.0);
-  const double v_cold = model.expected_vmin(chip, 0.0, -45.0);
-  const double v_hot = model.expected_vmin(chip, 0.0, 125.0);
-  const double v_aged = model.expected_vmin(chip, 1008.0, 25.0);
+  const double v_room = model.expected_vmin(chip, core::Hours{0.0}, core::Celsius{25.0});
+  const double v_cold = model.expected_vmin(chip, core::Hours{0.0}, core::Celsius{-45.0});
+  const double v_hot = model.expected_vmin(chip, core::Hours{0.0}, core::Celsius{125.0});
+  const double v_aged = model.expected_vmin(chip, core::Hours{1008.0}, core::Celsius{25.0});
   EXPECT_GT(v_cold, v_room);
   EXPECT_GT(v_hot, v_room);
   EXPECT_GT(v_aged, v_room);
@@ -260,8 +278,8 @@ TEST(VminModel, HighVthChipsHaveHigherVmin) {
   slow.dvth = 0.02;
   ChipLatent fast;
   fast.dvth = -0.02;
-  EXPECT_GT(model.expected_vmin(slow, 0.0, 25.0),
-            model.expected_vmin(fast, 0.0, 25.0));
+  EXPECT_GT(model.expected_vmin(slow, core::Hours{0.0}, core::Celsius{25.0}),
+            model.expected_vmin(fast, core::Hours{0.0}, core::Celsius{25.0}));
 }
 
 TEST(VminModel, HeteroscedasticNoise) {
@@ -270,9 +288,9 @@ TEST(VminModel, HeteroscedasticNoise) {
   ChipLatent messy;
   messy.mismatch = 2.0;
   messy.defect = 1.0;
-  EXPECT_GT(model.noise_stddev(messy, 25.0), model.noise_stddev(clean, 25.0));
+  EXPECT_GT(model.noise_stddev(messy, core::Celsius{25.0}), model.noise_stddev(clean, core::Celsius{25.0}));
   // Cold testing is noisier.
-  EXPECT_GT(model.noise_stddev(clean, -45.0), model.noise_stddev(clean, 25.0));
+  EXPECT_GT(model.noise_stddev(clean, core::Celsius{-45.0}), model.noise_stddev(clean, core::Celsius{25.0}));
 }
 
 TEST(VminModel, DefectsBiteHarderAtCold) {
@@ -280,10 +298,10 @@ TEST(VminModel, DefectsBiteHarderAtCold) {
   ChipLatent good;
   ChipLatent bad;
   bad.defect = 2.0;
-  const double delta_cold = model.expected_vmin(bad, 0.0, -45.0) -
-                            model.expected_vmin(good, 0.0, -45.0);
-  const double delta_room = model.expected_vmin(bad, 0.0, 25.0) -
-                            model.expected_vmin(good, 0.0, 25.0);
+  const double delta_cold = model.expected_vmin(bad, core::Hours{0.0}, core::Celsius{-45.0}) -
+                            model.expected_vmin(good, core::Hours{0.0}, core::Celsius{-45.0});
+  const double delta_room = model.expected_vmin(bad, core::Hours{0.0}, core::Celsius{25.0}) -
+                            model.expected_vmin(good, core::Hours{0.0}, core::Celsius{25.0});
   EXPECT_GT(delta_cold, delta_room);
 }
 

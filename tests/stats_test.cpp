@@ -64,35 +64,40 @@ TEST(Quantile, HigherOrderStatistic) {
 TEST(Quantile, ConformalQuantileMatchesHandComputation) {
   // M = 9, alpha = 0.1: rank = ceil(10 * 0.9) = 9 -> 9th smallest.
   std::vector<double> scores{1, 2, 3, 4, 5, 6, 7, 8, 9};
-  EXPECT_DOUBLE_EQ(conformal_quantile(scores, 0.1), 9.0);
+  EXPECT_DOUBLE_EQ(conformal_quantile(scores, core::MiscoverageAlpha{0.1}), 9.0);
   // M = 19, alpha = 0.1: rank = ceil(20 * 0.9) = 18.
   std::vector<double> s19(19);
   for (std::size_t i = 0; i < 19; ++i) s19[i] = static_cast<double>(i + 1);
-  EXPECT_DOUBLE_EQ(conformal_quantile(s19, 0.1), 18.0);
+  EXPECT_DOUBLE_EQ(conformal_quantile(s19, core::MiscoverageAlpha{0.1}), 18.0);
 }
 
 TEST(Quantile, ConformalQuantileInfiniteWhenTooFewSamples) {
   // M = 5, alpha = 0.1: ceil(6 * 0.9) = 6 > 5 -> infinite interval needed.
   std::vector<double> scores{1, 2, 3, 4, 5};
-  EXPECT_TRUE(std::isinf(conformal_quantile(scores, 0.1)));
+  EXPECT_TRUE(std::isinf(conformal_quantile(scores, core::MiscoverageAlpha{0.1})));
 }
 
-TEST(Quantile, ConformalQuantileAlphaOne) {
+TEST(Quantile, ConformalQuantileNearAlphaOne) {
   std::vector<double> scores{3.0, 1.0, 2.0};
-  // alpha = 1: rank = ceil(0) = 0 -> clamped to the minimum score.
-  EXPECT_DOUBLE_EQ(conformal_quantile(scores, 1.0), 1.0);
+  // alpha -> 1: rank = ceil((M+1)(1-alpha)) = 1 -> the minimum score.
+  // (alpha = 1 exactly is no longer representable: MiscoverageAlpha rejects
+  // the closed endpoints at construction.)
+  EXPECT_DOUBLE_EQ(conformal_quantile(scores, core::MiscoverageAlpha{0.99}),
+                   1.0);
 }
 
 TEST(Quantile, MinCalibrationSize) {
   // alpha = 0.1 -> smallest M with ceil((M+1)*0.9) <= M is M = 9.
-  EXPECT_EQ(min_calibration_size(0.1), 9u);
-  EXPECT_EQ(min_calibration_size(0.5), 1u);
-  EXPECT_EQ(min_calibration_size(1.0), 1u);
+  EXPECT_EQ(min_calibration_size(core::MiscoverageAlpha{0.1}), 9u);
+  EXPECT_EQ(min_calibration_size(core::MiscoverageAlpha{0.5}), 1u);
+  EXPECT_EQ(min_calibration_size(core::MiscoverageAlpha{0.99}), 1u);
 }
 
 TEST(Quantile, ConformalQuantileValidation) {
-  EXPECT_THROW(conformal_quantile({}, 0.1), std::invalid_argument);
-  EXPECT_THROW(conformal_quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(conformal_quantile({}, core::MiscoverageAlpha{0.1}),
+               std::invalid_argument);
+  // Out-of-range alpha is rejected at the type boundary now.
+  EXPECT_THROW(core::MiscoverageAlpha{-0.1}, std::invalid_argument);
 }
 
 TEST(Distributions, NormalCdfKnownValues) {
@@ -124,6 +129,16 @@ TEST(Metrics, RSquaredPerfectAndMeanPredictor) {
 TEST(Metrics, RSquaredConstantTruth) {
   EXPECT_DOUBLE_EQ(r_squared({2.0, 2.0}, {2.0, 2.0}), 1.0);
   EXPECT_DOUBLE_EQ(r_squared({2.0, 2.0}, {1.0, 3.0}), 0.0);
+}
+
+TEST(Metrics, RSquaredConstantTruthWithRoundingNoiseIsBounded) {
+  // The mean of {0.1, 0.1, 0.1} is not exactly 0.1 in binary floating
+  // point, so ss_tot lands at rounding-noise scale (~1e-34) instead of
+  // exactly zero. Before the epsilon guard, r_squared divided by that
+  // noise and returned values on the order of -1e+32.
+  const std::vector<double> truth{0.1, 0.1, 0.1};
+  EXPECT_DOUBLE_EQ(r_squared(truth, {0.2, 0.2, 0.2}), 0.0);
+  EXPECT_DOUBLE_EQ(r_squared(truth, truth), 1.0);
 }
 
 TEST(Metrics, RmseAndMae) {
@@ -173,7 +188,7 @@ TEST_P(ConformalQuantileProperty, MonotoneInCoverage) {
   std::vector<double> scores = rng.normal_vector(50, 0.0, 2.0);
   double prev = -std::numeric_limits<double>::infinity();
   for (double alpha : {0.5, 0.3, 0.2, 0.1, 0.05}) {
-    const double q = conformal_quantile(scores, alpha);
+    const double q = conformal_quantile(scores, core::MiscoverageAlpha{alpha});
     EXPECT_GE(q, prev);
     prev = q;
   }

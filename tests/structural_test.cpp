@@ -136,7 +136,7 @@ TEST_F(StructuralFixture, CqrPipelineWorksOnStructuralVmin) {
   conformal::CqrConfig config;
   config.train_fraction = 0.7;
   conformal::ConformalizedQuantileRegressor cqr(
-      0.2, models::make_quantile_pair(models::ModelKind::kLinear, 0.2),
+      core::MiscoverageAlpha{0.2}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{0.2}),
       config);
   cqr.fit(x_train.take_cols(cols), y_train);
   const auto band = cqr.predict_interval(x_test.take_cols(cols));

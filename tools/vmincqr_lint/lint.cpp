@@ -1,0 +1,514 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace vmincqr::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind : std::uint8_t { kIdent, kInt, kFloat, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t line;
+  int paren_depth;  // 0 outside any parentheses; params sit at depth >= 1
+};
+
+struct Unit {
+  std::vector<Token> tokens;
+  /// Preprocessor directives in order of appearance: (line, normalized text).
+  std::vector<std::pair<std::size_t, std::string>> directives;
+  /// line -> rule ids suppressed on that line via `vmincqr-lint: allow(...)`.
+  std::map<std::size_t, std::set<std::string>> allows;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void record_allows(Unit& unit, const std::string& comment, std::size_t line) {
+  const std::string tag = "vmincqr-lint:";
+  const auto at = comment.find(tag);
+  if (at == std::string::npos) return;
+  auto open = comment.find("allow(", at);
+  if (open == std::string::npos) return;
+  const auto close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string list = comment.substr(open + 6, close - open - 6);
+  std::string id;
+  std::stringstream ss(list);
+  while (std::getline(ss, id, ',')) {
+    const auto b = id.find_first_not_of(" \t");
+    const auto e = id.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    unit.allows[line].insert(id.substr(b, e - b + 1));
+  }
+}
+
+/// Normalizes a directive body: collapses runs of whitespace to one space.
+std::string squeeze(const std::string& s) {
+  std::string out;
+  bool in_ws = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      in_ws = true;
+      continue;
+    }
+    if (in_ws && !out.empty()) out.push_back(' ');
+    in_ws = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+Unit tokenize(const std::string& src) {
+  Unit unit;
+  std::size_t line = 1;
+  int depth = 0;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;
+
+  auto advance_newline = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance_newline(c);
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: consume the logical line (with continuations).
+    if (c == '#' && at_line_start) {
+      const std::size_t start_line = line;
+      std::string text;
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        // Strip trailing // comment from the directive (may hold an allow).
+        if (src[i] == '/' && i + 1 < n && src[i + 1] == '/') {
+          std::string comment;
+          while (i < n && src[i] != '\n') comment.push_back(src[i++]);
+          record_allows(unit, comment, line);
+          break;
+        }
+        text.push_back(src[i++]);
+      }
+      unit.directives.emplace_back(start_line, squeeze(text));
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::string comment;
+      while (i < n && src[i] != '\n') comment.push_back(src[i++]);
+      record_allows(unit, comment, line);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start_line = line;
+      std::string comment;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        comment.push_back(src[i]);
+        advance_newline(src[i]);
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      record_allows(unit, comment, start_line);
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string closer = ")" + delim + "\"";
+      const auto end = src.find(closer, j);
+      for (std::size_t k = i; k < std::min(n, end); ++k) {
+        advance_newline(src[k]);
+      }
+      i = end == std::string::npos ? n : end + closer.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        advance_newline(src[i]);
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      std::string text;
+      while (i < n && ident_char(src[i])) text.push_back(src[i++]);
+      unit.tokens.push_back({TokKind::kIdent, std::move(text), line, depth});
+      continue;
+    }
+    // Number (integer or floating literal, incl. exponents and suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::string text;
+      bool is_hex = false;
+      while (i < n) {
+        const char d = src[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+            d == '\'') {
+          if (text.size() == 1 && text[0] == '0' && (d == 'x' || d == 'X')) {
+            is_hex = true;
+          }
+          text.push_back(d);
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && !text.empty()) {
+          const char prev = text.back();
+          const bool exp = is_hex ? (prev == 'p' || prev == 'P')
+                                  : (prev == 'e' || prev == 'E');
+          if (exp) {
+            text.push_back(d);
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      const bool is_float =
+          !is_hex && (text.find('.') != std::string::npos ||
+                      text.find('e') != std::string::npos ||
+                      text.find('E') != std::string::npos);
+      unit.tokens.push_back(
+          {is_float ? TokKind::kFloat : TokKind::kInt, std::move(text), line,
+           depth});
+      continue;
+    }
+    // Punctuation: greedily take two-char operators we care about.
+    if (c == '(') {
+      unit.tokens.push_back({TokKind::kPunct, "(", line, depth});
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      depth = std::max(0, depth - 1);
+      unit.tokens.push_back({TokKind::kPunct, ")", line, depth});
+      ++i;
+      continue;
+    }
+    std::string text(1, c);
+    if (i + 1 < n) {
+      const char d = src[i + 1];
+      if ((c == ':' && d == ':') || (c == '-' && d == '>') ||
+          ((c == '=' || c == '!' || c == '<' || c == '>') && d == '=')) {
+        text.push_back(d);
+      }
+    }
+    unit.tokens.push_back({TokKind::kPunct, text, line, depth});
+    i += text.size();
+  }
+  return unit;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+bool is_header(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+struct Ctx {
+  const std::string& path;
+  const Unit& unit;
+  bool header;
+  std::vector<Diagnostic>& out;
+
+  void report(const char* rule, std::size_t line, std::string message) const {
+    out.push_back({path, line, rule, std::move(message)});
+  }
+};
+
+/// pragma-once: every header's first preprocessor directive must be
+/// `#pragma once`; a header with no include guard at all also fires.
+void rule_pragma_once(const Ctx& ctx) {
+  if (!ctx.header) return;
+  if (!ctx.unit.directives.empty() &&
+      ctx.unit.directives.front().second == "#pragma once") {
+    return;
+  }
+  const std::size_t line =
+      ctx.unit.directives.empty() ? 1 : ctx.unit.directives.front().first;
+  ctx.report("pragma-once", line,
+             "header must open with '#pragma once' (before any other "
+             "directive)");
+}
+
+/// using-namespace-header: `using namespace` in a header leaks into every
+/// includer and defeats the strong-type qualification this repo relies on.
+void rule_using_namespace(const Ctx& ctx) {
+  if (!ctx.header) return;
+  const auto& t = ctx.unit.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text == "using" && t[i + 1].text == "namespace") {
+      ctx.report("using-namespace-header", t[i].line,
+                 "'using namespace' is forbidden in headers");
+    }
+  }
+}
+
+/// no-rand: libc rand()/srand() is not reproducible across platforms; all
+/// randomness must flow through rng::Rng so experiments are seed-stable.
+void rule_no_rand(const Ctx& ctx) {
+  const auto& t = ctx.unit.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text != "rand" && t[i].text != "srand") continue;
+    if (t[i + 1].text != "(") continue;
+    if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) continue;
+    // An identifier right before means this is a declaration ("int rand();"),
+    // not a call; std::rand() still fires because the previous token is "::",
+    // and "return rand()" fires because statement keywords are not types.
+    static const std::set<std::string> stmt_keywords = {
+        "return", "co_return", "co_yield", "else",  "do",    "case",
+        "throw",  "new",       "delete",   "sizeof", "while", "and",
+        "or",     "not"};
+    if (i > 0 && t[i - 1].kind == TokKind::kIdent &&
+        stmt_keywords.count(t[i - 1].text) == 0) {
+      continue;
+    }
+    ctx.report("no-rand", t[i].line,
+               "use rng::Rng instead of libc " + t[i].text + "()");
+  }
+}
+
+/// no-endl: std::endl flushes on every call; "\n" is what hot logging paths
+/// want (performance-avoid-endl, promoted to a hard repo rule).
+void rule_no_endl(const Ctx& ctx) {
+  for (const auto& tok : ctx.unit.tokens) {
+    if (tok.kind == TokKind::kIdent && tok.text == "endl") {
+      ctx.report("no-endl", tok.line, "use \"\\n\" instead of std::endl");
+    }
+  }
+}
+
+/// float-equality: ==/!= against a floating literal is almost always a
+/// stability bug in statistical code (conformal ranks, aging power laws).
+/// Exact sentinel comparisons must carry an allow() with a justification.
+void rule_float_equality(const Ctx& ctx) {
+  const auto& t = ctx.unit.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text != "==" && t[i].text != "!=") continue;
+    const bool lhs = i > 0 && t[i - 1].kind == TokKind::kFloat;
+    const bool rhs = i + 1 < t.size() && t[i + 1].kind == TokKind::kFloat;
+    if (!lhs && !rhs) continue;
+    ctx.report("float-equality", t[i].line,
+               "'" + t[i].text +
+                   "' against a floating literal; compare with a tolerance "
+                   "or justify with an allow()");
+  }
+}
+
+const std::set<std::string>& banned_double_names() {
+  static const std::set<std::string> names = {"tau", "alpha", "vmin", "temp",
+                                              "temperature"};
+  return names;
+}
+
+/// raw-double-param: public signatures must carry the strong types from
+/// core/units.hpp, not raw doubles named after a unit or level.
+void rule_raw_double_param(const Ctx& ctx) {
+  if (!ctx.header) return;
+  const auto& t = ctx.unit.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].text != "double" || t[i].paren_depth < 1) continue;
+    if (t[i + 1].kind != TokKind::kIdent) continue;
+    if (banned_double_names().count(t[i + 1].text) == 0) continue;
+    const std::string& after = t[i + 2].text;
+    if (after != "," && after != ")" && after != "=") continue;
+    ctx.report("raw-double-param", t[i].line,
+               "parameter 'double " + t[i + 1].text +
+                   "' must use a strong type from core/units.hpp "
+                   "(QuantileLevel, MiscoverageAlpha, Volt, Celsius, ...)");
+  }
+}
+
+/// matrix-by-value: a Matrix parameter taken by value copies O(n*d) data on
+/// every call; pass `const Matrix&` (or a span) instead.
+void rule_matrix_by_value(const Ctx& ctx) {
+  const auto& t = ctx.unit.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != "Matrix") continue;
+    if (t[i].paren_depth < 1) continue;
+    if (t[i + 1].kind != TokKind::kIdent) continue;
+    const std::string& after = t[i + 2].text;
+    if (after != "," && after != ")" && after != "=") continue;
+    ctx.report("matrix-by-value", t[i].line,
+               "parameter '" + t[i + 1].text +
+                   "' takes Matrix by value; pass 'const Matrix&'");
+  }
+}
+
+const std::set<std::string>& entry_point_names() {
+  static const std::set<std::string> names = {
+      "fit",          "fit_with_split", "fit_transform", "predict",
+      "predict_interval", "predict_point", "predict_sigma", "calibrate"};
+  return names;
+}
+
+/// contract-coverage: every out-of-line definition of a public fit/predict/
+/// calibrate entry point must validate its inputs — a VMINCQR_* contract
+/// macro, an explicit throw, or a call to a shared `check_*` validation
+/// helper (e.g. Regressor::check_fit_args, which wraps the macros) — so the
+/// coverage guarantee cannot be fed malformed data silently.
+void rule_contract_coverage(const Ctx& ctx) {
+  if (ctx.header) return;
+  const auto& t = ctx.unit.tokens;
+  for (std::size_t i = 2; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].paren_depth != 0) continue;
+    if (entry_point_names().count(t[i].text) == 0) continue;
+    if (t[i - 1].text != "::") continue;
+    if (t[i + 1].text != "(") continue;
+    // Skip the parameter list.
+    std::size_t j = i + 1;
+    int depth = 0;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "(") ++depth;
+      if (t[j].text == ")" && --depth == 0) break;
+    }
+    if (j >= t.size()) return;
+    // Accept trailing qualifiers, then require a body.
+    ++j;
+    while (j < t.size() &&
+           (t[j].text == "const" || t[j].text == "noexcept" ||
+            t[j].text == "override" || t[j].text == "final")) {
+      ++j;
+    }
+    if (j >= t.size() || t[j].text != "{") continue;  // declaration only
+    // Scan the body for a contract.
+    int braces = 0;
+    bool has_contract = false;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "{") ++braces;
+      if (t[j].text == "}" && --braces == 0) break;
+      if (t[j].kind == TokKind::kIdent &&
+          (t[j].text.rfind("VMINCQR_", 0) == 0 ||
+           t[j].text.rfind("check_", 0) == 0 || t[j].text == "throw")) {
+        has_contract = true;
+      }
+    }
+    if (!has_contract) {
+      ctx.report("contract-coverage", t[i].line,
+                 "entry point '" + t[i - 2].text + "::" + t[i].text +
+                     "' has no VMINCQR_REQUIRE/CHECK_SHAPE contract, "
+                     "check_* helper call, or throw; validate inputs at "
+                     "the public boundary");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> table = {
+      {"pragma-once", "headers must open with #pragma once"},
+      {"using-namespace-header", "no 'using namespace' in headers"},
+      {"no-rand", "libc rand()/srand() breaks seed-stable experiments"},
+      {"no-endl", "std::endl flushes; use \"\\n\""},
+      {"float-equality",
+       "no ==/!= against floating literals without a justification"},
+      {"raw-double-param",
+       "public signatures use core/units.hpp strong types, not raw doubles "
+       "named tau/alpha/vmin/temp"},
+      {"matrix-by-value", "Matrix parameters pass by const reference"},
+      {"contract-coverage",
+       "fit/predict/calibrate definitions carry a VMINCQR_* contract or "
+       "throw"},
+  };
+  return table;
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content) {
+  const Unit unit = tokenize(content);
+  std::vector<Diagnostic> raw;
+  Ctx ctx{path, unit, is_header(path), raw};
+  rule_pragma_once(ctx);
+  rule_using_namespace(ctx);
+  rule_no_rand(ctx);
+  rule_no_endl(ctx);
+  rule_float_equality(ctx);
+  rule_raw_double_param(ctx);
+  rule_matrix_by_value(ctx);
+  rule_contract_coverage(ctx);
+
+  // Apply per-line suppressions: same line or the line directly above.
+  std::vector<Diagnostic> kept;
+  for (auto& d : raw) {
+    bool allowed = false;
+    for (std::size_t line : {d.line, d.line > 0 ? d.line - 1 : 0}) {
+      const auto it = unit.allows.find(line);
+      if (it != unit.allows.end() && it->second.count(d.rule) > 0) {
+        allowed = true;
+      }
+    }
+    if (!allowed) kept.push_back(std::move(d));
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return kept;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("vmincqr_lint: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_source(path, ss.str());
+}
+
+bool is_lintable(const std::string& path) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = path.substr(dot);
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+std::string format(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+         d.message;
+}
+
+}  // namespace vmincqr::lint

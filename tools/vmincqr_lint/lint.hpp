@@ -1,0 +1,56 @@
+// vmincqr_lint — a self-contained token-level linter for repo invariants the
+// generic tools (clang-tidy, cppcheck) cannot express.
+//
+// Why a bespoke linter: CQR's coverage guarantee survives only if the code
+// respects project conventions — strong unit types at public boundaries,
+// runtime contracts on every fit/predict entry point, no exact floating
+// comparisons in statistical code. These are *domain* rules, not C++ rules,
+// so they live here as a small table-driven pass over the token stream (no
+// libclang dependency; the whole tool builds in well under a second).
+//
+// Suppression: append `// vmincqr-lint: allow(<rule-id>)` to the offending
+// line, or place it alone on the line above. Several ids may be listed,
+// comma-separated. Suppressions are per-line and per-rule by design: a blanket
+// opt-out would silently rot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vmincqr::lint {
+
+/// One finding. `line` is 1-based, matching compiler diagnostics, so editors
+/// can jump straight to it from `file:line:` output.
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A row of the rule table: stable id (used in allow() suppressions and test
+/// fixtures) plus a one-line rationale printed by `vmincqr_lint --rules`.
+struct RuleInfo {
+  const char* id;
+  const char* rationale;
+};
+
+/// The full rule table, in the order rules run. Ids are unique and stable;
+/// tests assert every fixture maps onto exactly one of these.
+const std::vector<RuleInfo>& rule_table();
+
+/// Lints one translation unit given its contents (the unit-testable core).
+/// `path` is used for diagnostics and to decide header-only rules (.hpp).
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content);
+
+/// Reads `path` and lints it. Throws std::runtime_error if unreadable.
+std::vector<Diagnostic> lint_file(const std::string& path);
+
+/// True for files the linter understands (.hpp / .cpp).
+bool is_lintable(const std::string& path);
+
+/// Renders a diagnostic as `file:line: [rule] message`.
+std::string format(const Diagnostic& d);
+
+}  // namespace vmincqr::lint

@@ -1,0 +1,76 @@
+// CLI driver for vmincqr_lint.
+//
+// Usage:
+//   vmincqr_lint <file-or-dir>...   lint files / recurse directories
+//   vmincqr_lint --rules            print the rule table and exit
+//
+// Exit status: 0 when clean, 1 on any diagnostic, 2 on usage/IO errors.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void collect(const fs::path& root, std::vector<std::string>& files) {
+  if (fs::is_directory(root)) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() &&
+          vmincqr::lint::is_lintable(entry.path().string())) {
+        files.push_back(entry.path().string());
+      }
+    }
+  } else {
+    files.push_back(root.string());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: vmincqr_lint [--rules] <file-or-dir>...\n");
+    return 2;
+  }
+  if (std::string(argv[1]) == "--rules") {
+    for (const auto& rule : vmincqr::lint::rule_table()) {
+      std::printf("%-24s %s\n", rule.id, rule.rationale);
+    }
+    return 0;
+  }
+
+  std::vector<std::string> files;
+  try {
+    for (int i = 1; i < argc; ++i) collect(argv[i], files);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vmincqr_lint: %s\n", e.what());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t findings = 0;
+  for (const auto& file : files) {
+    try {
+      for (const auto& d : vmincqr::lint::lint_file(file)) {
+        std::printf("%s\n", vmincqr::lint::format(d).c_str());
+        ++findings;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "vmincqr_lint: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (findings > 0) {
+    std::fprintf(stderr, "vmincqr_lint: %zu finding(s) in %zu file(s)\n",
+                 findings, files.size());
+    return 1;
+  }
+  std::printf("vmincqr_lint: %zu file(s) clean\n", files.size());
+  return 0;
+}
