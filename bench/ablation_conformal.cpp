@@ -15,6 +15,7 @@
 #include "conformal/normalized.hpp"
 #include "conformal/split_cp.hpp"
 #include "data/feature_select.hpp"
+#include "data/split.hpp"
 #include "models/ordered_boost.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/metrics.hpp"

@@ -6,6 +6,7 @@
 
 #include "conformal/cqr.hpp"
 #include "data/feature_select.hpp"
+#include "data/split.hpp"
 #include "stats/metrics.hpp"
 
 namespace vmincqr::core {

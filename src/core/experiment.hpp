@@ -16,7 +16,6 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
-#include "data/split.hpp"
 
 namespace vmincqr::core {
 

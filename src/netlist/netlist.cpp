@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "netlist/cell.hpp"
+
 namespace vmincqr::netlist {
 
 Netlist::Netlist(std::size_t n_inputs, std::vector<Gate> gates,

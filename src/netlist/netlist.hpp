@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "netlist/cell.hpp"
 #include "rng/rng.hpp"
 
 namespace vmincqr::netlist {

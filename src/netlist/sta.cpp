@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "netlist/cell.hpp"
+
 namespace vmincqr::netlist {
 
 TimingResult run_sta(const Netlist& netlist, const DelayModelConfig& config,

@@ -5,6 +5,7 @@
 
 #include <functional>
 
+#include "netlist/cell.hpp"
 #include "netlist/netlist.hpp"
 
 namespace vmincqr::netlist {

@@ -5,6 +5,7 @@
 // and decreasing step by step until they fail".
 #pragma once
 
+#include "netlist/cell.hpp"
 #include "netlist/sta.hpp"
 
 namespace vmincqr::netlist {

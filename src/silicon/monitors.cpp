@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "silicon/critical_path.hpp"
+
 namespace vmincqr::silicon {
 
 MonitorBank::MonitorBank(MonitorConfig config, rng::Rng& catalogue_rng)

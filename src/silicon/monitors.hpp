@@ -14,7 +14,6 @@
 
 #include "data/dataset.hpp"
 #include "silicon/aging.hpp"
-#include "silicon/critical_path.hpp"
 #include "silicon/process.hpp"
 
 namespace vmincqr::silicon {

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "netlist/ring_oscillator.hpp"
 #include "netlist/sta.hpp"
+#include "netlist/vmin_solver.hpp"
 
 namespace vmincqr::silicon {
 

@@ -11,8 +11,8 @@
 #pragma once
 
 #include "data/dataset.hpp"
-#include "netlist/ring_oscillator.hpp"
-#include "netlist/vmin_solver.hpp"
+#include "netlist/cell.hpp"
+#include "netlist/netlist.hpp"
 #include "silicon/aging.hpp"
 #include "silicon/process.hpp"
 

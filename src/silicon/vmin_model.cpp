@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "silicon/critical_path.hpp"
+
 namespace vmincqr::silicon {
 
 VminModel::VminModel(VminConfig config, AgingConfig aging)

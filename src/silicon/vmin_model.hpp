@@ -9,7 +9,6 @@
 
 #include "core/units.hpp"
 #include "silicon/aging.hpp"
-#include "silicon/critical_path.hpp"
 #include "silicon/process.hpp"
 
 namespace vmincqr::silicon {

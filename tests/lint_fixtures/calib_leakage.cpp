@@ -1,0 +1,8 @@
+// Golden fixture for calib-leakage: the calibration half of the split is
+// rebound to a local and then fed to fit(), which must fire exactly once.
+// (Fixtures are lint input only; they are never compiled.)
+void leaky_train(Model& model, const Split& split) {
+  Matrix x_train = split.train_features;
+  Matrix x_cal = split.x_calib;
+  model.fit(x_cal, split.train_labels);
+}

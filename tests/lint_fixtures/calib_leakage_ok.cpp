@@ -1,0 +1,11 @@
+// Negative fixture for calib-leakage: calibration rows flow only into the
+// sanctioned APIs (fit_with_split / calibrate), and fit() sees train rows
+// only — the rule must stay silent.
+void clean_train(Model& model, const Split& split) {
+  Matrix x_calibration = split.calibration_features;
+  model.fit(split.train_features, split.train_labels);
+  model.fit_with_split(split.train_features, x_calibration);
+  model.calibrate(x_calibration);
+  bool ready = model.is_calibrated;
+  (void)ready;
+}

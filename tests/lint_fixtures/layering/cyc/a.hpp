@@ -1,0 +1,11 @@
+// Half of a deliberate header cycle: a.hpp -> b.hpp -> a.hpp. Each half uses
+// a name from the other so only include-cycle fires.
+#pragma once
+
+#include "cyc/b.hpp"
+
+struct AThing {
+  int a = 0;
+};
+
+inline int a_value() { return BThing{}.b; }

@@ -1,0 +1,10 @@
+// Other half of the deliberate header cycle (see a.hpp).
+#pragma once
+
+#include "cyc/a.hpp"
+
+struct BThing {
+  int b = 0;
+};
+
+inline int b_value() { return AThing{}.a; }

@@ -1,0 +1,9 @@
+// Top-layer header: the `high` -> `low` edge is on the DAG, so this include
+// is clean.
+#pragma once
+
+#include "low/base.hpp"
+
+struct TopThing {
+  int level = base_value();
+};

@@ -1,0 +1,8 @@
+// Layer violation: `low` has no edge to `high` in layers.toml, so this
+// include must fire layer-violation (and only that — TopThing *is* used, so
+// unused-include stays quiet).
+#pragma once
+
+#include "high/top.hpp"
+
+inline int bad_value() { return TopThing{}.level; }

@@ -1,0 +1,8 @@
+// Bottom-layer header: declares names the rest of the fixture tree uses.
+#pragma once
+
+struct BaseThing {
+  int value;
+};
+
+inline int base_value() { return 1; }

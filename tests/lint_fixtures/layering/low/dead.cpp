@@ -1,0 +1,5 @@
+// Unused include: base.hpp provides BaseThing/base_value and this TU uses
+// neither, so IWYU-lite must flag the include as dead weight.
+#include "low/base.hpp"
+
+int unrelated_work() { return 2; }

@@ -1,0 +1,7 @@
+// Golden fixture for seed-reuse: the same literal seed constructs two RNGs
+// inside one function scope, so the second construction must fire.
+void correlated_streams() {
+  Rng stream_a(42);
+  Rng stream_b(42);
+  consume(stream_a, stream_b);
+}

@@ -1,0 +1,13 @@
+// Negative fixture for seed-reuse: distinct seeds within one scope are fine,
+// and the same seed in *different* function scopes is fine (each test or
+// bench arm may deliberately replay the same stream).
+void stream_pair() {
+  Rng train_stream(7);
+  Rng test_stream(8);
+  consume(train_stream, test_stream);
+}
+
+void replayed_arm() {
+  Rng train_stream(7);
+  consume(train_stream);
+}

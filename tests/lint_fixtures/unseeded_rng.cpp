@@ -1,0 +1,6 @@
+// Golden fixture for unseeded-rng: a default-constructed engine has a
+// platform-defined state, so the run cannot replay bit-identically.
+void nondeterministic() {
+  mt19937_64 gen;
+  consume(gen);
+}

@@ -1,6 +1,7 @@
 // Golden-file tests for vmincqr_lint: each fixture in tests/lint_fixtures/
 // makes exactly one rule fire, suppressions silence diagnostics, and the
-// real src/ tree is clean. Suite names are lowercase so `ctest -R lint`
+// real src/ tree is clean under both phases (per-TU rules and the
+// include-graph pass). Suite names are lowercase so `ctest -R lint`
 // selects every linter-related test.
 #include <gtest/gtest.h>
 
@@ -9,17 +10,28 @@
 #include <string>
 #include <vector>
 
+#include "fix.hpp"
+#include "include_graph.hpp"
 #include "lint.hpp"
+#include "sarif.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
+using vmincqr::lint::analyze_directory;
 using vmincqr::lint::Diagnostic;
+using vmincqr::lint::LayerConfig;
 using vmincqr::lint::lint_file;
 using vmincqr::lint::lint_source;
+using vmincqr::lint::load_layers;
+using vmincqr::lint::parse_layers;
 
 std::string fixture(const std::string& name) {
   return std::string(VMINCQR_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string layering_dir() {
+  return std::string(VMINCQR_LINT_FIXTURE_DIR) + "/layering";
 }
 
 struct GoldenCase {
@@ -37,6 +49,9 @@ const GoldenCase kGolden[] = {
     {"raw_double_param.hpp", "raw-double-param"},
     {"matrix_by_value.hpp", "matrix-by-value"},
     {"contract_coverage.cpp", "contract-coverage"},
+    {"calib_leakage.cpp", "calib-leakage"},
+    {"seed_reuse.cpp", "seed-reuse"},
+    {"unseeded_rng.cpp", "unseeded-rng"},
 };
 
 TEST(lint, EveryRuleFiresExactlyOnceOnItsFixture) {
@@ -60,9 +75,12 @@ TEST(lint, FixturesCoverEveryRuleInTheTable) {
   EXPECT_EQ(fired.size(), vmincqr::lint::rule_table().size());
 }
 
-TEST(lint, RuleIdsAreUnique) {
+TEST(lint, RuleIdsAreUniqueAcrossBothTables) {
   std::set<std::string> ids;
   for (const auto& rule : vmincqr::lint::rule_table()) {
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
+  }
+  for (const auto& rule : vmincqr::lint::graph_rule_table()) {
     EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
   }
 }
@@ -99,6 +117,140 @@ TEST(lint, FormatIsFileLineRuleMessage) {
   EXPECT_EQ(vmincqr::lint::format(d), "a/b.cpp:12: [no-rand] msg");
 }
 
+// --- dataflow rules -------------------------------------------------------
+
+TEST(lint, CalibLeakageNegativeFixtureIsClean) {
+  EXPECT_TRUE(lint_file(fixture("calib_leakage_ok.cpp")).empty());
+}
+
+TEST(lint, SeedReuseNegativeFixtureIsClean) {
+  EXPECT_TRUE(lint_file(fixture("seed_reuse_ok.cpp")).empty());
+}
+
+TEST(lint, CalibLeakagePropagatesThroughAssignments) {
+  // Two hops: calib rows -> holdout -> x; the fit() three statements later
+  // must still fire.
+  const std::string src =
+      "void train(Model& m, const Split& s) {\n"
+      "  Matrix holdout = s.x_calib;\n"
+      "  Matrix x = holdout;\n"
+      "  m.fit(x, s.train_y);\n"
+      "}\n";
+  const auto diags = lint_source("probe.cpp", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "calib-leakage");
+  EXPECT_EQ(diags[0].line, 4u);
+}
+
+TEST(lint, SeedReuseComparesVariableSeedsToo) {
+  const std::string src =
+      "void run(unsigned seed) {\n"
+      "  Rng a(seed);\n"
+      "  Rng b(seed);\n"
+      "}\n";
+  const auto diags = lint_source("probe.cpp", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "seed-reuse");
+}
+
+TEST(lint, UnseededRngFlagsRandomDevice) {
+  const std::string src =
+      "unsigned entropy() {\n"
+      "  std::random_device rd;\n"
+      "  return rd();\n"
+      "}\n";
+  const auto diags = lint_source("probe.cpp", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unseeded-rng");
+}
+
+// The statistical-validity rules must stay clean over the real tests/ and
+// bench/ trees (regression guard for the seed audit: every CV split and
+// conformal arm derives a distinct stream or replays one deliberately in a
+// separate scope).
+TEST(lint, TestsAndBenchHaveNoStatisticalValidityFindings) {
+  const std::set<std::string> stat_rules = {"calib-leakage", "seed-reuse",
+                                            "unseeded-rng"};
+  std::size_t scanned = 0;
+  for (const char* root : {VMINCQR_LINT_TESTS_DIR, VMINCQR_LINT_BENCH_DIR}) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      const std::string path = entry.path().generic_string();
+      if (!entry.is_regular_file() || !vmincqr::lint::is_lintable(path)) {
+        continue;
+      }
+      // Fixture files violate rules on purpose.
+      if (path.find("lint_fixtures") != std::string::npos) continue;
+      ++scanned;
+      for (const auto& d : lint_file(path)) {
+        if (stat_rules.count(d.rule) > 0) {
+          ADD_FAILURE() << vmincqr::lint::format(d);
+        }
+      }
+    }
+  }
+  EXPECT_GT(scanned, 20u) << "tests/bench trees not found where expected";
+}
+
+// --- include-graph rules --------------------------------------------------
+
+TEST(lint, LayeringFixtureFiresEachGraphRuleExactlyOnce) {
+  const LayerConfig config = load_layers(layering_dir() + "/layers.toml");
+  const auto diags = analyze_directory(layering_dir(), config);
+  ASSERT_EQ(diags.size(), 3u);
+  std::set<std::string> fired;
+  for (const auto& d : diags) fired.insert(d.rule);
+  EXPECT_EQ(fired, (std::set<std::string>{"layer-violation", "include-cycle",
+                                          "unused-include"}));
+  for (const auto& rule : vmincqr::lint::graph_rule_table()) {
+    EXPECT_TRUE(fired.count(rule.id) == 1)
+        << "graph rule '" << rule.id << "' has no layering fixture";
+  }
+}
+
+TEST(lint, LayerViolationNamesBothModules) {
+  const LayerConfig config = load_layers(layering_dir() + "/layers.toml");
+  for (const auto& d : analyze_directory(layering_dir(), config)) {
+    if (d.rule != "layer-violation") continue;
+    EXPECT_NE(d.message.find("'low'"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("'high'"), std::string::npos) << d.message;
+    EXPECT_NE(d.file.find("bad.hpp"), std::string::npos) << d.file;
+  }
+}
+
+TEST(lint, ModuleOfPrefersTheLongestPrefixAndExactFiles) {
+  const LayerConfig config = parse_layers(
+      "[modules]\n"
+      "core_base = [\"core/units.hpp\"]\n"
+      "core_app  = [\"core/\"]\n"
+      "[allow]\n"
+      "core_base = []\n"
+      "core_app  = [\"core_base\"]\n");
+  EXPECT_EQ(config.module_of("core/units.hpp"), "core_base");
+  EXPECT_EQ(config.module_of("core/pipeline.hpp"), "core_app");
+  EXPECT_EQ(config.module_of("elsewhere/x.hpp"), "");
+  EXPECT_TRUE(config.edge_allowed("core_app", "core_app"));  // self-edge
+  EXPECT_TRUE(config.edge_allowed("core_app", "core_base"));
+  EXPECT_FALSE(config.edge_allowed("core_base", "core_app"));
+}
+
+TEST(lint, ParseLayersRejectsMalformedInput) {
+  EXPECT_THROW(parse_layers("[typo]\n"), std::runtime_error);
+  EXPECT_THROW(parse_layers("[modules]\na = not-a-list\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_layers("[modules]\na = [\"a/\"]\n[allow]\nb = []\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_layers("[modules]\na = [\"a/\"]\n[allow]\na = [\"b\"]\n"),
+               std::runtime_error);
+}
+
+TEST(lint, RealTreeSatisfiesTheLayeringDag) {
+  const LayerConfig config = load_layers(VMINCQR_LINT_LAYERS_TOML);
+  EXPECT_FALSE(config.modules.empty());
+  for (const auto& d : analyze_directory(VMINCQR_LINT_SRC_DIR, config)) {
+    ADD_FAILURE() << vmincqr::lint::format(d);
+  }
+}
+
 TEST(lint, RealTreeIsClean) {
   std::vector<std::string> files;
   for (const auto& entry :
@@ -113,6 +265,143 @@ TEST(lint, RealTreeIsClean) {
     const auto diags = lint_file(file);
     for (const auto& d : diags) ADD_FAILURE() << vmincqr::lint::format(d);
   }
+}
+
+// --- SARIF output ---------------------------------------------------------
+
+// Minimal structural JSON check: braces/brackets balance outside string
+// literals and every string terminates. Enough to catch broken escaping or
+// a missing comma brace without a JSON library.
+bool looks_like_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      } else if (c == '\n') {
+        return false;  // raw newline inside a string
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(lint, SarifHasTheRequiredShape) {
+  const std::vector<Diagnostic> diags = {
+      {"src/a.cpp", 3, "no-endl", "use \"\\n\""},
+      {"src/b.hpp", 0, "pragma-once", "missing"},
+  };
+  const std::string sarif = vmincqr::lint::to_sarif(diags);
+  EXPECT_TRUE(looks_like_json(sarif));
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"vmincqr_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"no-endl\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"pragma-once\""), std::string::npos);
+  // Line 0 (whole-file diagnostics) must clamp to SARIF's 1-based minimum.
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+  EXPECT_EQ(sarif.find("\"startLine\": 0"), std::string::npos);
+  // The quote in the message must arrive escaped.
+  EXPECT_NE(sarif.find("use \\\"\\\\n\\\""), std::string::npos);
+}
+
+TEST(lint, SarifListsEveryRuleEvenWhenClean) {
+  const std::string sarif = vmincqr::lint::to_sarif({});
+  EXPECT_TRUE(looks_like_json(sarif));
+  EXPECT_EQ(sarif.find("\"ruleId\""), std::string::npos);
+  for (const auto& rule : vmincqr::lint::rule_table()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
+              std::string::npos)
+        << rule.id;
+  }
+  for (const auto& rule : vmincqr::lint::graph_rule_table()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
+              std::string::npos)
+        << rule.id;
+  }
+}
+
+TEST(lint, EveryGoldenFixtureYieldsASarifResult) {
+  for (const auto& test_case : kGolden) {
+    const std::string sarif =
+        vmincqr::lint::to_sarif(lint_file(fixture(test_case.file)));
+    EXPECT_TRUE(looks_like_json(sarif)) << test_case.file;
+    EXPECT_NE(sarif.find("\"ruleId\": \"" + std::string(test_case.rule) +
+                         "\""),
+              std::string::npos)
+        << test_case.file;
+  }
+}
+
+TEST(lint, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(vmincqr::lint::json_escape("a\"b\\c\nd\te"),
+            "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(vmincqr::lint::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+// --- --fix ----------------------------------------------------------------
+
+TEST(lint, FixRewritesEndlToNewlineLiteral) {
+  const std::string before =
+      "#include <iostream>\n"
+      "void log_it() {\n"
+      "  std::cout << 1 << std::endl;\n"
+      "  std::cout << 2 << endl;\n"
+      "}\n";
+  const std::string after = vmincqr::lint::apply_fixes("probe.cpp", before);
+  EXPECT_EQ(after.find("endl"), std::string::npos);
+  EXPECT_NE(after.find("<< \"\\n\";"), std::string::npos);
+  // The fixed text lints clean for no-endl.
+  for (const auto& d : lint_source("probe.cpp", after)) {
+    EXPECT_NE(d.rule, "no-endl") << vmincqr::lint::format(d);
+  }
+}
+
+TEST(lint, FixInsertsPragmaOnceAfterLeadingComment) {
+  const std::string before =
+      "// A header that forgot its guard.\n"
+      "\n"
+      "struct Probe {};\n";
+  const std::string after = vmincqr::lint::apply_fixes("probe.hpp", before);
+  EXPECT_NE(after.find("#pragma once"), std::string::npos);
+  // The comment stays on top; the pragma lands before the first declaration.
+  EXPECT_LT(after.find("// A header"), after.find("#pragma once"));
+  EXPECT_LT(after.find("#pragma once"), after.find("struct Probe"));
+  for (const auto& d : lint_source("probe.hpp", after)) {
+    EXPECT_NE(d.rule, "pragma-once") << vmincqr::lint::format(d);
+  }
+  // .cpp files never receive a pragma.
+  EXPECT_EQ(vmincqr::lint::apply_fixes("probe.cpp", before), before);
+}
+
+TEST(lint, FixesAreIdempotent) {
+  const std::string sources[] = {
+      "// doc\nstruct Probe {};\n",
+      "#include <iostream>\nvoid f() { std::cout << std::endl; }\n",
+      "#pragma once\nstruct Ok {};\n",
+  };
+  for (const auto& before : sources) {
+    const std::string once = vmincqr::lint::apply_fixes("probe.hpp", before);
+    const std::string twice = vmincqr::lint::apply_fixes("probe.hpp", once);
+    EXPECT_EQ(once, twice);
+  }
+}
+
+TEST(lint, FixRespectsAllowSuppressions) {
+  const std::string before =
+      "void f() {\n"
+      "  std::cout << std::endl;  // vmincqr-lint: allow(no-endl)\n"
+      "}\n";
+  EXPECT_EQ(vmincqr::lint::apply_fixes("probe.cpp", before), before);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "silicon/dataset_gen.hpp"
+#include "silicon/critical_path.hpp"
 #include "stats/descriptive.hpp"
 
 namespace vmincqr::silicon {

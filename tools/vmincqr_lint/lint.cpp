@@ -1,247 +1,19 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdint>
 #include <fstream>
-#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "dataflow.hpp"
+#include "token.hpp"
 
 namespace vmincqr::lint {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-enum class TokKind : std::uint8_t { kIdent, kInt, kFloat, kPunct };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  std::size_t line;
-  int paren_depth;  // 0 outside any parentheses; params sit at depth >= 1
-};
-
-struct Unit {
-  std::vector<Token> tokens;
-  /// Preprocessor directives in order of appearance: (line, normalized text).
-  std::vector<std::pair<std::size_t, std::string>> directives;
-  /// line -> rule ids suppressed on that line via `vmincqr-lint: allow(...)`.
-  std::map<std::size_t, std::set<std::string>> allows;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-void record_allows(Unit& unit, const std::string& comment, std::size_t line) {
-  const std::string tag = "vmincqr-lint:";
-  const auto at = comment.find(tag);
-  if (at == std::string::npos) return;
-  auto open = comment.find("allow(", at);
-  if (open == std::string::npos) return;
-  const auto close = comment.find(')', open);
-  if (close == std::string::npos) return;
-  std::string list = comment.substr(open + 6, close - open - 6);
-  std::string id;
-  std::stringstream ss(list);
-  while (std::getline(ss, id, ',')) {
-    const auto b = id.find_first_not_of(" \t");
-    const auto e = id.find_last_not_of(" \t");
-    if (b == std::string::npos) continue;
-    unit.allows[line].insert(id.substr(b, e - b + 1));
-  }
-}
-
-/// Normalizes a directive body: collapses runs of whitespace to one space.
-std::string squeeze(const std::string& s) {
-  std::string out;
-  bool in_ws = false;
-  for (char c : s) {
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      in_ws = true;
-      continue;
-    }
-    if (in_ws && !out.empty()) out.push_back(' ');
-    in_ws = false;
-    out.push_back(c);
-  }
-  return out;
-}
-
-Unit tokenize(const std::string& src) {
-  Unit unit;
-  std::size_t line = 1;
-  int depth = 0;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  bool at_line_start = true;
-
-  auto advance_newline = [&](char c) {
-    if (c == '\n') {
-      ++line;
-      at_line_start = true;
-    }
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    // Whitespace.
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      advance_newline(c);
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: consume the logical line (with continuations).
-    if (c == '#' && at_line_start) {
-      const std::size_t start_line = line;
-      std::string text;
-      while (i < n) {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          ++line;
-          i += 2;
-          continue;
-        }
-        if (src[i] == '\n') break;
-        // Strip trailing // comment from the directive (may hold an allow).
-        if (src[i] == '/' && i + 1 < n && src[i + 1] == '/') {
-          std::string comment;
-          while (i < n && src[i] != '\n') comment.push_back(src[i++]);
-          record_allows(unit, comment, line);
-          break;
-        }
-        text.push_back(src[i++]);
-      }
-      unit.directives.emplace_back(start_line, squeeze(text));
-      continue;
-    }
-    at_line_start = false;
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      std::string comment;
-      while (i < n && src[i] != '\n') comment.push_back(src[i++]);
-      record_allows(unit, comment, line);
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const std::size_t start_line = line;
-      std::string comment;
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        comment.push_back(src[i]);
-        advance_newline(src[i]);
-        ++i;
-      }
-      i = std::min(n, i + 2);
-      record_allows(unit, comment, start_line);
-      continue;
-    }
-    // Raw string literal.
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(') delim.push_back(src[j++]);
-      const std::string closer = ")" + delim + "\"";
-      const auto end = src.find(closer, j);
-      for (std::size_t k = i; k < std::min(n, end); ++k) {
-        advance_newline(src[k]);
-      }
-      i = end == std::string::npos ? n : end + closer.size();
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        advance_newline(src[i]);
-        ++i;
-      }
-      ++i;
-      continue;
-    }
-    // Identifier.
-    if (ident_start(c)) {
-      std::string text;
-      while (i < n && ident_char(src[i])) text.push_back(src[i++]);
-      unit.tokens.push_back({TokKind::kIdent, std::move(text), line, depth});
-      continue;
-    }
-    // Number (integer or floating literal, incl. exponents and suffixes).
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '.' && i + 1 < n &&
-         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
-      std::string text;
-      bool is_hex = false;
-      while (i < n) {
-        const char d = src[i];
-        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
-            d == '\'') {
-          if (text.size() == 1 && text[0] == '0' && (d == 'x' || d == 'X')) {
-            is_hex = true;
-          }
-          text.push_back(d);
-          ++i;
-          continue;
-        }
-        if ((d == '+' || d == '-') && !text.empty()) {
-          const char prev = text.back();
-          const bool exp = is_hex ? (prev == 'p' || prev == 'P')
-                                  : (prev == 'e' || prev == 'E');
-          if (exp) {
-            text.push_back(d);
-            ++i;
-            continue;
-          }
-        }
-        break;
-      }
-      const bool is_float =
-          !is_hex && (text.find('.') != std::string::npos ||
-                      text.find('e') != std::string::npos ||
-                      text.find('E') != std::string::npos);
-      unit.tokens.push_back(
-          {is_float ? TokKind::kFloat : TokKind::kInt, std::move(text), line,
-           depth});
-      continue;
-    }
-    // Punctuation: greedily take two-char operators we care about.
-    if (c == '(') {
-      unit.tokens.push_back({TokKind::kPunct, "(", line, depth});
-      ++depth;
-      ++i;
-      continue;
-    }
-    if (c == ')') {
-      depth = std::max(0, depth - 1);
-      unit.tokens.push_back({TokKind::kPunct, ")", line, depth});
-      ++i;
-      continue;
-    }
-    std::string text(1, c);
-    if (i + 1 < n) {
-      const char d = src[i + 1];
-      if ((c == ':' && d == ':') || (c == '-' && d == '>') ||
-          ((c == '=' || c == '!' || c == '<' || c == '>') && d == '=')) {
-        text.push_back(d);
-      }
-    }
-    unit.tokens.push_back({TokKind::kPunct, text, line, depth});
-    i += text.size();
-  }
-  return unit;
-}
-
-// ---------------------------------------------------------------------------
-// Rules
+// Token rules
 // ---------------------------------------------------------------------------
 
 bool is_header(const std::string& path) {
@@ -454,6 +226,27 @@ const std::vector<RuleInfo>& rule_table() {
       {"contract-coverage",
        "fit/predict/calibrate definitions carry a VMINCQR_* contract or "
        "throw"},
+      {"calib-leakage",
+       "calibration rows must never reach fit(); leakage voids the "
+       "conformal coverage guarantee"},
+      {"seed-reuse",
+       "one seed must not construct two RNGs in one scope; correlated "
+       "streams break exchangeability"},
+      {"unseeded-rng",
+       "every RNG takes an explicit seed; std::random_device and "
+       "default-constructed engines are nondeterministic"},
+  };
+  return table;
+}
+
+const std::vector<RuleInfo>& graph_rule_table() {
+  static const std::vector<RuleInfo> table = {
+      {"layer-violation",
+       "include edges must follow the layering DAG declared in layers.toml"},
+      {"include-cycle", "project headers must form an acyclic include graph"},
+      {"unused-include",
+       "a direct include must provide at least one name the TU uses "
+       "(IWYU-lite)"},
   };
   return table;
 }
@@ -471,18 +264,12 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   rule_raw_double_param(ctx);
   rule_matrix_by_value(ctx);
   rule_contract_coverage(ctx);
+  for (auto& d : dataflow_rules(path, unit)) raw.push_back(std::move(d));
 
   // Apply per-line suppressions: same line or the line directly above.
   std::vector<Diagnostic> kept;
   for (auto& d : raw) {
-    bool allowed = false;
-    for (std::size_t line : {d.line, d.line > 0 ? d.line - 1 : 0}) {
-      const auto it = unit.allows.find(line);
-      if (it != unit.allows.end() && it->second.count(d.rule) > 0) {
-        allowed = true;
-      }
-    }
-    if (!allowed) kept.push_back(std::move(d));
+    if (!is_allowed(unit, d.rule, d.line)) kept.push_back(std::move(d));
   }
   std::stable_sort(kept.begin(), kept.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {

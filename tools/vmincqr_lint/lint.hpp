@@ -1,32 +1,34 @@
-// vmincqr_lint — a self-contained token-level linter for repo invariants the
+// vmincqr_lint — a self-contained semantic linter for repo invariants the
 // generic tools (clang-tidy, cppcheck) cannot express.
 //
 // Why a bespoke linter: CQR's coverage guarantee survives only if the code
 // respects project conventions — strong unit types at public boundaries,
 // runtime contracts on every fit/predict entry point, no exact floating
-// comparisons in statistical code. These are *domain* rules, not C++ rules,
-// so they live here as a small table-driven pass over the token stream (no
-// libclang dependency; the whole tool builds in well under a second).
+// comparisons in statistical code, calibration data that never reaches
+// fit(), and seed discipline across splits. These are *domain* rules, not
+// C++ rules, so they live here (no libclang dependency; the whole tool
+// builds in well under a second).
+//
+// Two phases:
+//   1. include-graph (include_graph.hpp) — layering DAG, cycle detection,
+//      IWYU-lite unused includes. Cross-file; runs when a directory is
+//      linted.
+//   2. per-TU — the token rules below plus the statistical-validity
+//      dataflow rules (dataflow.hpp) over a statement/call view with local
+//      symbol taint tracking.
 //
 // Suppression: append `// vmincqr-lint: allow(<rule-id>)` to the offending
 // line, or place it alone on the line above. Several ids may be listed,
-// comma-separated. Suppressions are per-line and per-rule by design: a blanket
-// opt-out would silently rot.
+// comma-separated. Suppressions are per-line and per-rule by design: a
+// blanket opt-out would silently rot.
 #pragma once
 
 #include <string>
 #include <vector>
 
-namespace vmincqr::lint {
+#include "diagnostic.hpp"
 
-/// One finding. `line` is 1-based, matching compiler diagnostics, so editors
-/// can jump straight to it from `file:line:` output.
-struct Diagnostic {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
+namespace vmincqr::lint {
 
 /// A row of the rule table: stable id (used in allow() suppressions and test
 /// fixtures) plus a one-line rationale printed by `vmincqr_lint --rules`.
@@ -35,12 +37,19 @@ struct RuleInfo {
   const char* rationale;
 };
 
-/// The full rule table, in the order rules run. Ids are unique and stable;
-/// tests assert every fixture maps onto exactly one of these.
+/// Per-TU rules (token rules + dataflow rules), in the order they run.
+/// Ids are unique and stable; tests assert every fixture maps onto exactly
+/// one of these.
 const std::vector<RuleInfo>& rule_table();
+
+/// Cross-file include-graph rules (phase 1). Separate table because these
+/// need the whole file set, not one TU; `--rules` prints both.
+const std::vector<RuleInfo>& graph_rule_table();
 
 /// Lints one translation unit given its contents (the unit-testable core).
 /// `path` is used for diagnostics and to decide header-only rules (.hpp).
+/// Runs the token rules and the dataflow rules; include-graph analysis is
+/// separate (include_graph.hpp).
 std::vector<Diagnostic> lint_source(const std::string& path,
                                     const std::string& content);
 
@@ -49,8 +58,5 @@ std::vector<Diagnostic> lint_file(const std::string& path);
 
 /// True for files the linter understands (.hpp / .cpp).
 bool is_lintable(const std::string& path);
-
-/// Renders a diagnostic as `file:line: [rule] message`.
-std::string format(const Diagnostic& d);
 
 }  // namespace vmincqr::lint

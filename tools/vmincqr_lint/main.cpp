@@ -1,18 +1,39 @@
 // CLI driver for vmincqr_lint.
 //
 // Usage:
-//   vmincqr_lint <file-or-dir>...   lint files / recurse directories
-//   vmincqr_lint --rules            print the rule table and exit
+//   vmincqr_lint [options] <file-or-dir>...
 //
-// Exit status: 0 when clean, 1 on any diagnostic, 2 on usage/IO errors.
+// Options:
+//   --rules               print both rule tables and exit
+//   --format=text|sarif   output format (default text)
+//   --layers=FILE         layering DAG config; enables the layer-violation
+//                         rule for directory arguments
+//   --include-root=DIR    root against which quoted includes resolve for the
+//                         include-graph pass (default: first directory arg)
+//   --fix                 apply the mechanically safe fixes (no-endl,
+//                         pragma-once) in place, then re-lint
+//   --budget-ms=N         fail (exit 1) if the whole run exceeds N ms — the
+//                         semantic pass must never slow the tier-1 suite
+//
+// The include-graph pass (layering, cycles, IWYU-lite) runs whenever at
+// least one argument is a directory; per-TU rules always run.
+//
+// Exit status: 0 when clean, 1 on any diagnostic (or blown budget), 2 on
+// usage/IO errors.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "fix.hpp"
+#include "include_graph.hpp"
 #include "lint.hpp"
+#include "sarif.hpp"
 
 namespace fs = std::filesystem;
 
@@ -31,46 +52,170 @@ void collect(const fs::path& root, std::vector<std::string>& files) {
   }
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("vmincqr_lint: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vmincqr_lint [--rules] [--format=text|sarif] "
+               "[--layers=FILE] [--include-root=DIR] [--fix] "
+               "[--budget-ms=N] <file-or-dir>...\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: vmincqr_lint [--rules] <file-or-dir>...\n");
-    return 2;
-  }
-  if (std::string(argv[1]) == "--rules") {
-    for (const auto& rule : vmincqr::lint::rule_table()) {
-      std::printf("%-24s %s\n", rule.id, rule.rationale);
+  const auto start = std::chrono::steady_clock::now();
+  std::string format_name = "text";
+  std::string layers_path;
+  std::string include_root;
+  bool fix = false;
+  long budget_ms = -1;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      for (const auto& rule : vmincqr::lint::rule_table()) {
+        std::printf("%-24s %s\n", rule.id, rule.rationale);
+      }
+      for (const auto& rule : vmincqr::lint::graph_rule_table()) {
+        std::printf("%-24s %s\n", rule.id, rule.rationale);
+      }
+      return 0;
     }
-    return 0;
+    if (arg.rfind("--format=", 0) == 0) {
+      format_name = arg.substr(9);
+      if (format_name != "text" && format_name != "sarif") return usage();
+      continue;
+    }
+    if (arg.rfind("--layers=", 0) == 0) {
+      layers_path = arg.substr(9);
+      continue;
+    }
+    if (arg.rfind("--include-root=", 0) == 0) {
+      include_root = arg.substr(15);
+      continue;
+    }
+    if (arg == "--fix") {
+      fix = true;
+      continue;
+    }
+    if (arg.rfind("--budget-ms=", 0) == 0) {
+      try {
+        budget_ms = std::stol(arg.substr(12));
+      } catch (const std::exception&) {
+        return usage();
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) return usage();
+    paths.push_back(arg);
   }
+  if (paths.empty()) return usage();
 
   std::vector<std::string> files;
+  std::vector<std::string> dir_args;
   try {
-    for (int i = 1; i < argc; ++i) collect(argv[i], files);
+    for (const auto& p : paths) {
+      if (fs::is_directory(p)) dir_args.push_back(p);
+      collect(p, files);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vmincqr_lint: %s\n", e.what());
     return 2;
   }
   std::sort(files.begin(), files.end());
+  if (include_root.empty() && !dir_args.empty()) include_root = dir_args[0];
 
-  std::size_t findings = 0;
-  for (const auto& file : files) {
-    try {
-      for (const auto& d : vmincqr::lint::lint_file(file)) {
-        std::printf("%s\n", vmincqr::lint::format(d).c_str());
-        ++findings;
+  std::vector<vmincqr::lint::Diagnostic> diagnostics;
+  try {
+    // --fix first so diagnostics reflect the rewritten tree.
+    if (fix) {
+      for (const auto& file : files) {
+        const std::string before = read_file(file);
+        const std::string after = vmincqr::lint::apply_fixes(file, before);
+        if (after != before) {
+          std::ofstream out(file, std::ios::binary | std::ios::trunc);
+          if (!out) {
+            std::fprintf(stderr, "vmincqr_lint: cannot write %s\n",
+                         file.c_str());
+            return 2;
+          }
+          out << after;
+          std::fprintf(stderr, "vmincqr_lint: fixed %s\n", file.c_str());
+        }
       }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "vmincqr_lint: %s\n", e.what());
-      return 2;
+    }
+
+    // Phase 2: per-TU rules.
+    for (const auto& file : files) {
+      for (auto& d : vmincqr::lint::lint_file(file)) {
+        diagnostics.push_back(std::move(d));
+      }
+    }
+
+    // Phase 1: include-graph over the collected set, includes resolved
+    // against the include root.
+    if (!include_root.empty()) {
+      vmincqr::lint::LayerConfig config;
+      if (!layers_path.empty()) {
+        config = vmincqr::lint::load_layers(layers_path);
+      }
+      const fs::path root = fs::absolute(include_root);
+      std::vector<vmincqr::lint::SourceFile> sources;
+      for (const auto& file : files) {
+        const fs::path abs = fs::absolute(file);
+        sources.push_back({file,
+                           abs.lexically_relative(root).generic_string(),
+                           read_file(file)});
+      }
+      std::sort(sources.begin(), sources.end(),
+                [](const vmincqr::lint::SourceFile& a,
+                   const vmincqr::lint::SourceFile& b) {
+                  return a.rel < b.rel;
+                });
+      for (auto& d : vmincqr::lint::analyze_include_graph(sources, config)) {
+        diagnostics.push_back(std::move(d));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vmincqr_lint: %s\n", e.what());
+    return 2;
+  }
+
+  if (format_name == "sarif") {
+    std::printf("%s", vmincqr::lint::to_sarif(diagnostics).c_str());
+  } else {
+    for (const auto& d : diagnostics) {
+      std::printf("%s\n", vmincqr::lint::format(d).c_str());
     }
   }
-  if (findings > 0) {
-    std::fprintf(stderr, "vmincqr_lint: %zu finding(s) in %zu file(s)\n",
-                 findings, files.size());
+
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  if (budget_ms >= 0 && elapsed_ms > budget_ms) {
+    std::fprintf(stderr,
+                 "vmincqr_lint: run took %lld ms, over the %ld ms budget\n",
+                 static_cast<long long>(elapsed_ms), budget_ms);
     return 1;
   }
-  std::printf("vmincqr_lint: %zu file(s) clean\n", files.size());
+
+  if (!diagnostics.empty()) {
+    std::fprintf(stderr, "vmincqr_lint: %zu finding(s) in %zu file(s)\n",
+                 diagnostics.size(), files.size());
+    return 1;
+  }
+  if (format_name == "text") {
+    std::printf("vmincqr_lint: %zu file(s) clean\n", files.size());
+  }
   return 0;
 }

@@ -1,0 +1,83 @@
+#include "parse.hpp"
+
+#include <set>
+#include <string>
+
+namespace vmincqr::lint {
+namespace {
+
+const std::set<std::string>& trailing_qualifiers() {
+  static const std::set<std::string> quals = {"const", "noexcept", "override",
+                                              "final", "mutable"};
+  return quals;
+}
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kws = {"if", "for", "while", "switch",
+                                            "catch"};
+  return kws;
+}
+
+/// Classifies the '{' at token index i: does it open a function body?
+/// Looks back past trailing qualifiers; a ')' (whose matching '(' is not a
+/// control statement's) or a ']' (parameterless lambda) means function.
+/// Everything else — class/namespace/enum braces, braced initializers,
+/// `do`/`else`/`try` blocks — is not a new scope.
+bool opens_function_body(const std::vector<Token>& t, std::size_t i) {
+  if (i == 0) return false;
+  std::size_t j = i - 1;
+  while (j > 0 && t[j].kind == TokKind::kIdent &&
+         trailing_qualifiers().count(t[j].text) > 0) {
+    --j;
+  }
+  if (t[j].text == "]") return true;  // [] { ... }
+  if (t[j].text != ")") return false;
+  // Find the matching '(' of this ')'.
+  int depth = 0;
+  while (true) {
+    if (t[j].text == ")") ++depth;
+    if (t[j].text == "(" && --depth == 0) break;
+    if (j == 0) return false;
+    --j;
+  }
+  if (j == 0) return false;
+  const Token& before = t[j - 1];
+  if (before.kind == TokKind::kIdent &&
+      control_keywords().count(before.text) > 0) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<FunctionScope> function_scopes(const Unit& unit) {
+  const auto& t = unit.tokens;
+  std::vector<FunctionScope> scopes;
+  // -1 while outside any function; otherwise the brace depth (number of open
+  // '{' including the scope's own) of the current function body.
+  int fn_braces = 0;
+  bool in_fn = false;
+  std::size_t fn_first = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text == "{") {
+      if (in_fn) {
+        ++fn_braces;
+      } else if (opens_function_body(t, i)) {
+        in_fn = true;
+        fn_braces = 1;
+        fn_first = i;
+      }
+      continue;
+    }
+    if (t[i].text == "}" && in_fn) {
+      if (--fn_braces == 0) {
+        in_fn = false;
+        scopes.push_back({fn_first, i});
+      }
+    }
+  }
+  return scopes;
+}
+
+}  // namespace vmincqr::lint
