@@ -134,7 +134,7 @@ int main() {
         {"Train fraction", "Length (mV)", "Coverage (%)"});
     for (double frac : {0.5, 0.6, 0.75, 0.85, 0.95}) {
       conformal::CqrConfig config;
-      config.train_fraction = frac;
+      config.split.train_fraction = frac;
       conformal::ConformalizedQuantileRegressor cqr(
           core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{alpha}),
           config);

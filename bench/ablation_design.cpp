@@ -47,7 +47,7 @@ CellScore run_cqr_cv(const data::Dataset& ds, const core::Scenario& scenario,
     }
     const auto cols = data::top_correlated(x_train, y_train, n_features);
     conformal::CqrConfig config;
-    config.seed = 42 + f;
+    config.split.seed = 42 + f;
     conformal::ConformalizedQuantileRegressor cqr(
         core::MiscoverageAlpha{0.1}, models::make_quantile_pair(kind, core::MiscoverageAlpha{0.1}),
         config);
@@ -188,7 +188,7 @@ int main() {
         }
         const auto cols = data::cfs_select(x_train, y_train, 8);
         conformal::CqrConfig config;
-        config.seed = 42 + f;
+        config.split.seed = 42 + f;
         conformal::ConformalizedQuantileRegressor cqr(
             core::MiscoverageAlpha{0.1}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{0.1}),
             config);

@@ -1,20 +1,35 @@
-// Microbenchmarks (google-benchmark) backing Table I's "computational
-// efficiency" column: fit and predict wall time for every point model, the
-// quantile-pair variants, and the conformal calibration overhead, at the
-// paper's data scale (~117 training chips after the CV split, 8-32
-// features).
-#include <benchmark/benchmark.h>
+// Machine-readable model benchmarks backing Table I's "computational
+// efficiency" column — per-model fit/predict wall-clock and throughput at
+// the paper's data scale (117 training chips, 8 features), plus the serve
+// path: artifact encode/decode and VminPredictor::predict_batch.
+//
+// Unlike the figure/table benches this emits JSON, not prose: the output
+// lands in BENCH_models.json (or argv[1]) so CI and regression tooling can
+// diff numbers across commits without scraping text.
+//
+// Usage: perf_models [output.json]   (default: BENCH_models.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "artifact/bundle.hpp"
+#include "artifact/model_codec.hpp"
 #include "conformal/cqr.hpp"
-#include "conformal/split_cp.hpp"
-#include "data/feature_select.hpp"
 #include "models/factory.hpp"
 #include "rng/rng.hpp"
-#include "stats/quantile.hpp"
+#include "serve/vmin_predictor.hpp"
 
 using namespace vmincqr;
 
 namespace {
+
+constexpr std::size_t kTrainRows = 117;  // paper scale after the CV split
+constexpr std::size_t kFeatures = 8;
+constexpr std::size_t kBatchRows = 156;  // one full population per batch
 
 struct Problem {
   linalg::Matrix x;
@@ -35,103 +50,132 @@ Problem make_problem(std::size_t n, std::size_t d) {
   return p;
 }
 
-void fit_model(benchmark::State& state, models::ModelKind kind) {
-  const auto p = make_problem(static_cast<std::size_t>(state.range(0)),
-                              static_cast<std::size_t>(state.range(1)));
-  for (auto _ : state) {
-    auto model = models::make_point_regressor(kind);
-    model->fit(p.x, p.y);
-    benchmark::DoNotOptimize(model);
+/// Median wall-clock seconds over `reps` runs of `fn` (one warmup first).
+double median_seconds(int reps, const std::function<void()>& fn) {
+  fn();  // warmup: first run pays allocator/cache setup
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(stop - start).count());
   }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
 
-void predict_model(benchmark::State& state, models::ModelKind kind) {
-  const auto p = make_problem(static_cast<std::size_t>(state.range(0)),
-                              static_cast<std::size_t>(state.range(1)));
-  auto model = models::make_point_regressor(kind);
-  model->fit(p.x, p.y);
-  for (auto _ : state) {
-    auto pred = model->predict(p.x);
-    benchmark::DoNotOptimize(pred);
-  }
+struct ModelTiming {
+  std::string name;
+  double fit_ms = 0.0;
+  double predict_us = 0.0;
+  double predict_rows_per_s = 0.0;
+};
+
+ModelTiming bench_model(models::ModelKind kind, const Problem& train,
+                        const Problem& batch) {
+  ModelTiming timing;
+  timing.name = models::model_name(kind);
+
+  timing.fit_ms = 1e3 * median_seconds(5, [&] {
+    auto model = models::make_point_regressor(kind);
+    model->fit(train.x, train.y);
+  });
+
+  auto fitted = models::make_point_regressor(kind);
+  fitted->fit(train.x, train.y);
+  const double predict_s = median_seconds(50, [&] {
+    volatile double sink = fitted->predict(batch.x)[0];
+    (void)sink;
+  });
+  timing.predict_us = 1e6 * predict_s;
+  timing.predict_rows_per_s = static_cast<double>(batch.x.rows()) / predict_s;
+  return timing;
+}
+
+std::string json_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
 }
 
 }  // namespace
 
-#define VMINCQR_MODEL_BENCH(name, kind)                               \
-  BENCHMARK_CAPTURE(fit_model, name, models::ModelKind::kind)         \
-      ->Args({117, 8})                                                \
-      ->Unit(benchmark::kMillisecond);                                \
-  BENCHMARK_CAPTURE(predict_model, name, models::ModelKind::kind)     \
-      ->Args({117, 8})                                                \
-      ->Unit(benchmark::kMicrosecond)
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_models.json";
+  const Problem train = make_problem(kTrainRows, kFeatures);
+  const Problem batch = make_problem(kBatchRows, kFeatures);
 
-VMINCQR_MODEL_BENCH(linear, kLinear);
-VMINCQR_MODEL_BENCH(gp, kGp);
-VMINCQR_MODEL_BENCH(xgboost, kXgboost);
-VMINCQR_MODEL_BENCH(catboost, kCatboost);
-VMINCQR_MODEL_BENCH(mlp, kMlp);
-
-static void fit_quantile_pair_linear(benchmark::State& state) {
-  const auto p = make_problem(117, 8);
-  for (auto _ : state) {
-    auto pair = models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{0.1});
-    pair->fit(p.x, p.y);
-    benchmark::DoNotOptimize(pair);
+  std::vector<ModelTiming> timings;
+  for (const models::ModelKind kind : models::point_model_zoo()) {
+    timings.push_back(bench_model(kind, train, batch));
+    std::printf("%-18s fit %8.3f ms   predict %8.1f us  (%.3g rows/s)\n",
+                timings.back().name.c_str(), timings.back().fit_ms,
+                timings.back().predict_us, timings.back().predict_rows_per_s);
   }
-}
-BENCHMARK(fit_quantile_pair_linear)->Unit(benchmark::kMillisecond);
 
-static void fit_cqr_linear(benchmark::State& state) {
-  const auto p = make_problem(156, 8);
-  for (auto _ : state) {
-    conformal::ConformalizedQuantileRegressor cqr(
-        core::MiscoverageAlpha{0.1}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{0.1}));
-    cqr.fit(p.x, p.y);
-    benchmark::DoNotOptimize(cqr);
+  // --- serve path: CQR linear -> artifact -> batched predictor -------------
+  const core::MiscoverageAlpha alpha{0.1};
+  auto cqr = std::make_unique<conformal::ConformalizedQuantileRegressor>(
+      alpha, models::make_quantile_pair(models::ModelKind::kLinear, alpha));
+  cqr->fit(train.x, train.y);
+
+  artifact::VminBundle bundle;
+  bundle.label = cqr->name();
+  for (std::size_t c = 0; c < kFeatures; ++c) {
+    bundle.dataset_columns.push_back(c);
+    bundle.selected_features.push_back(c);
   }
-}
-BENCHMARK(fit_cqr_linear)->Unit(benchmark::kMillisecond);
+  bundle.predictor = std::move(cqr);
 
-static void fit_split_cp_linear(benchmark::State& state) {
-  const auto p = make_problem(156, 8);
-  for (auto _ : state) {
-    conformal::SplitConformalRegressor cp(
-        core::MiscoverageAlpha{0.1}, models::make_point_regressor(models::ModelKind::kLinear));
-    cp.fit(p.x, p.y);
-    benchmark::DoNotOptimize(cp);
+  const double encode_s =
+      median_seconds(50, [&] { (void)artifact::encode_bundle(bundle); });
+  const auto bytes = artifact::encode_bundle(bundle);
+  const double decode_s =
+      median_seconds(50, [&] { (void)artifact::decode_bundle(bytes); });
+
+  const auto predictor = serve::VminPredictor::from_bytes(bytes);
+  const double serve_s = median_seconds(50, [&] {
+    volatile double sink = predictor.predict_batch(batch.x)[0].lower;
+    (void)sink;
+  });
+  const double serve_rows_per_s = static_cast<double>(kBatchRows) / serve_s;
+  std::printf(
+      "serve (%s): predict_batch %8.1f us (%.3g rows/s), "
+      "encode %.1f us, decode %.1f us, artifact %zu bytes\n",
+      bundle.label.c_str(), 1e6 * serve_s, serve_rows_per_s, 1e6 * encode_s,
+      1e6 * decode_s, bytes.size());
+
+  // --- emit JSON ------------------------------------------------------------
+  std::string json = "{\n";
+  json += "  \"scale\": {\"n_train\": " + std::to_string(kTrainRows) +
+          ", \"n_features\": " + std::to_string(kFeatures) +
+          ", \"batch_rows\": " + std::to_string(kBatchRows) + "},\n";
+  json += "  \"models\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const ModelTiming& t = timings[i];
+    json += "    {\"name\": \"" + t.name + "\", \"fit_ms\": " +
+            json_number(t.fit_ms) + ", \"predict_us\": " +
+            json_number(t.predict_us) + ", \"predict_rows_per_s\": " +
+            json_number(t.predict_rows_per_s) + "}";
+    json += (i + 1 < timings.size()) ? ",\n" : "\n";
   }
-}
-BENCHMARK(fit_split_cp_linear)->Unit(benchmark::kMillisecond);
+  json += "  ],\n";
+  json += "  \"serve\": {\"predictor\": \"" + bundle.label +
+          "\", \"predict_batch_us\": " + json_number(1e6 * serve_s) +
+          ", \"rows_per_s\": " + json_number(serve_rows_per_s) +
+          ", \"encode_us\": " + json_number(1e6 * encode_s) +
+          ", \"decode_us\": " + json_number(1e6 * decode_s) +
+          ", \"artifact_bytes\": " + std::to_string(bytes.size()) + "}\n";
+  json += "}\n";
 
-// Conformal calibration alone (score + quantile) — the marginal cost CQR
-// adds on top of the base quantile pair. Should be microseconds: the
-// "computational efficiency" tick in Table I.
-static void cqr_calibration_overhead(benchmark::State& state) {
-  const auto p = make_problem(156, 8);
-  auto pair = models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{0.1});
-  // Pre-fit the pair once; time only the calibrate step via fit_with_split
-  // on a tiny already-fitted clone path: emulate by scoring + quantile.
-  pair->fit(p.x, p.y);
-  const auto band = pair->predict_interval(p.x);
-  for (auto _ : state) {
-    std::vector<double> scores(p.y.size());
-    for (std::size_t i = 0; i < p.y.size(); ++i) {
-      scores[i] = std::max(band.lower[i] - p.y[i], p.y[i] - band.upper[i]);
-    }
-    benchmark::DoNotOptimize(
-        stats::conformal_quantile(std::move(scores), core::MiscoverageAlpha{0.1}));
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
   }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
 }
-BENCHMARK(cqr_calibration_overhead)->Unit(benchmark::kMicrosecond);
-
-// CFS feature selection at production dimensionality.
-static void cfs_selection(benchmark::State& state) {
-  const auto p = make_problem(117, static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(data::cfs_select(p.x, p.y, 10));
-  }
-}
-BENCHMARK(cfs_selection)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();

@@ -65,13 +65,13 @@ int main() {
       auto qr = models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{alpha});
       run(1, *qr);
       conformal::SplitConfig cp_config;
-      cp_config.seed = 42 + static_cast<std::uint64_t>(split);
+      cp_config.split.seed = 42 + static_cast<std::uint64_t>(split);
       conformal::SplitConformalRegressor cp(
           core::MiscoverageAlpha{alpha}, models::make_point_regressor(models::ModelKind::kLinear),
           cp_config);
       run(2, cp);
       conformal::CqrConfig cqr_config;
-      cqr_config.seed = 42 + static_cast<std::uint64_t>(split);
+      cqr_config.split.seed = 42 + static_cast<std::uint64_t>(split);
       conformal::ConformalizedQuantileRegressor cqr(
           core::MiscoverageAlpha{alpha}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{alpha}),
           cqr_config);

@@ -1,0 +1,45 @@
+// Chunk encoders/decoders for every fitted predictor the pipeline can
+// produce. The chunk tag doubles as the runtime type discriminator, so a
+// decoded artifact reconstructs the exact concrete type that was saved:
+//
+//   point models    LINR ENET GBTR OBST GPRG MLPR
+//   interval models QPAR GPIV CQRC SCPC NCPC
+//
+// Composite predictors (quantile pairs, conformal wrappers) nest their
+// children as chunks inside their own payload. Decoded models carry only
+// predict-path state (via each model's XxxParams import); they are serve-only
+// objects — refitting one uses default hyperparameters.
+#pragma once
+
+#include <memory>
+
+#include "artifact/codec.hpp"
+#include "models/interval.hpp"
+#include "models/regressor.hpp"
+
+namespace vmincqr::artifact {
+
+/// Writes one chunk holding the fitted state of a point regressor.
+/// Throws ArtifactError for a concrete type the format cannot represent and
+/// std::logic_error if the model is unfitted.
+void encode_regressor(Writer& writer, const models::Regressor& model);
+
+/// Reads one point-regressor chunk and reconstructs the concrete model.
+/// Throws ArtifactError on an unknown chunk tag or malformed payload.
+[[nodiscard]] std::unique_ptr<models::Regressor> decode_regressor(
+    Reader& reader);
+
+/// Writes one chunk holding the fitted state of an interval regressor
+/// (including its calibration, for conformal wrappers).
+/// Throws ArtifactError for an unrepresentable type; std::logic_error if the
+/// model is unfitted or uncalibrated.
+void encode_interval_regressor(Writer& writer,
+                               const models::IntervalRegressor& model);
+
+/// Reads one interval-regressor chunk and reconstructs the concrete model,
+/// ready to serve predict_interval(). Throws ArtifactError on an unknown
+/// chunk tag or malformed payload.
+[[nodiscard]] std::unique_ptr<models::IntervalRegressor>
+decode_interval_regressor(Reader& reader);
+
+}  // namespace vmincqr::artifact

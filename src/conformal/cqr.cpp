@@ -22,7 +22,7 @@ ConformalizedQuantileRegressor::ConformalizedQuantileRegressor(
     throw std::invalid_argument(
         "ConformalizedQuantileRegressor: base model alpha mismatch");
   }
-  if (!(config_.train_fraction > 0.0) || !(config_.train_fraction < 1.0)) {
+  if (!config_.split.valid()) {
     throw std::invalid_argument(
         "ConformalizedQuantileRegressor: train_fraction outside (0, 1)");
   }
@@ -37,9 +37,9 @@ void ConformalizedQuantileRegressor::fit(const Matrix& x, const Vector& y) {
   VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   std::vector<std::size_t> indices(x.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  rng::Rng rng(config_.seed);
-  const auto split =
-      data::train_calibration_split(indices, config_.train_fraction, rng);
+  rng::Rng rng(config_.split.seed);
+  const auto split = data::train_calibration_split(
+      indices, config_.split.train_fraction, rng);
 
   Vector y_train(split.train.size()), y_calib(split.calibration.size());
   for (std::size_t i = 0; i < split.train.size(); ++i) {
@@ -148,6 +148,24 @@ double ConformalizedQuantileRegressor::q_hat_upper() const {
     throw std::logic_error("ConformalizedQuantileRegressor: not calibrated");
   }
   return q_hat_hi_;
+}
+
+CqrCalibration ConformalizedQuantileRegressor::export_calibration() const {
+  if (!calibrated_) {
+    throw std::logic_error("ConformalizedQuantileRegressor: not calibrated");
+  }
+  return {q_hat_lo_, q_hat_hi_};
+}
+
+void ConformalizedQuantileRegressor::import_calibration(
+    CqrCalibration calibration) {
+  if (std::isnan(calibration.q_hat_lo) || std::isnan(calibration.q_hat_hi)) {
+    throw std::invalid_argument(
+        "ConformalizedQuantileRegressor::import_calibration: NaN q_hat");
+  }
+  q_hat_lo_ = calibration.q_hat_lo;
+  q_hat_hi_ = calibration.q_hat_hi;
+  calibrated_ = true;
 }
 
 }  // namespace vmincqr::conformal

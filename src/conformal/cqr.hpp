@@ -13,8 +13,9 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/split_spec.hpp"
 #include "core/units.hpp"
-#include "models/region.hpp"
+#include "models/interval.hpp"
 
 namespace vmincqr::conformal {
 
@@ -32,9 +33,18 @@ using models::Vector;
 enum class CqrMode : std::uint8_t { kSymmetric, kAsymmetric };
 
 struct CqrConfig {
-  double train_fraction = 0.75;  ///< the paper's 75/25 split (Sec. IV-B)
-  std::uint64_t seed = 42;
+  /// Train/calibration split; PipelineConfig threads its own spec through
+  /// here so the pipeline and the calibrator can never disagree.
+  core::CalibrationSplit split;
   CqrMode mode = CqrMode::kSymmetric;
+};
+
+/// The calibrated state of a ConformalizedQuantileRegressor — everything
+/// predict_interval() needs beyond the fitted base model. In symmetric mode
+/// the two entries are equal.
+struct CqrCalibration {
+  double q_hat_lo = 0.0;
+  double q_hat_hi = 0.0;
 };
 
 class ConformalizedQuantileRegressor final : public IntervalRegressor {
@@ -68,6 +78,18 @@ class ConformalizedQuantileRegressor final : public IntervalRegressor {
   [[nodiscard]] double q_hat_upper() const;
 
   [[nodiscard]] const IntervalRegressor& base() const { return *base_; }
+
+  /// The configured calibration mode (symmetric Eq. 9-10 vs per-tail).
+  [[nodiscard]] CqrMode mode() const noexcept { return config_.mode; }
+
+  /// Copies out the calibrated offsets. Throws std::logic_error if not
+  /// calibrated.
+  [[nodiscard]] CqrCalibration export_calibration() const;
+
+  /// Adopts previously exported offsets and marks the regressor calibrated.
+  /// The base model must already be fitted (e.g. via its own import_params)
+  /// for predict_interval to succeed. Throws std::invalid_argument on NaN.
+  void import_calibration(CqrCalibration calibration);
 
  private:
   MiscoverageAlpha alpha_;

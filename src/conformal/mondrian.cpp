@@ -31,9 +31,9 @@ void MondrianCqr::fit(const Matrix& x, const Vector& y) {
   VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   std::vector<std::size_t> indices(x.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  rng::Rng rng(config_.seed);
+  rng::Rng rng(config_.split.seed);
   const auto split =
-      data::train_calibration_split(indices, config_.train_fraction, rng);
+      data::train_calibration_split(indices, config_.split.train_fraction, rng);
 
   Vector y_train(split.train.size());
   for (std::size_t i = 0; i < split.train.size(); ++i) {

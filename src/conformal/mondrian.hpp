@@ -8,13 +8,13 @@
 // enough calibration chips per group.
 #pragma once
 
-#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 
+#include "core/split_spec.hpp"
 #include "core/units.hpp"
-#include "models/region.hpp"
+#include "models/interval.hpp"
 
 namespace vmincqr::conformal {
 
@@ -29,8 +29,7 @@ using models::Vector;
 using GroupFn = std::function<int(const double* row, std::size_t n_cols)>;
 
 struct MondrianConfig {
-  double train_fraction = 0.75;
-  std::uint64_t seed = 42;
+  core::CalibrationSplit split;
   /// Groups whose calibration count is below this fall back to the pooled
   /// (marginal) q_hat instead of an infinite interval.
   std::size_t min_group_size = 5;

@@ -32,9 +32,9 @@ void NormalizedConformalRegressor::fit(const Matrix& x, const Vector& y) {
   VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   std::vector<std::size_t> indices(x.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  rng::Rng rng(config_.seed);
-  const auto split =
-      data::train_calibration_split(indices, config_.train_fraction, rng);
+  rng::Rng rng(config_.split.seed);
+  const auto split = data::train_calibration_split(
+      indices, config_.split.train_fraction, rng);
 
   const Matrix x_train = x.take_rows(split.train);
   Vector y_train(split.train.size());
@@ -104,6 +104,24 @@ double NormalizedConformalRegressor::q_hat() const {
     throw std::logic_error("NormalizedConformalRegressor: not calibrated");
   }
   return q_hat_;
+}
+
+NormalizedCalibration NormalizedConformalRegressor::export_calibration() const {
+  if (!calibrated_) {
+    throw std::logic_error("NormalizedConformalRegressor: not calibrated");
+  }
+  return {q_hat_, config_.sigma_floor};
+}
+
+void NormalizedConformalRegressor::import_calibration(
+    NormalizedCalibration calibration) {
+  if (std::isnan(calibration.q_hat) || !(calibration.sigma_floor >= 0.0)) {
+    throw std::invalid_argument(
+        "NormalizedConformalRegressor::import_calibration: bad calibration");
+  }
+  q_hat_ = calibration.q_hat;
+  config_.sigma_floor = calibration.sigma_floor;
+  calibrated_ = true;
 }
 
 }  // namespace vmincqr::conformal

@@ -16,7 +16,7 @@ ConformalPredictiveDistribution::ConformalPredictiveDistribution(
   if (!model_) {
     throw std::invalid_argument("ConformalPredictiveDistribution: null model");
   }
-  if (!(config_.train_fraction > 0.0) || !(config_.train_fraction < 1.0)) {
+  if (!config_.split.valid()) {
     throw std::invalid_argument(
         "ConformalPredictiveDistribution: train_fraction outside (0, 1)");
   }
@@ -31,9 +31,9 @@ void ConformalPredictiveDistribution::fit(const Matrix& x, const Vector& y) {
   VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   std::vector<std::size_t> indices(x.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  rng::Rng rng(config_.seed);
-  const auto split =
-      data::train_calibration_split(indices, config_.train_fraction, rng);
+  rng::Rng rng(config_.split.seed);
+  const auto split = data::train_calibration_split(
+      indices, config_.split.train_fraction, rng);
   Vector y_train(split.train.size()), y_calib(split.calibration.size());
   for (std::size_t i = 0; i < split.train.size(); ++i) {
     y_train[i] = y[split.train[i]];

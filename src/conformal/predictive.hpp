@@ -13,9 +13,9 @@
 // than a binary pass/fail.
 #pragma once
 
-#include <cstdint>
 #include <memory>
 
+#include "core/split_spec.hpp"
 #include "core/units.hpp"
 #include "models/regressor.hpp"
 
@@ -26,8 +26,7 @@ using models::Regressor;
 using models::Vector;
 
 struct PredictiveConfig {
-  double train_fraction = 0.75;
-  std::uint64_t seed = 42;
+  core::CalibrationSplit split;
 };
 
 class ConformalPredictiveDistribution {

@@ -18,7 +18,7 @@ SplitConformalRegressor::SplitConformalRegressor(
   if (!model_) {
     throw std::invalid_argument("SplitConformalRegressor: null model");
   }
-  if (!(config_.train_fraction > 0.0) || !(config_.train_fraction < 1.0)) {
+  if (!config_.split.valid()) {
     throw std::invalid_argument(
         "SplitConformalRegressor: train_fraction outside (0, 1)");
   }
@@ -32,9 +32,9 @@ void SplitConformalRegressor::fit(const Matrix& x, const Vector& y) {
   VMINCQR_CHECK_FINITE(y, "fit: label vector y");
   std::vector<std::size_t> indices(x.rows());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  rng::Rng rng(config_.seed);
-  const auto split =
-      data::train_calibration_split(indices, config_.train_fraction, rng);
+  rng::Rng rng(config_.split.seed);
+  const auto split = data::train_calibration_split(
+      indices, config_.split.train_fraction, rng);
 
   Vector y_train(split.train.size()), y_calib(split.calibration.size());
   for (std::size_t i = 0; i < split.train.size(); ++i) {
@@ -100,6 +100,22 @@ double SplitConformalRegressor::q_hat() const {
     throw std::logic_error("SplitConformalRegressor: not calibrated");
   }
   return q_hat_;
+}
+
+SplitCalibration SplitConformalRegressor::export_calibration() const {
+  if (!calibrated_) {
+    throw std::logic_error("SplitConformalRegressor: not calibrated");
+  }
+  return {q_hat_};
+}
+
+void SplitConformalRegressor::import_calibration(SplitCalibration calibration) {
+  if (std::isnan(calibration.q_hat)) {
+    throw std::invalid_argument(
+        "SplitConformalRegressor::import_calibration: NaN q_hat");
+  }
+  q_hat_ = calibration.q_hat;
+  calibrated_ = true;
 }
 
 }  // namespace vmincqr::conformal

@@ -8,11 +8,11 @@
 // across inputs — the limitation CQR removes.
 #pragma once
 
-#include <cstdint>
 #include <memory>
 
+#include "core/split_spec.hpp"
 #include "core/units.hpp"
-#include "models/region.hpp"
+#include "models/interval.hpp"
 #include "models/regressor.hpp"
 
 namespace vmincqr::conformal {
@@ -25,8 +25,15 @@ using models::Regressor;
 using models::Vector;
 
 struct SplitConfig {
-  double train_fraction = 0.75;  ///< the paper's 75/25 split (Sec. IV-B)
-  std::uint64_t seed = 42;       ///< split randomization
+  /// Train/calibration split (the paper's 75/25, Sec. IV-B); shared with
+  /// core::PipelineConfig through core::CalibrationSplit.
+  core::CalibrationSplit split;
+};
+
+/// The calibrated state of a SplitConformalRegressor: the constant interval
+/// half-width of Eq. (8).
+struct SplitCalibration {
+  double q_hat = 0.0;
 };
 
 class SplitConformalRegressor final : public IntervalRegressor {
@@ -58,6 +65,18 @@ class SplitConformalRegressor final : public IntervalRegressor {
   /// Calibrated half-width q_hat (volts); +inf when the calibration set was
   /// too small for the requested coverage.
   [[nodiscard]] double q_hat() const;
+
+  /// The wrapped point model (for parameter export).
+  [[nodiscard]] const Regressor& model() const { return *model_; }
+
+  /// Copies out the calibrated half-width. Throws std::logic_error if not
+  /// calibrated.
+  [[nodiscard]] SplitCalibration export_calibration() const;
+
+  /// Adopts a previously exported half-width and marks the regressor
+  /// calibrated. The point model must already be fitted for predictions to
+  /// succeed. Throws std::invalid_argument on NaN.
+  void import_calibration(SplitCalibration calibration);
 
  private:
   MiscoverageAlpha alpha_;

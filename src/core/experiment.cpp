@@ -170,9 +170,9 @@ RegionMethodScore evaluate_region_method(const data::Dataset& ds,
         // seed depends only on the fold so every method sees the same split.
         std::vector<std::size_t> local(fold.train.size());
         for (std::size_t i = 0; i < local.size(); ++i) local[i] = i;
-        rng::Rng split_rng(config.pipeline.seed + f);
+        rng::Rng split_rng(config.pipeline.split.seed + f);
         const auto split = data::train_calibration_split(
-            local, config.pipeline.train_fraction, split_rng);
+            local, config.pipeline.split.train_fraction, split_rng);
 
         const Matrix x_proper = x_train.take_rows(split.train);
         const Vector y_proper = take(y_train, split.train);

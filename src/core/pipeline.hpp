@@ -11,8 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "artifact/bundle.hpp"
+#include "conformal/cqr.hpp"
 #include "core/scenario.hpp"
+#include "core/split_spec.hpp"
 #include "core/units.hpp"
 #include "data/dataset.hpp"
 #include "models/factory.hpp"
@@ -28,8 +32,10 @@ struct PipelineConfig {
   MiscoverageAlpha alpha{0.1};
   std::size_t cfs_max_features = 10;
   std::size_t tree_prefilter = 32;
-  double train_fraction = 0.75;    ///< conformal train/calibration split
-  std::uint64_t seed = 42;
+  /// Conformal train/calibration split — the single source of truth, threaded
+  /// verbatim into conformal::CqrConfig (and friends) wherever the pipeline
+  /// builds a calibrated predictor.
+  CalibrationSplit split;
 };
 
 /// The assembled design for one scenario: the legal feature columns and the
@@ -57,5 +63,29 @@ std::vector<std::size_t> select_features_for_model(
 /// DESIGN.md Sec. 6.
 std::vector<std::size_t> cfs_sweep_for_model(models::ModelKind kind,
                                              const PipelineConfig& config);
+
+/// One fully fitted screening predictor: the fit-time product that either
+/// predicts in-process or gets packaged into a serve artifact.
+struct FittedScreen {
+  /// Feature selection computed on the proper-training part only — indices
+  /// into the ScenarioData columns.
+  std::vector<std::size_t> selected;
+  std::unique_ptr<conformal::ConformalizedQuantileRegressor> predictor;
+};
+
+/// The full fit-time path for one scenario: split per config.split, select
+/// features on the proper-training part (no calibration leakage), fit the
+/// CQR-wrapped quantile pair, calibrate. Throws std::invalid_argument on a
+/// design too small to split.
+FittedScreen fit_screen(const ScenarioData& data, models::ModelKind kind,
+                        const PipelineConfig& config, std::size_t n_features,
+                        conformal::CqrMode mode = conformal::CqrMode::kSymmetric);
+
+/// Packages a fitted screen into a serveable artifact bundle (see
+/// artifact/bundle.hpp; save with artifact::save_artifact). Consumes the
+/// screen. Throws std::invalid_argument if the screen was never fitted.
+artifact::VminBundle make_screen_bundle(const Scenario& scenario,
+                                        const ScenarioData& data,
+                                        FittedScreen screen);
 
 }  // namespace vmincqr::core

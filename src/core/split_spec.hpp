@@ -1,0 +1,28 @@
+// The train/calibration split specification shared by the pipeline and every
+// split-based conformal method (paper Sec. IV-B: one 75/25 split, one seed,
+// "the same random seed for all Vmin interval predictors").
+//
+// This is the single source of truth: core::PipelineConfig embeds one and
+// threads it verbatim into conformal::{Cqr,Split,Normalized,...}Config, so
+// fit-time orchestration and calibration can never silently disagree about
+// the split. Sits in core_base so both core_app and conformal may depend
+// on it.
+#pragma once
+
+#include <cstdint>
+
+namespace vmincqr::core {
+
+struct CalibrationSplit {
+  double train_fraction = 0.75;  ///< proper-training share (paper's 75/25)
+  std::uint64_t seed = 42;       ///< split randomization seed
+
+  /// True iff the fraction leaves room for both a non-empty proper-training
+  /// part and a non-empty calibration part. Kept noexcept so config
+  /// constructors can turn a violation into their own typed error.
+  [[nodiscard]] bool valid() const noexcept {
+    return train_fraction > 0.0 && train_fraction < 1.0;
+  }
+};
+
+}  // namespace vmincqr::core

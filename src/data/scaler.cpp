@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "core/contracts.hpp"
 #include "stats/descriptive.hpp"
@@ -66,6 +67,29 @@ Matrix StandardScaler::inverse_transform(const Matrix& x) const {
   return out;
 }
 
+ScalerParams StandardScaler::export_params() const {
+  if (!fitted_) {
+    throw std::logic_error("StandardScaler::export_params: not fitted");
+  }
+  return {means_, scales_};
+}
+
+void StandardScaler::import_params(ScalerParams params) {
+  if (params.means.empty() || params.means.size() != params.scales.size()) {
+    throw std::invalid_argument(
+        "StandardScaler::import_params: means/scales size mismatch");
+  }
+  for (double s : params.scales) {
+    if (!(s > 0.0) || !std::isfinite(s)) {
+      throw std::invalid_argument(
+          "StandardScaler::import_params: non-positive scale");
+    }
+  }
+  means_ = std::move(params.means);
+  scales_ = std::move(params.scales);
+  fitted_ = true;
+}
+
 void LabelScaler::fit(const Vector& y) {
   if (y.empty()) throw std::invalid_argument("LabelScaler::fit: empty");
   mean_ = stats::mean(y);
@@ -95,6 +119,23 @@ double LabelScaler::inverse_transform(double y) const {
     throw std::logic_error("LabelScaler::inverse_transform: not fitted");
   }
   return y * scale_ + mean_;
+}
+
+LabelScalerParams LabelScaler::export_params() const {
+  if (!fitted_) {
+    throw std::logic_error("LabelScaler::export_params: not fitted");
+  }
+  return {mean_, scale_};
+}
+
+void LabelScaler::import_params(LabelScalerParams params) {
+  if (!std::isfinite(params.mean) || !(params.scale > 0.0) ||
+      !std::isfinite(params.scale)) {
+    throw std::invalid_argument("LabelScaler::import_params: bad moments");
+  }
+  mean_ = params.mean;
+  scale_ = params.scale;
+  fitted_ = true;
 }
 
 }  // namespace vmincqr::data

@@ -9,6 +9,20 @@ namespace vmincqr::data {
 using linalg::Matrix;
 using linalg::Vector;
 
+/// The fitted state of a StandardScaler as a plain value — the unit the
+/// artifact codec serializes. Restoring these into a fresh scaler reproduces
+/// transform() bit-exactly.
+struct ScalerParams {
+  Vector means;
+  Vector scales;
+};
+
+/// The fitted state of a LabelScaler.
+struct LabelScalerParams {
+  double mean = 0.0;
+  double scale = 1.0;
+};
+
 /// Standardizes each column to zero mean / unit variance. Constant columns
 /// are centred but left unscaled (scale 1), so they map to exactly zero.
 class StandardScaler {
@@ -26,6 +40,13 @@ class StandardScaler {
 
   /// Inverse transform (for diagnostics).
   [[nodiscard]] Matrix inverse_transform(const Matrix& x) const;
+
+  /// Copies out the fitted moments. Throws std::logic_error if not fitted.
+  [[nodiscard]] ScalerParams export_params() const;
+
+  /// Adopts previously exported moments and marks the scaler fitted.
+  /// Throws std::invalid_argument on mismatched sizes or a zero scale.
+  void import_params(ScalerParams params);
 
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }
   [[nodiscard]] const Vector& means() const noexcept { return means_; }
@@ -48,6 +69,13 @@ class LabelScaler {
   /// Scale factor alone (for mapping residual widths back to volts).
   [[nodiscard]] double scale() const noexcept { return scale_; }
   [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Copies out the fitted moments. Throws std::logic_error if not fitted.
+  [[nodiscard]] LabelScalerParams export_params() const;
+
+  /// Adopts previously exported moments and marks the scaler fitted.
+  /// Throws std::invalid_argument on a non-finite mean or non-positive scale.
+  void import_params(LabelScalerParams params);
 
  private:
   double mean_ = 0.0;

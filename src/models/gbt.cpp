@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "stats/descriptive.hpp"
 #include "stats/quantile.hpp"
@@ -95,6 +96,44 @@ Vector GradientBoostedTrees::feature_importance() const {
 
 std::unique_ptr<Regressor> GradientBoostedTrees::clone_config() const {
   return std::make_unique<GradientBoostedTrees>(config_);
+}
+
+GbtParams GradientBoostedTrees::export_params() const {
+  if (!fitted_) {
+    throw std::logic_error("GradientBoostedTrees::export_params: not fitted");
+  }
+  GbtParams params;
+  params.base_score = base_score_;
+  params.learning_rate = config_.learning_rate;
+  params.n_features = n_features_;
+  params.trees.reserve(trees_.size());
+  for (const auto& tree : trees_) params.trees.push_back(tree.nodes());
+  return params;
+}
+
+void GradientBoostedTrees::import_params(const GbtParams& params) {
+  if (!(params.learning_rate > 0.0) || params.n_features == 0) {
+    throw std::invalid_argument(
+        "GradientBoostedTrees::import_params: bad hyperparameters");
+  }
+  std::vector<RegressionTree> trees;
+  trees.reserve(params.trees.size());
+  for (const auto& nodes : params.trees) {
+    for (const auto& node : nodes) {
+      if (!node.is_leaf && node.feature >= params.n_features) {
+        throw std::invalid_argument(
+            "GradientBoostedTrees::import_params: feature index out of range");
+      }
+    }
+    RegressionTree tree;
+    tree.import_nodes(nodes);
+    trees.push_back(std::move(tree));
+  }
+  trees_ = std::move(trees);
+  base_score_ = params.base_score;
+  config_.learning_rate = params.learning_rate;
+  n_features_ = params.n_features;
+  fitted_ = true;
 }
 
 }  // namespace vmincqr::models

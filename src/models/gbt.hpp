@@ -24,6 +24,15 @@ struct GbtConfig {
   double base_score_quantile = 0.5;  ///< init for pinball mode
 };
 
+/// Fitted state of a GradientBoostedTrees ensemble: the base score, the
+/// learning rate the forward pass applies, and one node array per round.
+struct GbtParams {
+  double base_score = 0.0;
+  double learning_rate = 0.3;
+  std::size_t n_features = 0;
+  std::vector<std::vector<TreeNode>> trees;
+};
+
 class GradientBoostedTrees final : public Regressor {
  public:
   explicit GradientBoostedTrees(GbtConfig config = {});
@@ -39,6 +48,13 @@ class GradientBoostedTrees final : public Regressor {
   /// Gain-based feature importance (normalized to sum 1; all-zero when no
   /// split was ever made). Throws std::logic_error if not fitted.
   [[nodiscard]] Vector feature_importance() const;
+
+  /// Copies out the fitted state. Throws std::logic_error if not fitted.
+  [[nodiscard]] GbtParams export_params() const;
+
+  /// Adopts previously exported state and marks the model fitted.
+  /// Throws std::invalid_argument on malformed trees or hyperparameters.
+  void import_params(const GbtParams& params);
 
  private:
   GbtConfig config_;

@@ -1,0 +1,42 @@
+// Interval-regressor interface — the serve-time face of region prediction
+// (paper Sec. II-B). Split out of region.hpp so the artifact/serve layers can
+// depend on the abstract interval contract without pulling in any fit-time
+// model internals (GP kernels, optimizers, ...).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/units.hpp"
+#include "linalg/matrix.hpp"
+
+namespace vmincqr::models {
+
+using core::MiscoverageAlpha;
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Elementwise prediction interval [lower_i, upper_i].
+struct IntervalPrediction {
+  Vector lower;
+  Vector upper;
+};
+
+class IntervalRegressor {
+ public:
+  virtual ~IntervalRegressor() = default;
+
+  /// Fits on the full training set (baselines use no calibration split).
+  virtual void fit(const Matrix& x, const Vector& y) = 0;
+
+  /// One interval per row of x.
+  virtual IntervalPrediction predict_interval(const Matrix& x) const = 0;
+
+  virtual std::unique_ptr<IntervalRegressor> clone_config() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Target miscoverage rate alpha (interval aims at 1 - alpha coverage).
+  virtual MiscoverageAlpha alpha() const = 0;
+};
+
+}  // namespace vmincqr::models

@@ -1,6 +1,7 @@
 #include "models/linear.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "linalg/decomp.hpp"
 #include "linalg/ops.hpp"
@@ -75,6 +76,25 @@ Vector LinearRegressor::predict(const Matrix& x) const {
 
 std::unique_ptr<Regressor> LinearRegressor::clone_config() const {
   return std::make_unique<LinearRegressor>(config_);
+}
+
+LinearParams LinearRegressor::export_params() const {
+  if (!fitted_) {
+    throw std::logic_error("LinearRegressor::export_params: not fitted");
+  }
+  return {scaler_.export_params(), label_scaler_.export_params(), coef_};
+}
+
+void LinearRegressor::import_params(LinearParams params) {
+  if (params.coef.size() != params.scaler.means.size() + 1) {
+    throw std::invalid_argument(
+        "LinearRegressor::import_params: coef/feature count mismatch");
+  }
+  scaler_.import_params(std::move(params.scaler));
+  label_scaler_.import_params(params.label);
+  coef_ = std::move(params.coef);
+  n_features_ = scaler_.means().size();
+  fitted_ = true;
 }
 
 double LinearRegressor::Affine::evaluate(const Vector& x) const {

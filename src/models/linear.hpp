@@ -23,6 +23,15 @@ struct LinearConfig {
   double pinball_lr = 0.05;
 };
 
+/// Fitted state of a LinearRegressor: both scalers plus the standardized-
+/// space coefficient vector. Exporting and re-importing reproduces predict()
+/// bit-exactly (the artifact layer's round-trip contract).
+struct LinearParams {
+  data::ScalerParams scaler;
+  data::LabelScalerParams label;
+  Vector coef;  ///< intercept + weights (standardized space)
+};
+
 class LinearRegressor final : public Regressor {
  public:
   explicit LinearRegressor(LinearConfig config = {});
@@ -48,6 +57,13 @@ class LinearRegressor final : public Regressor {
   };
   /// Throws std::logic_error if not fitted.
   [[nodiscard]] Affine raw_affine() const;
+
+  /// Copies out the fitted state. Throws std::logic_error if not fitted.
+  [[nodiscard]] LinearParams export_params() const;
+
+  /// Adopts previously exported state and marks the model fitted.
+  /// Throws std::invalid_argument on inconsistent shapes.
+  void import_params(LinearParams params);
 
  private:
   void fit_squared(const Matrix& xs, const Vector& ys);

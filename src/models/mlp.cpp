@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace vmincqr::models {
 
@@ -126,7 +127,9 @@ void MlpRegressor::fit(const Matrix& x, const Vector& y) {
 }
 
 Vector MlpRegressor::forward(const Matrix& xs) const {
-  const std::size_t h = config_.hidden_units;
+  // Width comes from the fitted parameters, not the config, so an imported
+  // parameter set with a different hidden width evaluates correctly.
+  const std::size_t h = b1_.size();
   Vector out(xs.rows(), b2_);
   for (std::size_t i = 0; i < xs.rows(); ++i) {
     const double* row = xs.row_ptr(i);
@@ -149,6 +152,31 @@ Vector MlpRegressor::predict(const Matrix& x) const {
 
 std::unique_ptr<Regressor> MlpRegressor::clone_config() const {
   return std::make_unique<MlpRegressor>(config_);
+}
+
+MlpParams MlpRegressor::export_params() const {
+  if (!fitted_) {
+    throw std::logic_error("MlpRegressor::export_params: not fitted");
+  }
+  return {scaler_.export_params(), label_scaler_.export_params(),
+          w1_, b1_, w2_, b2_};
+}
+
+void MlpRegressor::import_params(MlpParams params) {
+  const std::size_t h = params.b1.size();
+  if (h == 0 || params.w1.rows() != params.scaler.means.size() ||
+      params.w1.cols() != h || params.w2.size() != h) {
+    throw std::invalid_argument(
+        "MlpRegressor::import_params: layer shape mismatch");
+  }
+  scaler_.import_params(std::move(params.scaler));
+  label_scaler_.import_params(params.label);
+  w1_ = std::move(params.w1);
+  b1_ = std::move(params.b1);
+  w2_ = std::move(params.w2);
+  b2_ = params.b2;
+  n_features_ = w1_.rows();
+  fitted_ = true;
 }
 
 }  // namespace vmincqr::models

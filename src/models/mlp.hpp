@@ -24,6 +24,17 @@ struct MlpConfig {
   std::uint64_t seed = 7;
 };
 
+/// Fitted state of an MlpRegressor: both scalers plus the layer weights.
+/// The hidden width is implied by b1.size().
+struct MlpParams {
+  data::ScalerParams scaler;
+  data::LabelScalerParams label;
+  Matrix w1;  ///< input-to-hidden weights (d x h)
+  Vector b1;  ///< hidden biases (h)
+  Vector w2;  ///< hidden-to-output weights (h)
+  double b2 = 0.0;
+};
+
 class MlpRegressor final : public Regressor {
  public:
   explicit MlpRegressor(MlpConfig config = {});
@@ -33,6 +44,13 @@ class MlpRegressor final : public Regressor {
   [[nodiscard]] std::unique_ptr<Regressor> clone_config() const override;
   [[nodiscard]] std::string name() const override { return "Neural Network"; }
   [[nodiscard]] bool fitted() const override { return fitted_; }
+
+  /// Copies out the fitted state. Throws std::logic_error if not fitted.
+  [[nodiscard]] MlpParams export_params() const;
+
+  /// Adopts previously exported state and marks the model fitted.
+  /// Throws std::invalid_argument on inconsistent layer shapes.
+  void import_params(MlpParams params);
 
  private:
   [[nodiscard]] Vector forward(const Matrix& xs) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "stats/descriptive.hpp"
 #include "stats/quantile.hpp"
@@ -256,6 +257,44 @@ Vector OrderedBoostedTrees::feature_importance() const {
 
 std::unique_ptr<Regressor> OrderedBoostedTrees::clone_config() const {
   return std::make_unique<OrderedBoostedTrees>(config_);
+}
+
+OrderedBoostParams OrderedBoostedTrees::export_params() const {
+  if (!fitted_) {
+    throw std::logic_error("OrderedBoostedTrees::export_params: not fitted");
+  }
+  return {base_score_, config_.learning_rate, n_features_, trees_,
+          feature_gains_};
+}
+
+void OrderedBoostedTrees::import_params(OrderedBoostParams params) {
+  if (!(params.learning_rate > 0.0) || params.n_features == 0) {
+    throw std::invalid_argument(
+        "OrderedBoostedTrees::import_params: bad hyperparameters");
+  }
+  for (const auto& tree : params.trees) {
+    const std::size_t depth = tree.features.size();
+    if (tree.thresholds.size() != depth ||
+        tree.leaf_values.size() != (std::size_t{1} << depth)) {
+      throw std::invalid_argument(
+          "OrderedBoostedTrees::import_params: malformed oblivious tree");
+    }
+    for (std::size_t f : tree.features) {
+      if (f >= params.n_features) {
+        throw std::invalid_argument(
+            "OrderedBoostedTrees::import_params: feature index out of range");
+      }
+    }
+  }
+  if (params.feature_gains.size() != params.n_features) {
+    params.feature_gains.assign(params.n_features, 0.0);
+  }
+  trees_ = std::move(params.trees);
+  feature_gains_ = std::move(params.feature_gains);
+  base_score_ = params.base_score;
+  config_.learning_rate = params.learning_rate;
+  n_features_ = params.n_features;
+  fitted_ = true;
 }
 
 }  // namespace vmincqr::models

@@ -65,6 +65,16 @@ struct ObliviousTree {
   }
 };
 
+/// Fitted state of an OrderedBoostedTrees ensemble. ObliviousTree is already
+/// a plain value type, so the trees serialize as-is.
+struct OrderedBoostParams {
+  double base_score = 0.0;
+  double learning_rate = 0.1;
+  std::size_t n_features = 0;
+  std::vector<ObliviousTree> trees;
+  Vector feature_gains;  ///< accumulated split gains (importance diagnostics)
+};
+
 class OrderedBoostedTrees final : public Regressor {
  public:
   explicit OrderedBoostedTrees(OrderedBoostConfig config = {});
@@ -80,6 +90,13 @@ class OrderedBoostedTrees final : public Regressor {
   /// Gain-based feature importance (normalized to sum 1; all-zero when no
   /// split improved the objective). Throws std::logic_error if not fitted.
   [[nodiscard]] Vector feature_importance() const;
+
+  /// Copies out the fitted state. Throws std::logic_error if not fitted.
+  [[nodiscard]] OrderedBoostParams export_params() const;
+
+  /// Adopts previously exported state and marks the model fitted.
+  /// Throws std::invalid_argument on malformed trees or hyperparameters.
+  void import_params(OrderedBoostParams params);
 
  private:
   /// Quantile-based candidate thresholds per feature.

@@ -9,37 +9,14 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "core/units.hpp"
 #include "models/gp.hpp"
+#include "models/interval.hpp"
 #include "models/regressor.hpp"
 
 namespace vmincqr::models {
-
-using core::MiscoverageAlpha;
-
-/// Elementwise prediction interval [lower_i, upper_i].
-struct IntervalPrediction {
-  Vector lower;
-  Vector upper;
-};
-
-class IntervalRegressor {
- public:
-  virtual ~IntervalRegressor() = default;
-
-  /// Fits on the full training set (baselines use no calibration split).
-  virtual void fit(const Matrix& x, const Vector& y) = 0;
-
-  /// One interval per row of x.
-  virtual IntervalPrediction predict_interval(const Matrix& x) const = 0;
-
-  virtual std::unique_ptr<IntervalRegressor> clone_config() const = 0;
-  virtual std::string name() const = 0;
-
-  /// Target miscoverage rate alpha (interval aims at 1 - alpha coverage).
-  virtual MiscoverageAlpha alpha() const = 0;
-};
 
 /// Eq. (4): [mu + K_lo * sigma, mu + K_hi * sigma] with K = Phi^{-1} bounds.
 class GpIntervalRegressor final : public IntervalRegressor {
@@ -53,6 +30,13 @@ class GpIntervalRegressor final : public IntervalRegressor {
   [[nodiscard]] MiscoverageAlpha alpha() const override { return alpha_; }
 
   [[nodiscard]] const GaussianProcessRegressor& gp() const { return gp_; }
+
+  /// Copies out the fitted GP state. Throws std::logic_error if not fitted.
+  [[nodiscard]] GpParams export_params() const { return gp_.export_params(); }
+
+  /// Adopts previously exported GP state (see
+  /// GaussianProcessRegressor::import_params).
+  void import_params(GpParams params) { gp_.import_params(std::move(params)); }
 
  private:
   MiscoverageAlpha alpha_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace vmincqr::models {
 
@@ -28,6 +29,40 @@ void RegressionTree::fit(const Matrix& x, const Vector& grad,
   build(x, grad, hess, config, all_rows, 0);
 }
 
+void RegressionTree::import_nodes(std::vector<TreeNode> nodes) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("RegressionTree::import_nodes: empty tree");
+  }
+  const auto n = static_cast<std::int32_t>(nodes.size());
+  std::size_t n_leaves = 0;
+  for (const auto& node : nodes) {
+    if (node.is_leaf) {
+      ++n_leaves;
+      continue;
+    }
+    if (node.left < 0 || node.left >= n || node.right < 0 || node.right >= n) {
+      throw std::invalid_argument(
+          "RegressionTree::import_nodes: dangling child index");
+    }
+  }
+  std::vector<std::int32_t> leaf_index(n_leaves, -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& node = nodes[i];
+    if (!node.is_leaf) continue;
+    if (node.leaf_id < 0 || static_cast<std::size_t>(node.leaf_id) >= n_leaves ||
+        leaf_index[static_cast<std::size_t>(node.leaf_id)] != -1) {
+      throw std::invalid_argument(
+          "RegressionTree::import_nodes: leaf ids not dense");
+    }
+    leaf_index[static_cast<std::size_t>(node.leaf_id)] =
+        static_cast<std::int32_t>(i);
+  }
+  nodes_ = std::move(nodes);
+  leaf_node_index_ = std::move(leaf_index);
+  n_leaves_ = n_leaves;
+  train_leaf_ids_.clear();
+}
+
 std::int32_t RegressionTree::build(const Matrix& x, const Vector& grad,
                                    const Vector& hess, const TreeConfig& config,
                                    std::vector<std::size_t>& rows, int depth) {
@@ -38,7 +73,7 @@ std::int32_t RegressionTree::build(const Matrix& x, const Vector& grad,
   }
 
   const auto make_leaf = [&]() {
-    Node leaf;
+    TreeNode leaf;
     leaf.is_leaf = true;
     leaf.value = -g_total / (h_total + config.lambda);
     leaf.leaf_id = static_cast<std::int32_t>(n_leaves_++);

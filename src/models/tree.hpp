@@ -26,6 +26,20 @@ struct TreeConfig {
   std::size_t min_samples_leaf = 1;
 };
 
+/// One node of a fitted tree — the serializable unit a RegressionTree
+/// exports and rebuilds from. Index 0 is the root; children index into the
+/// same node array.
+struct TreeNode {
+  bool is_leaf = true;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  double value = 0.0;         ///< leaf weight
+  std::int32_t leaf_id = -1;  ///< dense leaf numbering
+  double gain = 0.0;          ///< split gain (internal nodes)
+};
+
 class RegressionTree {
  public:
   /// Fits the tree structure to (x, grad, hess). All vectors length x.rows().
@@ -63,23 +77,23 @@ class RegressionTree {
   /// too-small vector.
   void accumulate_feature_gains(std::vector<double>& gains) const;
 
- private:
-  struct Node {
-    bool is_leaf = true;
-    std::size_t feature = 0;
-    double threshold = 0.0;
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    double value = 0.0;        // leaf weight
-    std::int32_t leaf_id = -1; // dense leaf numbering
-    double gain = 0.0;         // split gain (internal nodes)
-  };
+  /// The fitted node array (empty when unfitted).
+  [[nodiscard]] const std::vector<TreeNode>& nodes() const noexcept {
+    return nodes_;
+  }
 
+  /// Rebuilds the tree from an exported node array; leaf bookkeeping is
+  /// re-derived from the stored leaf ids (per-training-row ids are not
+  /// restored — they are a fit-time-only diagnostic). Throws
+  /// std::invalid_argument on dangling children or non-dense leaf ids.
+  void import_nodes(std::vector<TreeNode> nodes);
+
+ private:
   std::int32_t build(const Matrix& x, const Vector& grad, const Vector& hess,
                      const TreeConfig& config, std::vector<std::size_t>& rows,
                      int depth);
 
-  std::vector<Node> nodes_;
+  std::vector<TreeNode> nodes_;
   std::vector<std::int32_t> leaf_node_index_;  // leaf_id -> node index
   std::vector<std::int32_t> train_leaf_ids_;
   std::size_t n_leaves_ = 0;

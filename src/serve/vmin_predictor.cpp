@@ -1,0 +1,77 @@
+#include "serve/vmin_predictor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/contracts.hpp"
+#include "data/scaler.hpp"
+#include "models/interval.hpp"
+
+namespace vmincqr::serve {
+
+VminPredictor::VminPredictor(artifact::VminBundle bundle)
+    : bundle_(std::move(bundle)) {
+  if (!bundle_.predictor) {
+    throw std::invalid_argument("VminPredictor: bundle has no predictor");
+  }
+  for (const std::size_t selected : bundle_.selected_features) {
+    if (selected >= bundle_.dataset_columns.size()) {
+      throw std::invalid_argument(
+          "VminPredictor: selected feature index out of range");
+    }
+  }
+  if (bundle_.has_input_scaler &&
+      bundle_.input_scaler.means.size() != bundle_.dataset_columns.size()) {
+    throw std::invalid_argument(
+        "VminPredictor: input scaler width does not match dataset columns");
+  }
+}
+
+VminPredictor VminPredictor::load_file(const std::string& path) {
+  return VminPredictor(artifact::load_artifact(path));
+}
+
+VminPredictor VminPredictor::from_bytes(
+    const std::vector<std::uint8_t>& bytes) {
+  return VminPredictor(artifact::decode_bundle(bytes));
+}
+
+std::vector<IntervalPrediction> VminPredictor::predict_batch(
+    const Matrix& x) const {
+  VMINCQR_REQUIRE(x.rows() > 0, "VminPredictor::predict_batch: empty batch");
+  if (x.cols() != bundle_.dataset_columns.size()) {
+    throw std::invalid_argument(
+        "VminPredictor::predict_batch: batch has " + std::to_string(x.cols()) +
+        " columns, artifact expects " +
+        std::to_string(bundle_.dataset_columns.size()));
+  }
+
+  Matrix design = x;
+  if (bundle_.has_input_scaler) {
+    data::StandardScaler scaler;
+    scaler.import_params(bundle_.input_scaler);
+    design = scaler.transform(design);
+  }
+  design = design.take_cols(bundle_.selected_features);
+
+  const models::IntervalPrediction band =
+      bundle_.predictor->predict_interval(design);
+  std::vector<IntervalPrediction> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = {band.lower[i], band.upper[i]};
+  }
+  return out;
+}
+
+PredictorInfo VminPredictor::info() const {
+  PredictorInfo info;
+  info.label = bundle_.label;
+  info.format_version = bundle_.format_version;
+  info.miscoverage = bundle_.predictor->alpha().value();
+  info.scenario = bundle_.scenario;
+  info.n_dataset_columns = bundle_.dataset_columns.size();
+  info.n_selected_features = bundle_.selected_features.size();
+  return info;
+}
+
+}  // namespace vmincqr::serve

@@ -54,7 +54,7 @@ TEST(Mondrian, GroupConditionalCoverage) {
     const auto train = make_grouped(600, 10 + static_cast<std::uint64_t>(t));
     const auto test = make_grouped(600, 200 + static_cast<std::uint64_t>(t));
     MondrianConfig config;
-    config.seed = static_cast<std::uint64_t>(t);
+    config.split.seed = static_cast<std::uint64_t>(t);
     MondrianCqr mondrian(core::MiscoverageAlpha{0.1},
                          models::make_quantile_pair(ModelKind::kLinear, core::MiscoverageAlpha{0.1}),
                          group_of, config);
@@ -123,7 +123,7 @@ TEST(NormalizedCp, CoversOnAverage) {
     const auto train = make_grouped(500, 50 + static_cast<std::uint64_t>(t));
     const auto test = make_grouped(500, 300 + static_cast<std::uint64_t>(t));
     NormalizedConfig config;
-    config.seed = static_cast<std::uint64_t>(t);
+    config.split.seed = static_cast<std::uint64_t>(t);
     NormalizedConformalRegressor ncp(
         core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear),
         models::make_point_regressor(ModelKind::kCatboost), config);

@@ -55,7 +55,7 @@ TEST_P(CoverageGuarantee, CqrMeetsTargetOnAverage) {
     const auto test = sample_problem(300, rng);
 
     CqrConfig config;
-    config.seed = 77 + static_cast<std::uint64_t>(trial);
+    config.split.seed = 77 + static_cast<std::uint64_t>(trial);
     ConformalizedQuantileRegressor cqr(
         core::MiscoverageAlpha{alpha}, models::make_quantile_pair(kind, core::MiscoverageAlpha{alpha}),
         config);
@@ -91,7 +91,7 @@ TEST_P(CpCoverage, SplitCpMeetsTargetOnAverage) {
     const auto train = sample_problem(220, rng);
     const auto test = sample_problem(300, rng);
     SplitConfig config;
-    config.seed = 99 + static_cast<std::uint64_t>(trial);
+    config.split.seed = 99 + static_cast<std::uint64_t>(trial);
     SplitConformalRegressor cp(
         core::MiscoverageAlpha{alpha}, models::make_point_regressor(ModelKind::kLinear), config);
     cp.fit(train.x, train.y);
@@ -147,7 +147,7 @@ TEST(CoverageContrast, RawQrUndercoversWhereCqrDoesNot) {
     qr_cov += stats::interval_coverage(test.y, qr_band.lower, qr_band.upper);
 
     CqrConfig config;
-    config.seed = 5 + static_cast<std::uint64_t>(trial);
+    config.split.seed = 5 + static_cast<std::uint64_t>(trial);
     ConformalizedQuantileRegressor cqr(
         core::MiscoverageAlpha{alpha}, models::make_quantile_pair(ModelKind::kCatboost, core::MiscoverageAlpha{alpha}),
         config);

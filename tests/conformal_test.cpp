@@ -67,7 +67,7 @@ TEST(SplitCp, ConstructionValidation) {
                std::invalid_argument);
   EXPECT_THROW(SplitConformalRegressor(core::MiscoverageAlpha{0.1}, nullptr), std::invalid_argument);
   SplitConfig bad;
-  bad.train_fraction = 1.0;
+  bad.split.train_fraction = 1.0;
   EXPECT_THROW(SplitConformalRegressor(
                    core::MiscoverageAlpha{0.1}, models::make_point_regressor(ModelKind::kLinear), bad),
                std::invalid_argument);

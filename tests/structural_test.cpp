@@ -134,7 +134,7 @@ TEST_F(StructuralFixture, CqrPipelineWorksOnStructuralVmin) {
 
   const auto cols = data::cfs_select(x_train, y_train, 6);
   conformal::CqrConfig config;
-  config.train_fraction = 0.7;
+  config.split.train_fraction = 0.7;
   conformal::ConformalizedQuantileRegressor cqr(
       core::MiscoverageAlpha{0.2}, models::make_quantile_pair(models::ModelKind::kLinear, core::MiscoverageAlpha{0.2}),
       config);
