@@ -11,11 +11,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <future>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace vmincqr::core {
 
@@ -79,21 +79,22 @@ std::vector<RegionMethodScore> evaluate_region_methods(
 // ---------------------------------------------------------------------------
 // Utilities.
 
-/// Runs f(0..n-1) across std::async workers and collects the results in
-/// order. Used by the bench harnesses to parallelize over scenarios. The
-/// mapped function must be thread-safe (all experiment entry points above
-/// are: they share only immutable data).
+/// Runs f(0..n-1) on the process thread pool and collects the results in
+/// order — how the bench harnesses parallelize whole fit_screen pipelines
+/// across scenarios. The mapped function must be thread-safe (all
+/// experiment entry points above are: they share only immutable data) and
+/// T default-constructible. Each index is its own chunk, so results are
+/// the same objects a sequential loop would produce.
 template <typename T>
 std::vector<T> parallel_map(std::size_t n,
                             const std::function<T(std::size_t)>& f) {
-  std::vector<std::future<T>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(std::async(std::launch::async, f, i));
-  }
-  std::vector<T> out;
-  out.reserve(n);
-  for (auto& fut : futures) out.push_back(fut.get());
+  std::vector<T> out(n);
+  parallel::parallel_for(n, /*grain=*/1,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             out[i] = f(i);
+                           }
+                         });
   return out;
 }
 

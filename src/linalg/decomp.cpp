@@ -6,8 +6,18 @@
 
 #include "core/contracts.hpp"
 #include "linalg/ops.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace vmincqr::linalg {
+
+namespace {
+
+/// Column-update work (remaining rows x solved columns) below which the
+/// Cholesky row loop stays inline. Depends only on (n, j), never on the
+/// thread count, so the factorization is identical either way.
+constexpr std::size_t kMinParallelCholWork = 16384;
+
+}  // namespace
 
 std::optional<Matrix> cholesky(const Matrix& a) {
   VMINCQR_CHECK_SHAPE(a.rows() == a.cols(),
@@ -22,13 +32,21 @@ std::optional<Matrix> cholesky(const Matrix& a) {
     if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
     const double ljj = std::sqrt(diag);
     l(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double s = a(i, j);
-      const double* li = l.row_ptr(i);
-      const double* lj = l.row_ptr(j);
-      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
-      l(i, j) = s / ljj;
-    }
+    // Rows below the diagonal of column j are independent of each other:
+    // each l(i, j) reads only finished columns (< j) plus a(i, j). Chunks
+    // write disjoint entries, so the factorization is order-free.
+    parallel::parallel_for(
+        n - j - 1, /*grain=*/0,
+        [&](std::size_t begin, std::size_t end) {
+          const double* lj = l.row_ptr(j);
+          for (std::size_t i = j + 1 + begin; i < j + 1 + end; ++i) {
+            double s = a(i, j);
+            const double* li = l.row_ptr(i);
+            for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+            l(i, j) = s / ljj;
+          }
+        },
+        /*use_pool=*/(n - j - 1) * j >= kMinParallelCholWork);
   }
   return l;
 }
@@ -37,11 +55,15 @@ Matrix cholesky_jittered(const Matrix& a, double initial_jitter,
                          int max_tries) {
   VMINCQR_CHECK_SHAPE(a.rows() == a.cols(),
                       "cholesky_jittered: matrix must be square");
+  // Scratch hoisted out of the retry loop: cholesky() never mutates its
+  // input, so only the diagonal needs refreshing between attempts.
+  Matrix trial = a;
   double jitter = 0.0;
   for (int attempt = 0; attempt < max_tries; ++attempt) {
-    Matrix trial = a;
     if (jitter > 0.0) {
-      for (std::size_t i = 0; i < trial.rows(); ++i) trial(i, i) += jitter;
+      for (std::size_t i = 0; i < trial.rows(); ++i) {
+        trial(i, i) = a(i, i) + jitter;
+      }
     }
     if (auto l = cholesky(trial)) return *std::move(l);
     jitter = (attempt == 0) ? initial_jitter : jitter * 10.0;

@@ -99,6 +99,16 @@ Matrix Matrix::take_rows(const std::vector<std::size_t>& indices) const {
   return out;
 }
 
+Matrix Matrix::row_block(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > rows_) {
+    throw std::out_of_range("Matrix::row_block: bad row range");
+  }
+  Matrix out(end - begin, cols_);
+  std::copy(row_ptr(begin), row_ptr(begin) + (end - begin) * cols_,
+            out.data_.data());
+  return out;
+}
+
 Matrix Matrix::take_cols(const std::vector<std::size_t>& indices) const {
   Matrix out(rows_, indices.size());
   for (std::size_t c = 0; c < indices.size(); ++c) {

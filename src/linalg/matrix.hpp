@@ -82,6 +82,11 @@ class Matrix {
   /// Returns the submatrix given by the listed column indices (in order).
   [[nodiscard]] Matrix take_cols(const std::vector<std::size_t>& indices) const;
 
+  /// Returns the contiguous row block [begin, end), keeping all columns —
+  /// a single memcpy-shaped slice for batch sharding. Throws
+  /// std::out_of_range unless begin <= end <= rows().
+  [[nodiscard]] Matrix row_block(std::size_t begin, std::size_t end) const;
+
   /// Appends a column of ones on the left (intercept augmentation).
   [[nodiscard]] Matrix with_intercept() const;
 

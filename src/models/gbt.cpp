@@ -4,10 +4,19 @@
 #include <stdexcept>
 #include <utility>
 
+#include "parallel/parallel_for.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/quantile.hpp"
 
 namespace vmincqr::models {
+namespace {
+
+/// Row count below which per-row loops (gradients, prediction updates) stay
+/// inline — at the paper's scale (~117 rows) a dispatch costs more than the
+/// loop. Shape-dependent only, so results are unaffected.
+constexpr std::size_t kMinParallelRows = 256;
+
+}  // namespace
 
 GradientBoostedTrees::GradientBoostedTrees(GbtConfig config)
     : config_(config) {
@@ -36,11 +45,17 @@ void GradientBoostedTrees::fit(const Matrix& x, const Vector& y) {
   Vector grad(n), hess(n);
   trees_.reserve(static_cast<std::size_t>(config_.n_rounds));
 
+  const bool parallel_rows = n >= kMinParallelRows;
   for (int round = 0; round < config_.n_rounds; ++round) {
-    for (std::size_t i = 0; i < n; ++i) {
-      grad[i] = config_.loss.gradient(y[i], pred[i]);
-      hess[i] = config_.loss.hessian(y[i], pred[i]);
-    }
+    parallel::parallel_for(
+        n, /*grain=*/0,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            grad[i] = config_.loss.gradient(y[i], pred[i]);
+            hess[i] = config_.loss.hessian(y[i], pred[i]);
+          }
+        },
+        parallel_rows);
     RegressionTree tree;
     tree.fit(x, grad, hess, config_.tree);
 
@@ -61,9 +76,14 @@ void GradientBoostedTrees::fit(const Matrix& x, const Vector& y) {
       }
     }
 
-    for (std::size_t i = 0; i < n; ++i) {
-      pred[i] += config_.learning_rate * tree.predict_row(x.row_ptr(i));
-    }
+    parallel::parallel_for(
+        n, /*grain=*/0,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            pred[i] += config_.learning_rate * tree.predict_row(x.row_ptr(i));
+          }
+        },
+        parallel_rows);
     trees_.push_back(std::move(tree));
   }
   fitted_ = true;
@@ -72,11 +92,19 @@ void GradientBoostedTrees::fit(const Matrix& x, const Vector& y) {
 Vector GradientBoostedTrees::predict(const Matrix& x) const {
   check_predict_args(x, n_features_, fitted_);
   Vector out(x.rows(), base_score_);
-  for (const auto& tree : trees_) {
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      out[r] += config_.learning_rate * tree.predict_row(x.row_ptr(r));
-    }
-  }
+  // Row-outer so rows shard across threads; each row still accumulates its
+  // trees in round order, preserving the sequential summation order exactly.
+  parallel::parallel_for(
+      x.rows(), /*grain=*/0,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const double* row = x.row_ptr(r);
+          for (const auto& tree : trees_) {
+            out[r] += config_.learning_rate * tree.predict_row(row);
+          }
+        }
+      },
+      /*use_pool=*/x.rows() >= kMinParallelRows);
   return out;
 }
 

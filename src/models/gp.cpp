@@ -8,10 +8,22 @@
 
 #include "linalg/decomp.hpp"
 #include "linalg/ops.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace vmincqr::models {
 
 namespace {
+
+/// Kernel/posterior work (pairs of rows) below which assembly stays inline.
+constexpr std::size_t kMinParallelKernelWork = 4096;
+
+/// One grid cell's outcome in the hyperparameter search: the best
+/// (lml, ls, sn2) over a chunk of length scales.
+struct GridCandidate {
+  double lml = -std::numeric_limits<double>::infinity();
+  double length_scale = 0.0;
+  double noise_variance = 0.0;
+};
 
 std::vector<double> log_spaced(double lo, double hi, std::size_t n) {
   std::vector<double> out(n);
@@ -44,12 +56,19 @@ Matrix GaussianProcessRegressor::kernel(const Matrix& a, const Matrix& b,
                                         double length_scale) const {
   Matrix k(a.rows(), b.rows());
   const double inv_two_l2 = 1.0 / (2.0 * length_scale * length_scale);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      k(i, j) = config_.signal_variance *
-                std::exp(-linalg::row_sq_dist(a, i, b, j) * inv_two_l2);
-    }
-  }
+  // Each chunk fills whole rows of k — disjoint writes, and every entry is
+  // a pure function of its (i, j), so assembly order cannot matter.
+  parallel::parallel_for(
+      a.rows(), /*grain=*/0,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < b.rows(); ++j) {
+            k(i, j) = config_.signal_variance *
+                      std::exp(-linalg::row_sq_dist(a, i, b, j) * inv_two_l2);
+          }
+        }
+      },
+      /*use_pool=*/a.rows() * b.rows() >= kMinParallelKernelWork);
   return k;
 }
 
@@ -82,20 +101,37 @@ void GaussianProcessRegressor::fit(const Matrix& x, const Vector& y) {
   const Vector ys = label_scaler_.transform(y);
   const std::size_t n = x_train_.rows();
 
-  best_lml_ = -std::numeric_limits<double>::infinity();
-  for (double ls : config_.length_scale_grid) {
-    Matrix k_base = kernel(x_train_, x_train_, ls);
-    for (double sn2 : config_.noise_grid) {
-      Matrix k = k_base;
-      for (std::size_t i = 0; i < n; ++i) k(i, i) += sn2;
-      const double lml = compute_lml(k, ys, nullptr, nullptr);
-      if (lml > best_lml_) {
-        best_lml_ = lml;
-        length_scale_ = ls;
-        noise_variance_ = sn2;
-      }
-    }
-  }
+  // Hyperparameter search, parallel across length scales (the expensive
+  // axis: one kernel + |noise_grid| factorizations per cell). Each chunk
+  // scans its (ls, sn2) cells in grid order; chunk bests fold in ascending
+  // length-scale order, so the selected hyperparameters match a sequential
+  // grid scan at every thread count.
+  const GridCandidate best = parallel::parallel_deterministic_reduce(
+      config_.length_scale_grid.size(), /*grain=*/1, GridCandidate{},
+      [&](std::size_t g_begin, std::size_t g_end) {
+        GridCandidate local;
+        for (std::size_t g = g_begin; g < g_end; ++g) {
+          const double ls = config_.length_scale_grid[g];
+          const Matrix k_base = kernel(x_train_, x_train_, ls);
+          for (double sn2 : config_.noise_grid) {
+            Matrix k = k_base;
+            for (std::size_t i = 0; i < n; ++i) k(i, i) += sn2;
+            const double lml = compute_lml(k, ys, nullptr, nullptr);
+            if (lml > local.lml) {
+              local.lml = lml;
+              local.length_scale = ls;
+              local.noise_variance = sn2;
+            }
+          }
+        }
+        return local;
+      },
+      [](GridCandidate acc, GridCandidate part) {
+        return part.lml > acc.lml ? part : acc;
+      });
+  best_lml_ = best.lml;
+  length_scale_ = best.length_scale;
+  noise_variance_ = best.noise_variance;
   if (!std::isfinite(best_lml_)) {
     throw std::runtime_error(
         "GaussianProcessRegressor::fit: no hyperparameter setting produced a "
@@ -123,12 +159,18 @@ GpPosterior GaussianProcessRegressor::posterior(const Matrix& x) const {
   GpPosterior post;
   post.mean = linalg::matvec(k_star, alpha_);
   post.variance.resize(xs.rows());
-  for (std::size_t i = 0; i < xs.rows(); ++i) {
-    // v = L^{-1} k_star_i ; var = k(x,x) + sn2 - v^T v
-    const Vector v = linalg::forward_substitute(chol_, k_star.row(i));
-    double var = config_.signal_variance + noise_variance_ - linalg::dot(v, v);
-    post.variance[i] = std::max(var, 1e-12);
-  }
+  parallel::parallel_for(
+      xs.rows(), /*grain=*/0,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          // v = L^{-1} k_star_i ; var = k(x,x) + sn2 - v^T v
+          const Vector v = linalg::forward_substitute(chol_, k_star.row(i));
+          double var =
+              config_.signal_variance + noise_variance_ - linalg::dot(v, v);
+          post.variance[i] = std::max(var, 1e-12);
+        }
+      },
+      /*use_pool=*/xs.rows() * x_train_.rows() >= kMinParallelKernelWork);
 
   // Back to label units.
   const double s = label_scaler_.scale();

@@ -4,9 +4,25 @@
 #include <stdexcept>
 #include <utility>
 
+#include "parallel/parallel_for.hpp"
+
 namespace vmincqr::models {
 
 namespace {
+
+/// Samples per gradient chunk. Fixed (never thread-count derived): the
+/// chunk grid defines the floating-point summation order, which must be a
+/// pure function of the data so results are identical at any thread count.
+constexpr std::size_t kMlpGrain = 32;
+
+/// Per-chunk training scratch: gradient accumulator plus the activation
+/// buffers of the forward pass, so concurrent chunks never share state and
+/// the epoch loop never touches the allocator.
+struct MlpChunkScratch {
+  std::vector<double> grads;
+  std::vector<double> hidden;
+  std::vector<double> relu_mask;
+};
 
 /// Adam state for one flat parameter vector.
 struct AdamState {
@@ -67,39 +83,60 @@ void MlpRegressor::fit(const Matrix& x, const Vector& y) {
 
   std::vector<double> grads(params.size(), 0.0);
   AdamState adam(params.size());
-  std::vector<double> hidden(h, 0.0);
-  std::vector<double> relu_mask(h, 0.0);
+
+  // One scratch slot per chunk of the fixed sample grid, reused across all
+  // epochs. Chunks of one epoch run concurrently; their partial gradients
+  // fold in ascending chunk order below, so the epoch gradient is the same
+  // double at every thread count.
+  const std::size_t n_chunks = parallel::chunk_count(n, kMlpGrain);
+  std::vector<MlpChunkScratch> scratch(n_chunks);
+  for (auto& s : scratch) {
+    s.grads.assign(params.size(), 0.0);
+    s.hidden.assign(h, 0.0);
+    s.relu_mask.assign(h, 0.0);
+  }
 
   const double inv_n = 1.0 / static_cast<double>(n);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    std::fill(grads.begin(), grads.end(), 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double* row = xs.row_ptr(i);
-      // Forward.
-      for (std::size_t j = 0; j < h; ++j) {
-        double z = b1[j];
-        for (std::size_t k = 0; k < d; ++k) z += w1[k * h + j] * row[k];
-        relu_mask[j] = z > 0.0 ? 1.0 : 0.0;
-        hidden[j] = z > 0.0 ? z : 0.0;
-      }
-      double out = *b2;
-      for (std::size_t j = 0; j < h; ++j) out += w2[j] * hidden[j];
+    parallel::for_each_chunk(
+        n, kMlpGrain,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          MlpChunkScratch& s = scratch[chunk];
+          std::fill(s.grads.begin(), s.grads.end(), 0.0);
+          double* gw1 = s.grads.data();
+          double* gb1 = gw1 + d * h;
+          double* gw2 = gb1 + h;
+          double* gb2 = gw2 + h;
+          for (std::size_t i = begin; i < end; ++i) {
+            const double* row = xs.row_ptr(i);
+            // Forward.
+            for (std::size_t j = 0; j < h; ++j) {
+              double z = b1[j];
+              for (std::size_t k = 0; k < d; ++k) z += w1[k * h + j] * row[k];
+              s.relu_mask[j] = z > 0.0 ? 1.0 : 0.0;
+              s.hidden[j] = z > 0.0 ? z : 0.0;
+            }
+            double out = *b2;
+            for (std::size_t j = 0; j < h; ++j) out += w2[j] * s.hidden[j];
 
-      // Backward.
-      const double dl = config_.loss.gradient(ys[i], out) * inv_n;
-      double* gw1 = grads.data();
-      double* gb1 = gw1 + d * h;
-      double* gw2 = gb1 + h;
-      double* gb2 = gw2 + h;
-      *gb2 += dl;
-      for (std::size_t j = 0; j < h; ++j) {
-        gw2[j] += dl * hidden[j];
-        const double dh = dl * w2[j] * relu_mask[j];
-        // ReLU mask zeroes dh exactly; skipping dead units is lossless.
-        if (dh == 0.0) continue;  // vmincqr-lint: allow(float-equality)
-        gb1[j] += dh;
-        for (std::size_t k = 0; k < d; ++k) gw1[k * h + j] += dh * row[k];
-      }
+            // Backward.
+            const double dl = config_.loss.gradient(ys[i], out) * inv_n;
+            *gb2 += dl;
+            for (std::size_t j = 0; j < h; ++j) {
+              gw2[j] += dl * s.hidden[j];
+              const double dh = dl * w2[j] * s.relu_mask[j];
+              // ReLU mask zeroes dh exactly; skipping dead units is lossless.
+              if (dh == 0.0) continue;  // vmincqr-lint: allow(float-equality)
+              gb1[j] += dh;
+              for (std::size_t k = 0; k < d; ++k) gw1[k * h + j] += dh * row[k];
+            }
+          }
+        },
+        /*use_pool=*/n >= 2 * kMlpGrain);
+    // Deterministic fold: chunk partials in ascending chunk index.
+    std::fill(grads.begin(), grads.end(), 0.0);
+    for (const MlpChunkScratch& s : scratch) {
+      for (std::size_t i = 0; i < grads.size(); ++i) grads[i] += s.grads[i];
     }
     // L2 penalty on weights (not biases), matching torch-style weight decay.
     if (config_.l2_penalty > 0.0) {
@@ -131,16 +168,21 @@ Vector MlpRegressor::forward(const Matrix& xs) const {
   // parameter set with a different hidden width evaluates correctly.
   const std::size_t h = b1_.size();
   Vector out(xs.rows(), b2_);
-  for (std::size_t i = 0; i < xs.rows(); ++i) {
-    const double* row = xs.row_ptr(i);
-    double acc = b2_;
-    for (std::size_t j = 0; j < h; ++j) {
-      double z = b1_[j];
-      for (std::size_t k = 0; k < xs.cols(); ++k) z += w1_(k, j) * row[k];
-      if (z > 0.0) acc += w2_[j] * z;
-    }
-    out[i] = acc;
-  }
+  parallel::parallel_for(
+      xs.rows(), /*grain=*/0,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const double* row = xs.row_ptr(i);
+          double acc = b2_;
+          for (std::size_t j = 0; j < h; ++j) {
+            double z = b1_[j];
+            for (std::size_t k = 0; k < xs.cols(); ++k) z += w1_(k, j) * row[k];
+            if (z > 0.0) acc += w2_[j] * z;
+          }
+          out[i] = acc;
+        }
+      },
+      /*use_pool=*/xs.rows() * h >= 4096);
   return out;
 }
 

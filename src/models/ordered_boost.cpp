@@ -6,10 +6,27 @@
 #include <stdexcept>
 #include <utility>
 
+#include "parallel/parallel_for.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/quantile.hpp"
 
 namespace vmincqr::models {
+namespace {
+
+/// Best (score, feature, threshold) seen by one feature chunk of the
+/// oblivious level search. Defaults mirror the sequential scan's start
+/// state: -inf score, nothing found.
+struct LevelCandidate {
+  double score = -std::numeric_limits<double>::infinity();
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  bool found = false;
+};
+
+/// Level work (rows x features) below which the split search stays inline.
+constexpr std::size_t kMinParallelSplitWork = 4096;
+
+}  // namespace
 
 OrderedBoostedTrees::OrderedBoostedTrees(OrderedBoostConfig config)
     : config_(config) {
@@ -94,10 +111,6 @@ void OrderedBoostedTrees::fit(const Matrix& x, const Vector& y) {
     std::fill(leaf_of.begin(), leaf_of.end(), std::size_t{0});
     for (std::size_t level = 0; level < depth; ++level) {
       const std::size_t current_parts = std::size_t{1} << level;
-      double best_score = -std::numeric_limits<double>::infinity();
-      std::size_t best_feature = 0;
-      double best_threshold = 0.0;
-      bool found = false;
 
       // Pre-aggregate per-partition totals.
       std::vector<double> g_tot(current_parts, 0.0), h_tot(current_parts, 0.0);
@@ -111,41 +124,57 @@ void OrderedBoostedTrees::fit(const Matrix& x, const Vector& y) {
             g_tot[p] * g_tot[p] / (h_tot[p] + config_.l2_leaf_reg);
       }
 
-      std::vector<double> g_left(current_parts), h_left(current_parts);
-      for (std::size_t f = 0; f < x.cols(); ++f) {
-        for (double thr : borders[f]) {
-          std::fill(g_left.begin(), g_left.end(), 0.0);
-          std::fill(h_left.begin(), h_left.end(), 0.0);
-          for (std::size_t i = 0; i < n; ++i) {
-            if (x(i, f) <= thr) {
-              g_left[leaf_of[i]] += grad[i];
-              h_left[leaf_of[i]] += hess[i];
+      // Split search, parallel across features: each chunk scans its
+      // (feature, border) candidates in order against private per-partition
+      // accumulators; per-chunk bests fold in ascending feature order, so
+      // the winner matches a sequential scan at every thread count.
+      const bool use_pool = n * x.cols() >= kMinParallelSplitWork;
+      const LevelCandidate best = parallel::parallel_deterministic_reduce(
+          x.cols(), /*grain=*/1, LevelCandidate{},
+          [&](std::size_t f_begin, std::size_t f_end) {
+            LevelCandidate local;
+            std::vector<double> g_left(current_parts), h_left(current_parts);
+            for (std::size_t f = f_begin; f < f_end; ++f) {
+              for (double thr : borders[f]) {
+                std::fill(g_left.begin(), g_left.end(), 0.0);
+                std::fill(h_left.begin(), h_left.end(), 0.0);
+                for (std::size_t i = 0; i < n; ++i) {
+                  if (x(i, f) <= thr) {
+                    g_left[leaf_of[i]] += grad[i];
+                    h_left[leaf_of[i]] += hess[i];
+                  }
+                }
+                double score = 0.0;
+                for (std::size_t p = 0; p < current_parts; ++p) {
+                  const double gl = g_left[p], hl = h_left[p];
+                  const double gr = g_tot[p] - gl, hr = h_tot[p] - hl;
+                  score += gl * gl / (hl + config_.l2_leaf_reg) +
+                           gr * gr / (hr + config_.l2_leaf_reg);
+                }
+                if (score > local.score) {
+                  local.score = score;
+                  local.feature = f;
+                  local.threshold = thr;
+                  local.found = true;
+                }
+              }
             }
-          }
-          double score = 0.0;
-          for (std::size_t p = 0; p < current_parts; ++p) {
-            const double gl = g_left[p], hl = h_left[p];
-            const double gr = g_tot[p] - gl, hr = h_tot[p] - hl;
-            score += gl * gl / (hl + config_.l2_leaf_reg) +
-                     gr * gr / (hr + config_.l2_leaf_reg);
-          }
-          if (score > best_score) {
-            best_score = score;
-            best_feature = f;
-            best_threshold = thr;
-            found = true;
-          }
-        }
+            return local;
+          },
+          [](LevelCandidate acc, LevelCandidate part) {
+            return part.score > acc.score ? part : acc;
+          },
+          use_pool);
+
+      if (!best.found) break;  // no usable split candidates (constant features)
+      if (best.score > parent_score) {
+        feature_gains_[best.feature] += best.score - parent_score;
       }
-      if (!found) break;  // no usable split candidates (constant features)
-      if (best_score > parent_score) {
-        feature_gains_[best_feature] += best_score - parent_score;
-      }
-      tree.features.push_back(best_feature);
-      tree.thresholds.push_back(best_threshold);
+      tree.features.push_back(best.feature);
+      tree.thresholds.push_back(best.threshold);
       for (std::size_t i = 0; i < n; ++i) {
-        leaf_of[i] |= static_cast<std::size_t>(x(i, best_feature) >
-                                               best_threshold)
+        leaf_of[i] |= static_cast<std::size_t>(x(i, best.feature) >
+                                               best.threshold)
                       << level;
       }
     }

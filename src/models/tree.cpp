@@ -5,7 +5,26 @@
 #include <stdexcept>
 #include <utility>
 
+#include "parallel/parallel_for.hpp"
+
 namespace vmincqr::models {
+namespace {
+
+/// Node work (rows x features) below which the split search stays inline:
+/// a pool dispatch costs more than the scan itself at the bottom of the
+/// tree. Shape-dependent only — the chunk grid, and therefore the chosen
+/// split, is identical either way.
+constexpr std::size_t kMinParallelSplitWork = 4096;
+
+/// Best split seen by one feature chunk. gain==0 means "no admissible
+/// split", matching the sequential search's best_gain <= 0 leaf test.
+struct SplitCandidate {
+  double gain = 0.0;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+};
+
+}  // namespace
 
 void RegressionTree::fit(const Matrix& x, const Vector& grad,
                          const Vector& hess, const TreeConfig& config,
@@ -26,7 +45,10 @@ void RegressionTree::fit(const Matrix& x, const Vector& grad,
     all_rows.resize(x.rows());
     std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
   }
+  split_sort_scratch_.assign(x.cols(), {});
   build(x, grad, hess, config, all_rows, 0);
+  split_sort_scratch_.clear();
+  split_sort_scratch_.shrink_to_fit();
 }
 
 void RegressionTree::import_nodes(std::vector<TreeNode> nodes) {
@@ -89,63 +111,82 @@ std::int32_t RegressionTree::build(const Matrix& x, const Vector& grad,
     return make_leaf();
   }
 
-  // Exact greedy split search.
+  // Exact greedy split search, parallel across features: each chunk scans
+  // its features against a private sort buffer, then the per-chunk bests
+  // fold in ascending feature order — so the winner (first strict maximum)
+  // matches a sequential feature-order scan at every thread count.
   const double parent_score = g_total * g_total / (h_total + config.lambda);
-  double best_gain = 0.0;
-  std::size_t best_feature = 0;
-  double best_threshold = 0.0;
+  const bool use_pool = rows.size() * x.cols() >= kMinParallelSplitWork;
+  const SplitCandidate best = parallel::parallel_deterministic_reduce(
+      x.cols(), /*grain=*/1, SplitCandidate{},
+      [&](std::size_t f_begin, std::size_t f_end) {
+        SplitCandidate local;
+        for (std::size_t f = f_begin; f < f_end; ++f) {
+          std::vector<std::size_t>& sorted = split_sort_scratch_[f];
+          sorted.assign(rows.begin(), rows.end());
+          // Row index breaks value ties so the scan order is a pure
+          // function of the data, not of the previous feature's sort.
+          std::sort(sorted.begin(), sorted.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (x(a, f) != x(b, f)) return x(a, f) < x(b, f);
+                      return a < b;
+                    });
+          double g_left = 0.0, h_left = 0.0;
+          for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+            const auto r = sorted[i];
+            g_left += grad[r];
+            h_left += hess[r];
+            const double v = x(r, f);
+            const double v_next = x(sorted[i + 1], f);
+            if (v == v_next) continue;  // cannot split between equal values
+            const std::size_t n_left = i + 1;
+            const std::size_t n_right = sorted.size() - n_left;
+            if (n_left < config.min_samples_leaf ||
+                n_right < config.min_samples_leaf) {
+              continue;
+            }
+            const double g_right = g_total - g_left;
+            const double h_right = h_total - h_left;
+            if (h_left < config.min_child_weight ||
+                h_right < config.min_child_weight) {
+              continue;
+            }
+            const double gain =
+                0.5 *
+                    (g_left * g_left / (h_left + config.lambda) +
+                     g_right * g_right / (h_right + config.lambda) -
+                     parent_score) -
+                config.gamma;
+            if (gain > local.gain) {
+              local.gain = gain;
+              local.feature = f;
+              local.threshold = 0.5 * (v + v_next);
+            }
+          }
+        }
+        return local;
+      },
+      [](SplitCandidate acc, SplitCandidate part) {
+        return part.gain > acc.gain ? part : acc;
+      },
+      use_pool);
 
-  std::vector<std::size_t> sorted = rows;
-  for (std::size_t f = 0; f < x.cols(); ++f) {
-    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
-      return x(a, f) < x(b, f);
-    });
-    double g_left = 0.0, h_left = 0.0;
-    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
-      const auto r = sorted[i];
-      g_left += grad[r];
-      h_left += hess[r];
-      const double v = x(r, f);
-      const double v_next = x(sorted[i + 1], f);
-      if (v == v_next) continue;  // cannot split between equal values
-      const std::size_t n_left = i + 1;
-      const std::size_t n_right = sorted.size() - n_left;
-      if (n_left < config.min_samples_leaf || n_right < config.min_samples_leaf) {
-        continue;
-      }
-      const double g_right = g_total - g_left;
-      const double h_right = h_total - h_left;
-      if (h_left < config.min_child_weight || h_right < config.min_child_weight) {
-        continue;
-      }
-      const double gain =
-          0.5 * (g_left * g_left / (h_left + config.lambda) +
-                 g_right * g_right / (h_right + config.lambda) - parent_score) -
-          config.gamma;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = f;
-        best_threshold = 0.5 * (v + v_next);
-      }
-    }
-  }
-
-  if (best_gain <= 0.0) return make_leaf();
+  if (best.gain <= 0.0) return make_leaf();
 
   std::vector<std::size_t> left_rows, right_rows;
   left_rows.reserve(rows.size());
   right_rows.reserve(rows.size());
   for (auto r : rows) {
-    (x(r, best_feature) <= best_threshold ? left_rows : right_rows).push_back(r);
+    (x(r, best.feature) <= best.threshold ? left_rows : right_rows).push_back(r);
   }
   if (left_rows.empty() || right_rows.empty()) return make_leaf();
 
   const auto node_index = static_cast<std::int32_t>(nodes_.size());
   nodes_.emplace_back();  // placeholder; children may reallocate nodes_
   nodes_[node_index].is_leaf = false;
-  nodes_[node_index].feature = best_feature;
-  nodes_[node_index].threshold = best_threshold;
-  nodes_[node_index].gain = best_gain;
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  nodes_[node_index].gain = best.gain;
 
   const std::int32_t left = build(x, grad, hess, config, left_rows, depth + 1);
   const std::int32_t right = build(x, grad, hess, config, right_rows, depth + 1);
@@ -177,7 +218,14 @@ std::int32_t RegressionTree::leaf_id_for_row(const double* row) const {
 Vector RegressionTree::predict(const Matrix& x) const {
   if (!fitted()) throw std::logic_error("RegressionTree::predict: not fitted");
   Vector out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row_ptr(r));
+  parallel::parallel_for(
+      x.rows(), /*grain=*/0,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          out[r] = predict_row(x.row_ptr(r));
+        }
+      },
+      /*use_pool=*/x.rows() >= 256);
   return out;
 }
 

@@ -93,6 +93,12 @@ class RegressionTree {
                      const TreeConfig& config, std::vector<std::size_t>& rows,
                      int depth);
 
+  /// Fit-time scratch: one row-order buffer per feature, reused by every
+  /// node's split search (the per-feature chunks of one search run
+  /// concurrently, so they must not share a buffer). Sized by fit(),
+  /// released before fit() returns.
+  std::vector<std::vector<std::size_t>> split_sort_scratch_;
+
   std::vector<TreeNode> nodes_;
   std::vector<std::int32_t> leaf_node_index_;  // leaf_id -> node index
   std::vector<std::int32_t> train_leaf_ids_;

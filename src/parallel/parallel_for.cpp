@@ -1,0 +1,52 @@
+#include "parallel/parallel_for.hpp"
+
+#include <cstddef>
+#include <functional>
+
+#include "core/contracts.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace vmincqr::parallel {
+
+std::size_t resolve_grain(std::size_t n_items, std::size_t grain) {
+  if (grain != 0) return grain;
+  if (n_items == 0) return 1;
+  return (n_items + kAutoMaxChunks - 1) / kAutoMaxChunks;
+}
+
+std::size_t chunk_count(std::size_t n_items, std::size_t grain) {
+  if (n_items == 0) return 0;
+  const std::size_t g = resolve_grain(n_items, grain);
+  return (n_items + g - 1) / g;
+}
+
+ChunkRange chunk_range(std::size_t n_items, std::size_t grain,
+                       std::size_t chunk) {
+  const std::size_t g = resolve_grain(n_items, grain);
+  VMINCQR_REQUIRE(chunk < chunk_count(n_items, grain),
+                  "chunk index out of range");
+  const std::size_t begin = chunk * g;
+  const std::size_t end = begin + g < n_items ? begin + g : n_items;
+  return {begin, end};
+}
+
+void for_each_chunk(
+    std::size_t n_items, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    bool use_pool) {
+  if (n_items == 0) return;
+  const std::size_t chunks = chunk_count(n_items, grain);
+  if (!use_pool) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const ChunkRange r = chunk_range(n_items, grain, c);
+      fn(c, r.begin, r.end);
+    }
+    return;
+  }
+  ThreadPool::instance().run(chunks, [&](std::size_t c) {
+    const ChunkRange r = chunk_range(n_items, grain, c);
+    fn(c, r.begin, r.end);
+  });
+}
+
+}  // namespace vmincqr::parallel

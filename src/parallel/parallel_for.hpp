@@ -1,0 +1,88 @@
+// Deterministic data-parallel primitives over the process thread pool.
+//
+// The determinism contract (DESIGN.md §8): the chunk grid — how [0, n_items)
+// is cut into contiguous chunks — is a pure function of (n_items, grain) and
+// NEVER of the thread count. The pool only places chunks on lanes; it cannot
+// change what a chunk computes. Reductions combine per-chunk partials in
+// ascending chunk index on one thread, so floating-point results are
+// bit-identical at 1, 2, or N threads. n_threads==1 is not a separate code
+// path: it runs the same grid in chunk order, which makes it the reference
+// implementation by construction.
+//
+// `use_pool=false` keeps the identical grid but executes it inline on the
+// caller — a per-call-site gate for work too small to amortize a dispatch.
+// It may depend on problem shape (n, d), never on the thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace vmincqr::parallel {
+
+/// Auto-grain (grain==0) targets at most this many chunks. A fixed constant:
+/// deriving it from the thread count would change the grid — and therefore
+/// floating-point sums — across machines.
+inline constexpr std::size_t kAutoMaxChunks = 64;
+
+/// Items per chunk after resolving grain==0 to the auto policy
+/// ceil(n_items / kAutoMaxChunks); always >= 1 for n_items >= 1.
+std::size_t resolve_grain(std::size_t n_items, std::size_t grain);
+
+/// Number of chunks in the grid: ceil(n_items / resolve_grain(...)).
+std::size_t chunk_count(std::size_t n_items, std::size_t grain);
+
+/// Half-open item range [begin, end) of chunk `chunk` in the grid.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+ChunkRange chunk_range(std::size_t n_items, std::size_t grain,
+                       std::size_t chunk);
+
+/// Core primitive: fn(chunk, begin, end) for every chunk of the grid.
+/// Dispatches to the pool when use_pool (inline otherwise); either way the
+/// grid is the same, so per-chunk results cannot differ.
+void for_each_chunk(
+    std::size_t n_items, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    bool use_pool = true);
+
+/// parallel_for: fn(begin, end) over the chunk grid. fn must only write
+/// state owned by its item range (disjoint writes) — the chunks of one call
+/// run concurrently.
+template <typename Fn>
+void parallel_for(std::size_t n_items, std::size_t grain, Fn&& fn,
+                  bool use_pool = true) {
+  for_each_chunk(
+      n_items, grain,
+      [&fn](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        fn(begin, end);
+      },
+      use_pool);
+}
+
+/// Deterministic reduction: partial_c = map_chunk(begin_c, end_c) computed
+/// per chunk (concurrently), then acc = combine(acc, partial_c) folded in
+/// ascending chunk order on the calling thread. T must be default- and
+/// move-constructible. Bit-exact across thread counts because neither the
+/// grid nor the fold order ever sees the thread count.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_deterministic_reduce(std::size_t n_items, std::size_t grain,
+                                T init, MapFn&& map_chunk,
+                                CombineFn&& combine, bool use_pool = true) {
+  T acc = std::move(init);
+  if (n_items == 0) return acc;
+  std::vector<T> partials(chunk_count(n_items, grain));
+  for_each_chunk(
+      n_items, grain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        partials[chunk] = map_chunk(begin, end);
+      },
+      use_pool);
+  for (T& partial : partials) acc = combine(std::move(acc), std::move(partial));
+  return acc;
+}
+
+}  // namespace vmincqr::parallel

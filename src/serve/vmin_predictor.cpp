@@ -6,8 +6,17 @@
 #include "core/contracts.hpp"
 #include "data/scaler.hpp"
 #include "models/interval.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace vmincqr::serve {
+
+namespace {
+
+/// Batch size below which predict_batch stays single-shard: dispatching a
+/// handful of rows costs more than predicting them.
+constexpr std::size_t kMinParallelBatchRows = 16;
+
+}  // namespace
 
 VminPredictor::VminPredictor(artifact::VminBundle bundle)
     : bundle_(std::move(bundle)) {
@@ -54,12 +63,21 @@ std::vector<IntervalPrediction> VminPredictor::predict_batch(
   }
   design = design.take_cols(bundle_.selected_features);
 
-  const models::IntervalPrediction band =
-      bundle_.predictor->predict_interval(design);
+  // Row-sharded inference: every supported interval method computes each
+  // test row independently (conformal quantiles are additive constants
+  // fixed at calibration time), so per-shard predict_interval calls
+  // concatenate to exactly the whole-batch answer — at any thread count.
   std::vector<IntervalPrediction> out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    out[i] = {band.lower[i], band.upper[i]};
-  }
+  parallel::parallel_for(
+      x.rows(), /*grain=*/0,
+      [&](std::size_t begin, std::size_t end) {
+        const models::IntervalPrediction band =
+            bundle_.predictor->predict_interval(design.row_block(begin, end));
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = {band.lower[i - begin], band.upper[i - begin]};
+        }
+      },
+      /*use_pool=*/x.rows() >= kMinParallelBatchRows);
   return out;
 }
 

@@ -1,0 +1,8 @@
+// Golden fixture: raw-thread — a std::thread outside src/parallel/ must
+// fire exactly once. All concurrency goes through the deterministic pool.
+#include <thread>
+
+void spawn_worker() {
+  std::thread worker([] {});
+  worker.join();
+}

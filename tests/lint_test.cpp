@@ -52,6 +52,7 @@ const GoldenCase kGolden[] = {
     {"calib_leakage.cpp", "calib-leakage"},
     {"seed_reuse.cpp", "seed-reuse"},
     {"unseeded_rng.cpp", "unseeded-rng"},
+    {"raw_thread.cpp", "raw-thread"},
 };
 
 TEST(lint, EveryRuleFiresExactlyOnceOnItsFixture) {
@@ -151,6 +152,29 @@ TEST(lint, SeedReuseComparesVariableSeedsToo) {
   const auto diags = lint_source("probe.cpp", src);
   ASSERT_EQ(diags.size(), 1u);
   EXPECT_EQ(diags[0].rule, "seed-reuse");
+}
+
+TEST(lint, RawThreadFlagsEveryBannedPrimitive) {
+  const std::string src =
+      "void f() {\n"
+      "  auto fut = std::async([] { return 1; });\n"
+      "  std::atomic<int> counter{0};\n"
+      "  std::mutex m;\n"
+      "}\n";
+  const auto diags = lint_source("src/models/probe.cpp", src);
+  ASSERT_EQ(diags.size(), 3u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "raw-thread");
+}
+
+TEST(lint, RawThreadIsLegalInsideTheParallelDirectory) {
+  const std::string src =
+      "#include <thread>\n"
+      "void pool() {\n"
+      "  std::thread worker([] {});\n"
+      "  std::mutex m;\n"
+      "  worker.join();\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/parallel/thread_pool.cpp", src).empty());
 }
 
 TEST(lint, UnseededRngFlagsRandomDevice) {

@@ -111,6 +111,24 @@ void rule_float_equality(const Ctx& ctx) {
   }
 }
 
+/// Marks tokens that sit inside a brace block opened *within* the innermost
+/// parentheses — a lambda body passed as a call argument. Such tokens have
+/// paren_depth >= 1 but are statements, not parameter declarations, so the
+/// by-value parameter rules must skip them.
+std::vector<bool> lambda_body_mask(const std::vector<Token>& t) {
+  std::vector<bool> mask(t.size(), false);
+  std::vector<int> brace_at_paren;  // brace depth when each '(' opened
+  int brace = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text == "(") brace_at_paren.push_back(brace);
+    if (t[i].text == ")" && !brace_at_paren.empty()) brace_at_paren.pop_back();
+    if (t[i].text == "{") ++brace;
+    if (t[i].text == "}" && brace > 0) --brace;
+    mask[i] = !brace_at_paren.empty() && brace > brace_at_paren.back();
+  }
+  return mask;
+}
+
 const std::set<std::string>& banned_double_names() {
   static const std::set<std::string> names = {"tau", "alpha", "vmin", "temp",
                                               "temperature"};
@@ -122,8 +140,9 @@ const std::set<std::string>& banned_double_names() {
 void rule_raw_double_param(const Ctx& ctx) {
   if (!ctx.header) return;
   const auto& t = ctx.unit.tokens;
+  const std::vector<bool> in_lambda = lambda_body_mask(t);
   for (std::size_t i = 0; i + 2 < t.size(); ++i) {
-    if (t[i].text != "double" || t[i].paren_depth < 1) continue;
+    if (t[i].text != "double" || t[i].paren_depth < 1 || in_lambda[i]) continue;
     if (t[i + 1].kind != TokKind::kIdent) continue;
     if (banned_double_names().count(t[i + 1].text) == 0) continue;
     const std::string& after = t[i + 2].text;
@@ -139,9 +158,10 @@ void rule_raw_double_param(const Ctx& ctx) {
 /// every call; pass `const Matrix&` (or a span) instead.
 void rule_matrix_by_value(const Ctx& ctx) {
   const auto& t = ctx.unit.tokens;
+  const std::vector<bool> in_lambda = lambda_body_mask(t);
   for (std::size_t i = 0; i + 2 < t.size(); ++i) {
     if (t[i].kind != TokKind::kIdent || t[i].text != "Matrix") continue;
-    if (t[i].paren_depth < 1) continue;
+    if (t[i].paren_depth < 1 || in_lambda[i]) continue;
     if (t[i + 1].kind != TokKind::kIdent) continue;
     const std::string& after = t[i + 2].text;
     if (after != "," && after != ")" && after != "=") continue;
@@ -209,6 +229,35 @@ void rule_contract_coverage(const Ctx& ctx) {
   }
 }
 
+const std::set<std::string>& raw_thread_names() {
+  static const std::set<std::string> names = {
+      "thread",       "jthread", "async",   "atomic",
+      "atomic_flag",  "mutex",   "shared_mutex", "recursive_mutex",
+      "condition_variable", "condition_variable_any",
+      "future",       "promise", "packaged_task",
+      "barrier",      "latch",   "counting_semaphore", "binary_semaphore"};
+  return names;
+}
+
+/// raw-thread: raw std threading primitives are only legal inside
+/// src/parallel/ — everywhere else concurrency must go through the
+/// deterministic pool (parallel_for / parallel_deterministic_reduce), so
+/// the bit-exactness contract stays auditable in one directory.
+void rule_raw_thread(const Ctx& ctx) {
+  if (ctx.path.find("parallel/") != std::string::npos) return;
+  const auto& t = ctx.unit.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != "std") continue;
+    if (t[i + 1].text != "::") continue;
+    if (raw_thread_names().count(t[i + 2].text) == 0) continue;
+    ctx.report("raw-thread", t[i].line,
+               "raw 'std::" + t[i + 2].text +
+                   "' outside src/parallel/; use the deterministic pool "
+                   "(parallel/parallel_for.hpp) so thread-count invariance "
+                   "stays provable");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_table() {
@@ -235,6 +284,9 @@ const std::vector<RuleInfo>& rule_table() {
       {"unseeded-rng",
        "every RNG takes an explicit seed; std::random_device and "
        "default-constructed engines are nondeterministic"},
+      {"raw-thread",
+       "raw std::thread/std::async/std::atomic only inside src/parallel/; "
+       "all other code uses the deterministic pool"},
   };
   return table;
 }
@@ -264,6 +316,7 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   rule_raw_double_param(ctx);
   rule_matrix_by_value(ctx);
   rule_contract_coverage(ctx);
+  rule_raw_thread(ctx);
   for (auto& d : dataflow_rules(path, unit)) raw.push_back(std::move(d));
 
   // Apply per-line suppressions: same line or the line directly above.
