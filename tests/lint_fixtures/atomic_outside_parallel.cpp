@@ -1,0 +1,7 @@
+// Golden fixture: atomic-outside-parallel — a <mutex>-family include
+// outside src/parallel/. Threading primitives live behind the deterministic
+// pool; the include ban closes the gap raw-thread leaves for unqualified
+// names.
+#include <mutex>
+
+int serialized_count(int x) { return x + 1; }

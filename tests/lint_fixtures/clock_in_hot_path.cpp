@@ -1,0 +1,9 @@
+// Golden fixture: clock-in-hot-path — a wall-clock read outside bench/ and
+// tools/. Timing must never steer library results; measurement lives in
+// the bench harnesses.
+#include <chrono>
+
+long long stamp() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}

@@ -1,0 +1,15 @@
+// Golden fixture: nondeterministic-reduce — accumulating into a
+// by-reference capture inside parallel_for. Even with atomics this would be
+// schedule-ordered; reductions must return per-chunk partials through
+// parallel_deterministic_reduce's fixed-order combine.
+
+void total_loss(const std::vector<double>& residuals, double* out) {
+  double sum = 0.0;
+  parallel::parallel_for(residuals.size(), 2048,
+                         [&](std::size_t b, std::size_t e) {
+                           for (std::size_t i = b; i < e; ++i) {
+                             sum += residuals[i];
+                           }
+                         });
+  *out = sum;
+}

@@ -1,0 +1,11 @@
+// Golden fixture: rng-in-parallel — drawing from an RNG shared across
+// chunks inside a parallel body. Which chunk gets which draw then depends
+// on the schedule, so the run is not bit-identical across thread widths.
+
+void jitter(rng::Rng& shared, std::vector<double>& out) {
+  parallel::parallel_for(out.size(), 1024, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = shared.normal();
+    }
+  });
+}

@@ -1,0 +1,14 @@
+// Golden fixture: shared-mutable-capture — a by-reference capture written
+// inside a parallel body without per-chunk indexing. Every chunk writes the
+// same memory; whichever thread runs last wins.
+
+struct FitState {
+  bool converged;
+};
+
+void mark_converged(FitState& state, std::size_t n) {
+  parallel::parallel_for(n, 512, [&state](std::size_t b, std::size_t e) {
+    if (b == e) return;
+    state.converged = true;
+  });
+}

@@ -1,0 +1,13 @@
+// Golden fixture: unordered-iteration — a range-for over an unordered map.
+// The visit order depends on the hash seed and load factor, so any
+// reduction or serialization fed from it is not reproducible.
+#include <string>
+#include <unordered_map>
+
+double total_weight(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    total = total + kv.second;
+  }
+  return total;
+}

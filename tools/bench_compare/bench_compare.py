@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Compare a perf-bench JSON against its committed baseline.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.15]
+
+Both files are flat-ish JSON emitted by bench/perf_models or
+bench/perf_parallel. The comparator walks the two documents in lockstep
+and classifies every leaf by its key:
+
+  * higher-is-better  -- keys ending in ``rows_per_s``, ``speedup`` or
+    ``qps``: FAIL when current < baseline * (1 - tolerance).
+  * lower-is-better   -- keys ending in ``_ms``, ``_s`` or ``_us``
+    (checked after the higher-is-better suffixes, since ``rows_per_s``
+    also ends in ``_s``): FAIL when current > baseline * (1 + tolerance).
+  * config            -- integer or string leaves that carry no timing
+    suffix (``threads``, ``n_train``, ``artifact_bytes``, model names):
+    FAIL on any mismatch. Comparing runs with different shapes or thread
+    counts is meaningless, so shape drift is an error, not a regression.
+
+Lists of objects are matched by their ``name`` field when present (so
+reordering the model zoo does not break the diff), positionally
+otherwise.
+
+Exit codes: 0 = within tolerance, 1 = regression or config mismatch,
+2 = usage / unreadable / unparseable input.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER_SUFFIXES = ("rows_per_s", "speedup", "qps")
+LOWER_BETTER_SUFFIXES = ("_ms", "_s", "_us")
+
+
+def classify(key):
+    """Return 'higher', 'lower', or 'config' for a leaf key."""
+    for suffix in HIGHER_BETTER_SUFFIXES:
+        if key.endswith(suffix):
+            return "higher"
+    for suffix in LOWER_BETTER_SUFFIXES:
+        if key.endswith(suffix):
+            return "lower"
+    return "config"
+
+
+def pair_lists(base, cur):
+    """Pair list elements by 'name' when both sides have one, else by index."""
+    if (base and cur and all(isinstance(x, dict) and "name" in x for x in base)
+            and all(isinstance(x, dict) and "name" in x for x in cur)):
+        cur_by_name = {x["name"]: x for x in cur}
+        pairs = []
+        for b in base:
+            pairs.append((b["name"], b, cur_by_name.get(b["name"])))
+        return pairs
+    return [(str(i), b, cur[i] if i < len(cur) else None)
+            for i, b in enumerate(base)]
+
+
+def compare(base, cur, tolerance, path, failures, notes):
+    if isinstance(base, dict):
+        if not isinstance(cur, dict):
+            failures.append("%s: baseline is an object, current is %s" %
+                            (path, type(cur).__name__))
+            return
+        for key, bval in base.items():
+            sub = "%s.%s" % (path, key) if path else key
+            if key not in cur:
+                failures.append("%s: missing from current run" % sub)
+                continue
+            compare(bval, cur[key], tolerance, sub, failures, notes)
+        for key in cur:
+            if key not in base:
+                notes.append("%s.%s: new key, not in baseline (ignored)" %
+                             (path, key))
+        return
+
+    if isinstance(base, list):
+        if not isinstance(cur, list):
+            failures.append("%s: baseline is a list, current is %s" %
+                            (path, type(cur).__name__))
+            return
+        for label, bval, cval in pair_lists(base, cur):
+            sub = "%s[%s]" % (path, label)
+            if cval is None:
+                failures.append("%s: missing from current run" % sub)
+                continue
+            compare(bval, cval, tolerance, sub, failures, notes)
+        return
+
+    # Leaf. The class is decided by the last path component.
+    key = path.rsplit(".", 1)[-1].rsplit("]", 1)[-1] or path
+    kind = classify(key)
+
+    if kind == "config" or isinstance(base, (str, bool)):
+        if base != cur:
+            failures.append("%s: config mismatch (baseline %r, current %r); "
+                            "re-pin the run or regenerate the baseline" %
+                            (path, base, cur))
+        return
+
+    if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+        failures.append("%s: non-numeric perf leaf (baseline %r, current %r)" %
+                        (path, base, cur))
+        return
+
+    if kind == "higher":
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            failures.append(
+                "%s: REGRESSION %.6g -> %.6g (floor %.6g, -%.0f%%)" %
+                (path, base, cur, floor, 100.0 * (1.0 - cur / base)))
+        elif cur > base:
+            notes.append("%s: improved %.6g -> %.6g" % (path, base, cur))
+    else:  # lower-is-better
+        ceiling = base * (1.0 + tolerance)
+        if cur > ceiling:
+            failures.append(
+                "%s: REGRESSION %.6g -> %.6g (ceiling %.6g, +%.0f%%)" %
+                (path, base, cur, ceiling, 100.0 * (cur / base - 1.0)))
+        elif cur < base:
+            notes.append("%s: improved %.6g -> %.6g" % (path, base, cur))
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print("bench_compare: cannot read %s: %s" % (path, exc),
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="diff a bench JSON against its committed baseline")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="relative slack before a delta fails "
+                             "(default 0.15 = 15%%)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    failures, notes = [], []
+    compare(base, cur, args.tolerance, "", failures, notes)
+
+    for note in notes:
+        print("  note: %s" % note)
+    if failures:
+        print("bench_compare: %d failure(s) vs %s (tolerance %.0f%%):" %
+              (len(failures), args.baseline, 100.0 * args.tolerance))
+        for failure in failures:
+            print("  FAIL: %s" % failure)
+        return 1
+    print("bench_compare: %s within %.0f%% of %s" %
+          (args.current, 100.0 * args.tolerance, args.baseline))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,659 @@
+#include "concurrency.hpp"
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "dataflow.hpp"
+
+namespace vmincqr::lint {
+namespace {
+
+/// True when one of `path`'s directory components equals `dir`. Component
+/// match (not substring) so a checkout under e.g. /home/toolsmith/ does not
+/// exempt everything.
+bool in_dir(const std::string& path, const std::string& dir) {
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    if (path.compare(start, end - start, dir) == 0 && end != path.size()) {
+      return true;  // a directory component, not the file name itself
+    }
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  return false;
+}
+
+const std::set<std::string>& launcher_names() {
+  static const std::set<std::string> names = {
+      "parallel_for", "parallel_deterministic_reduce", "for_each_chunk",
+      "parallel_map"};
+  return names;
+}
+
+/// Identifiers that can open a statement and therefore must not be taken as
+/// a type name in the `Type name` local-declaration pattern.
+const std::set<std::string>& stmt_keywords() {
+  static const std::set<std::string> kw = {
+      "return",  "co_return", "co_yield", "throw",    "new",
+      "delete",  "else",      "do",       "case",     "goto",
+      "break",   "continue",  "sizeof",   "typedef",  "using",
+      "while",   "if",        "for",      "switch",   "catch",
+      "operator", "and",      "or",       "not",      "xor",
+      "const_cast", "static_cast", "dynamic_cast", "reinterpret_cast"};
+  return kw;
+}
+
+/// Container methods that mutate the receiver; calling one on shared state
+/// inside a parallel body is a race even when elements are disjoint.
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> names = {
+      "push_back", "emplace_back", "pop_back", "insert", "emplace",
+      "erase",     "clear",        "resize",   "assign", "reserve"};
+  return names;
+}
+
+/// Draw methods on an RNG engine: each call advances the stream, so the
+/// order of calls across chunks must not depend on the schedule. `fork` and
+/// `shuffle` are here too — rng::Rng::fork() advances fork_counter_, so the
+/// i-th fork goes to whichever chunk got scheduled i-th.
+const std::set<std::string>& rng_draw_methods() {
+  static const std::set<std::string> names = {
+      "next",          "normal",      "uniform",  "uniform_int",
+      "uniform_real",  "bernoulli",   "permutation", "lognormal",
+      "normal_vector", "shuffle",     "fork",     "exponential",
+      "poisson",       "gauss"};
+  return names;
+}
+
+/// Index of the token matching the opener at `open` ('(', '[', '{', '<'),
+/// or t.size() when unbalanced.
+std::size_t match_forward(const std::vector<Token>& t, std::size_t open) {
+  const std::string& o = t[open].text;
+  const std::string close = o == "(" ? ")" : o == "[" ? "]"
+                            : o == "{" ? "}" : ">";
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == o) {
+      ++depth;
+    } else if (t[i].text == close && --depth == 0) {
+      return i;
+    }
+  }
+  return t.size();
+}
+
+/// A '[' opens a lambda capture list (rather than a subscript) when the
+/// previous token cannot end an expression.
+bool is_lambda_intro(const std::vector<Token>& t, std::size_t i) {
+  if (t[i].text != "[" || i == 0) return false;
+  const std::string& p = t[i - 1].text;
+  return p == "(" || p == "," || p == "=" || p == "{" || p == "return";
+}
+
+template <typename Seq>
+bool contains(const Seq& seq, const std::string& name) {
+  for (const auto& x : seq) {
+    if (x == name) return true;
+  }
+  return false;
+}
+
+/// Parses one lambda starting at the capture-list '[' into `b`. Returns
+/// false when the shape is not a lambda with a brace body (e.g. an array
+/// subscript that slipped past is_lambda_intro).
+bool parse_lambda(const std::vector<Token>& t, std::size_t intro,
+                  ParallelBody& b) {
+  const std::size_t close = match_forward(t, intro);
+  if (close >= t.size()) return false;
+  b.intro = intro;
+  // Capture entries, split at top-level ','. Init-capture initializers may
+  // nest brackets.
+  for (std::size_t i = intro + 1; i < close;) {
+    std::size_t e = i;
+    int depth = 0;
+    for (; e < close; ++e) {
+      const std::string& x = t[e].text;
+      if (x == "(" || x == "[" || x == "{") {
+        ++depth;
+      } else if (x == ")" || x == "]" || x == "}") {
+        --depth;
+      } else if (x == "," && depth == 0) {
+        break;
+      }
+    }
+    if (e > i) {
+      if (t[i].text == "&") {
+        if (e == i + 1) {
+          b.default_ref = true;
+        } else if (t[i + 1].kind == TokKind::kIdent) {
+          b.by_ref.push_back(t[i + 1].text);
+        }
+      } else if (t[i].text == "=") {
+        if (e == i + 1) b.default_val = true;
+      } else if (t[i].text == "this") {
+        b.captures_this = true;
+      } else if (t[i].text == "*" && i + 1 < e && t[i + 1].text == "this") {
+        // [*this] copies the object: member writes touch the copy.
+      } else if (t[i].kind == TokKind::kIdent) {
+        b.by_val.push_back(t[i].text);  // plain copy or `name = expr`
+      }
+    }
+    i = e + 1;
+  }
+  // Optional parameter list.
+  std::size_t j = close + 1;
+  if (j < t.size() && t[j].text == "(") {
+    const std::size_t pclose = match_forward(t, j);
+    if (pclose >= t.size()) return false;
+    int depth = 0;
+    for (std::size_t k = j; k < pclose; ++k) {
+      const std::string& x = t[k].text;
+      if (x == "(" || x == "[" || x == "{" || x == "<") {
+        ++depth;
+        continue;
+      }
+      if (x == ")" || x == "]" || x == "}" || x == ">") {
+        --depth;
+        continue;
+      }
+      if (depth != 1 || t[k].kind != TokKind::kIdent) continue;
+      const std::string& after = t[k + 1].text;
+      if (after == "," || after == "=" || k + 1 == pclose) {
+        b.params.push_back(t[k].text);
+      }
+    }
+    j = pclose + 1;
+  }
+  // Skip mutable/noexcept/attributes/trailing return type up to the body.
+  while (j < t.size() && t[j].text != "{") {
+    if (t[j].text == ";") return false;  // a declaration, not a lambda
+    if (t[j].text == "(") {
+      j = match_forward(t, j);
+      if (j >= t.size()) return false;
+    }
+    ++j;
+  }
+  if (j >= t.size()) return false;
+  b.body_first = j;
+  b.body_last = match_forward(t, j);
+  return b.body_last < t.size();
+}
+
+/// Conservative chunk-local collection for one parallel body: lambda
+/// parameters, `Type name` declarations (with multi-declarator tails),
+/// `template<...>`-closed declarations, `&`/`*` declarators (which also
+/// swallows address-of/deref — deliberately, to under-approximate "shared"),
+/// structured bindings, and nested-lambda parameters.
+std::set<std::string> collect_locals(const std::vector<Token>& t,
+                                     const ParallelBody& b) {
+  std::set<std::string> locals(b.params.begin(), b.params.end());
+  auto declarator_tail = [&](std::size_t name_idx) {
+    locals.insert(t[name_idx].text);
+    // Walk sibling declarators: `double x = 0.0, y = 0.0;` and
+    // `std::vector<double> a(n), b(n);` both declare two locals. Skip each
+    // initializer at bracket depth 0 up to the separating comma; '<'/'>'
+    // are NOT counted (they are comparisons as often as template brackets
+    // in an initializer), so a stray ')' ends the walk instead.
+    std::size_t j = name_idx + 1;
+    int depth = 0;
+    while (j < b.body_last) {
+      const std::string& x = t[j].text;
+      if (x == "(" || x == "[" || x == "{") {
+        ++depth;
+      } else if (x == ")" || x == "]" || x == "}") {
+        if (--depth < 0) break;  // left the declaration context
+      } else if (depth == 0 && x == ";") {
+        break;
+      } else if (depth == 0 && x == ",") {
+        if (j + 1 < b.body_last && t[j + 1].kind == TokKind::kIdent) {
+          locals.insert(t[j + 1].text);
+          j += 2;
+          continue;
+        }
+        break;
+      }
+      ++j;
+    }
+  };
+  for (std::size_t i = b.body_first + 1; i + 1 < b.body_last; ++i) {
+    // Nested lambda: its parameters are per-invocation locals.
+    if (is_lambda_intro(t, i)) {
+      ParallelBody nested;
+      if (parse_lambda(t, i, nested) && nested.body_last <= b.body_last) {
+        for (const auto& p : nested.params) locals.insert(p);
+      }
+      continue;
+    }
+    // Structured binding: `auto [a, b] = ...` (possibly `auto& [a, b]`).
+    if (t[i].text == "auto") {
+      std::size_t j = i + 1;
+      while (j < b.body_last && (t[j].text == "&" || t[j].text == "*")) ++j;
+      if (j < b.body_last && t[j].text == "[") {
+        const std::size_t close = match_forward(t, j);
+        for (std::size_t k = j + 1; k < close && k < b.body_last; ++k) {
+          if (t[k].kind == TokKind::kIdent) locals.insert(t[k].text);
+        }
+      }
+      continue;
+    }
+    if (t[i + 1].kind != TokKind::kIdent || i + 2 >= b.body_last) continue;
+    const std::string& after = t[i + 2].text;
+    const bool decl_after = after == "=" || after == ";" || after == "(" ||
+                            after == "{" || after == ":" || after == ",";
+    if (!decl_after) continue;
+    if (t[i].kind == TokKind::kIdent && stmt_keywords().count(t[i].text) == 0) {
+      declarator_tail(i + 1);  // `Type name ...`
+    } else if (t[i].text == ">" || t[i].text == "&" || t[i].text == "*") {
+      declarator_tail(i + 1);  // `vector<T> name`, `T& name`, `T* name`
+    }
+  }
+  return locals;
+}
+
+bool adjacent(const Token& a, const Token& b) {
+  return a.offset + a.text.size() == b.offset;
+}
+
+/// True when a write to `name` inside body `b` touches state shared across
+/// chunks: by-reference capture (explicit or default) or a `this` capture.
+/// Explicit by-value captures own a copy and are exempt — that covers the
+/// pointer-like-handle idiom where each chunk writes its own slots.
+bool is_shared_capture(const ParallelBody& b, const std::string& name) {
+  if (contains(b.by_val, name)) return false;
+  if (contains(b.by_ref, name)) return true;
+  if (b.default_val) return false;
+  return b.default_ref || b.captures_this;
+}
+
+/// The shared-mutable-capture, nondeterministic-reduce, and rng-in-parallel
+/// checks for one parallel body.
+void scan_body(const std::string& path, const std::vector<Token>& t,
+               const ParallelBody& b, std::vector<Diagnostic>& out) {
+  const std::set<std::string> locals = collect_locals(t, b);
+
+  // Capture lists inside the body (nested lambdas) contain init-captures
+  // `[x = expr]` that look like writes; mask them out, plus our own.
+  std::vector<std::pair<std::size_t, std::size_t>> masked;
+  masked.emplace_back(b.intro, match_forward(t, b.intro));
+  for (std::size_t i = b.body_first + 1; i < b.body_last; ++i) {
+    if (is_lambda_intro(t, i)) {
+      masked.emplace_back(i, match_forward(t, i));
+    }
+  }
+  auto in_mask = [&](std::size_t i) {
+    for (const auto& [lo, hi] : masked) {
+      if (i >= lo && i <= hi) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = b.body_first + 1; i < b.body_last; ++i) {
+    if (t[i].kind != TokKind::kIdent || in_mask(i)) continue;
+    const std::string& name = t[i].text;
+
+    // RNG constructed inside the body: the seed must involve the chunk
+    // parameters (or a chunk-derived local), otherwise every chunk replays
+    // the same stream — or worse, shares one.
+    if (is_rng_engine_type(name) && i + 2 < b.body_last &&
+        t[i + 1].kind == TokKind::kIdent) {
+      std::size_t a0 = 0, a1 = 0;
+      if (t[i + 2].text == "(" || t[i + 2].text == "{") {
+        a0 = i + 3;
+        a1 = match_forward(t, i + 2);
+      } else if (t[i + 2].text == "=") {
+        a0 = i + 3;
+        a1 = a0;
+        while (a1 < b.body_last && t[a1].text != ";") ++a1;
+      }
+      if (a1 > a0 && a1 < b.body_last) {
+        bool chunk_seeded = false;
+        for (std::size_t k = a0; k < a1; ++k) {
+          if (t[k].kind == TokKind::kIdent &&
+              (contains(b.params, t[k].text) || locals.count(t[k].text))) {
+            chunk_seeded = true;
+            break;
+          }
+        }
+        if (!chunk_seeded) {
+          out.push_back(
+              {path, t[i].line, "rng-in-parallel",
+               "'" + name + " " + t[i + 1].text + "' is constructed inside a " +
+                   b.launcher +
+                   " body with a seed that ignores the chunk parameters; "
+                   "derive the seed from the chunk index (e.g. "
+                   "Rng(base_seed + chunk_begin)) so stream assignment is a "
+                   "pure function of the grid"});
+        }
+        continue;
+      }
+    }
+
+    const Token& prev = t[i - 1];
+    if (prev.text == "." || prev.text == "->" || prev.text == "::") continue;
+
+    // Prefix increment/decrement: `++name` not followed by member/index.
+    if (i >= 2 &&
+        ((prev.text == "+" && t[i - 2].text == "+") ||
+         (prev.text == "-" && t[i - 2].text == "-")) &&
+        adjacent(t[i - 2], prev) && i + 1 < b.body_last &&
+        t[i + 1].text != "[" && t[i + 1].text != "." &&
+        t[i + 1].text != "->" && t[i + 1].text != "(") {
+      if (!locals.count(name) && is_shared_capture(b, name)) {
+        out.push_back(
+            {path, t[i].line, "nondeterministic-reduce",
+             "'" + prev.text + prev.text + name +
+                 "' accumulates into a by-reference capture inside a " +
+                 b.launcher +
+                 " body; the combine order depends on thread scheduling — "
+                 "return per-chunk partials through "
+                 "parallel_deterministic_reduce"});
+      }
+      continue;
+    }
+
+    // A preceding identifier (or declarator punctuation) means this is a
+    // declaration or an address-of/deref we cannot see through; both are
+    // handled by the locals pass, so skip to stay conservative.
+    const bool decl_ctx =
+        (prev.kind == TokKind::kIdent && stmt_keywords().count(prev.text) == 0) ||
+        prev.text == ">" || prev.text == "&" || prev.text == "*";
+    if (decl_ctx) continue;
+
+    // Walk a member chain: name (. ident | -> ident)*
+    std::size_t j = i + 1;
+    std::string method;
+    bool arrow = false;
+    while (j + 1 < b.body_last &&
+           (t[j].text == "." || t[j].text == "->") &&
+           t[j + 1].kind == TokKind::kIdent) {
+      arrow = arrow || t[j].text == "->";
+      method = t[j + 1].text;
+      j += 2;
+    }
+    if (j >= b.body_last) break;
+    const std::string& op = t[j].text;
+
+    if (op == "(" || op == "[") {
+      if (op == "(" && !method.empty() && !arrow) {
+        if (rng_draw_methods().count(method) > 0 && !locals.count(name)) {
+          out.push_back(
+              {path, t[i].line, "rng-in-parallel",
+               "'" + name + "." + method + "(...)' draws from an RNG shared "
+               "across chunks inside a " + b.launcher +
+                   " body; the stream order depends on the schedule — "
+                   "construct a per-chunk child seeded by the chunk index "
+                   "instead"});
+        } else if (mutating_methods().count(method) > 0 &&
+                   !locals.count(name) && is_shared_capture(b, name)) {
+          out.push_back(
+              {path, t[i].line, "shared-mutable-capture",
+               "'" + name + "." + method + "(...)' mutates a by-reference "
+               "capture inside a " + b.launcher +
+                   " body; concurrent chunks race on the container — give "
+                   "each chunk its own pre-sized slot range"});
+        }
+      }
+      // `x[i] = ...` / `x(i, j) = ...` — per-chunk indexed writes are the
+      // sanctioned pattern; free-function calls land here too.
+      continue;
+    }
+
+    bool accum = false, write = false;
+    if (op == "=") {
+      write = true;  // ==, <=, >=, != are merged tokens, so '=' is assignment
+    } else if (j + 1 < b.body_last && t[j + 1].text == "=" &&
+               adjacent(t[j], t[j + 1]) &&
+               (op == "+" || op == "-" || op == "*" || op == "/" ||
+                op == "%" || op == "|" || op == "^" || op == "&")) {
+      accum = true;  // `name += ...` lexes as '+', '=' at adjacent offsets
+    } else if (j + 1 < b.body_last && adjacent(t[j], t[j + 1]) &&
+               ((op == "+" && t[j + 1].text == "+") ||
+                (op == "-" && t[j + 1].text == "-"))) {
+      accum = true;  // postfix name++ / name--
+    }
+    if (!write && !accum) continue;
+    if (locals.count(name) > 0) continue;
+    if (!is_shared_capture(b, name)) continue;
+
+    const std::string target =
+        method.empty() ? name : name + "." + method;
+    if (accum) {
+      out.push_back(
+          {path, t[i].line, "nondeterministic-reduce",
+           "'" + target + "' accumulates into a by-reference capture inside "
+           "a " + b.launcher +
+               " body; the combine order depends on thread scheduling — "
+               "return per-chunk partials through "
+               "parallel_deterministic_reduce"});
+    } else {
+      out.push_back(
+          {path, t[i].line, "shared-mutable-capture",
+           "'" + target + "' is captured by reference and written inside a " +
+               b.launcher +
+               " body without per-chunk indexing; concurrent chunks race on "
+               "it — write through a chunk-indexed slot instead"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration (TU-wide)
+// ---------------------------------------------------------------------------
+
+void rule_unordered_iteration(const std::string& path, const Unit& unit,
+                              std::vector<Diagnostic>& out) {
+  const auto& t = unit.tokens;
+  static const std::set<std::string> unordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+
+  // Names declared (variable, member, or parameter) with an unordered type.
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || unordered.count(t[i].text) == 0) {
+      continue;
+    }
+    if (t[i + 1].text != "<") continue;
+    std::size_t j = match_forward(t, i + 1);
+    if (j >= t.size()) continue;
+    ++j;
+    while (j < t.size() &&
+           (t[j].text == "&" || t[j].text == "*" || t[j].text == "const")) {
+      ++j;
+    }
+    if (j + 1 >= t.size() || t[j].kind != TokKind::kIdent) continue;
+    const std::string& after = t[j + 1].text;
+    if (after == ";" || after == "=" || after == "{" || after == "(" ||
+        after == "," || after == ")") {
+      vars.insert(t[j].text);
+    }
+  }
+  if (vars.empty()) return;
+
+  auto fire = [&](std::size_t line, const std::string& name) {
+    out.push_back(
+        {path, line, "unordered-iteration",
+         "iteration over unordered container '" + name +
+             "'; the visit order is hash- and load-factor-dependent, so "
+             "any reduction or serialization fed from it is not "
+             "reproducible — use std::map/std::set or sort the keys first"});
+  };
+
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    // Range-for whose range expression names an unordered variable.
+    if (t[i].kind == TokKind::kIdent && t[i].text == "for" &&
+        t[i + 1].text == "(") {
+      const std::size_t close = match_forward(t, i + 1);
+      if (close >= t.size()) continue;
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t k = i + 1; k < close; ++k) {
+        const std::string& x = t[k].text;
+        if (x == "(" || x == "[" || x == "{") ++depth;
+        if (x == ")" || x == "]" || x == "}") --depth;
+        if (x == ":" && depth == 1) {
+          colon = k;
+          break;
+        }
+      }
+      for (std::size_t k = colon == 0 ? close : colon + 1; k < close; ++k) {
+        if (t[k].kind == TokKind::kIdent && vars.count(t[k].text) > 0) {
+          fire(t[i].line, t[k].text);
+          break;
+        }
+      }
+      continue;
+    }
+    // Explicit iterator walk: name.begin() / name.cbegin() / name.rbegin().
+    if (t[i].kind == TokKind::kIdent && vars.count(t[i].text) > 0 &&
+        i + 3 < t.size() && t[i + 1].text == "." &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin" ||
+         t[i + 2].text == "rbegin") &&
+        t[i + 3].text == "(") {
+      fire(t[i].line, t[i].text);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// clock-in-hot-path (TU-wide)
+// ---------------------------------------------------------------------------
+
+void rule_clock_in_hot_path(const std::string& path, const Unit& unit,
+                            std::vector<Diagnostic>& out) {
+  if (in_dir(path, "bench") || in_dir(path, "tools")) return;
+  static const std::set<std::string> clocks = {
+      "steady_clock",  "system_clock",  "high_resolution_clock",
+      "file_clock",    "utc_clock",     "clock_gettime",
+      "gettimeofday",  "timespec_get"};
+  for (const Token& tok : unit.tokens) {
+    if (tok.kind == TokKind::kIdent && clocks.count(tok.text) > 0) {
+      out.push_back(
+          {path, tok.line, "clock-in-hot-path",
+           "wall-clock read ('" + tok.text +
+               "') outside bench/ and tools/; timing must never steer "
+               "library results (move measurement into bench/)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// atomic-outside-parallel (TU-wide)
+// ---------------------------------------------------------------------------
+
+void rule_atomic_outside_parallel(const std::string& path, const Unit& unit,
+                                  std::vector<Diagnostic>& out) {
+  if (path.find("parallel/") != std::string::npos) return;  // as raw-thread
+
+  static const std::set<std::string> banned_headers = {
+      "atomic",    "mutex",  "shared_mutex", "thread",
+      "future",    "condition_variable",     "semaphore",
+      "latch",     "barrier", "stop_token"};
+  for (const auto& [line, text] : unit.directives) {
+    if (text.rfind("#include", 0) != 0) continue;
+    const std::size_t lt = text.find('<');
+    const std::size_t gt = text.find('>');
+    if (lt == std::string::npos || gt == std::string::npos || gt <= lt) {
+      continue;
+    }
+    const std::string header = text.substr(lt + 1, gt - lt - 1);
+    if (banned_headers.count(header) > 0) {
+      out.push_back(
+          {path, line, "atomic-outside-parallel",
+           "#include <" + header + "> outside src/parallel/; threading "
+           "primitives live behind the deterministic pool "
+           "(parallel/parallel_for.hpp) so the bit-exactness contract "
+           "stays auditable in one directory"});
+    }
+  }
+
+  // Unqualified uses slip past raw-thread, which only sees `std::`-qualified
+  // names (e.g. after a `using std::atomic;`).
+  static const std::set<std::string> unqualified = {
+      "atomic_flag",  "atomic_ref",  "atomic_thread_fence",
+      "atomic_signal_fence", "atomic_load", "atomic_store",
+      "atomic_exchange",     "atomic_fetch_add", "atomic_fetch_sub",
+      "atomic_compare_exchange_weak", "atomic_compare_exchange_strong",
+      "lock_guard",   "scoped_lock", "unique_lock", "shared_lock"};
+  const auto& t = unit.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (i > 0 && t[i - 1].text == "::") continue;  // raw-thread's territory
+    const bool hit =
+        unqualified.count(t[i].text) > 0 ||
+        (t[i].text == "atomic" && i + 1 < t.size() && t[i + 1].text == "<");
+    if (!hit) continue;
+    out.push_back(
+        {path, t[i].line, "atomic-outside-parallel",
+         "unqualified '" + t[i].text +
+             "' outside src/parallel/; threading primitives live behind "
+             "the deterministic pool (parallel/parallel_for.hpp)"});
+  }
+}
+
+}  // namespace
+
+std::vector<ParallelBody> find_parallel_bodies(const std::vector<Token>& t) {
+  std::vector<ParallelBody> out;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent ||
+        launcher_names().count(t[i].text) == 0) {
+      continue;
+    }
+    std::size_t open = i + 1;
+    if (t[open].text == "<") {  // parallel_map<T>(n, fn)
+      const std::size_t tclose = match_forward(t, open);
+      if (tclose + 1 >= t.size()) continue;
+      open = tclose + 1;
+    }
+    if (t[open].text != "(") continue;
+    const std::size_t close = match_forward(t, open);
+    if (close >= t.size()) continue;
+    const bool reduce_like = t[i].text == "parallel_deterministic_reduce";
+    bool took_map_chunk = false;
+    for (std::size_t j = open + 1; j < close;) {
+      if (is_lambda_intro(t, j)) {
+        ParallelBody b;
+        if (parse_lambda(t, j, b) && b.body_last < close) {
+          b.launcher = t[i].text;
+          // The reduce's combine lambda (second one) runs sequentially in
+          // fixed chunk order by contract — not a parallel region.
+          if (!reduce_like || !took_map_chunk) out.push_back(b);
+          took_map_chunk = true;
+          j = b.body_last + 1;
+          continue;
+        }
+      }
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> concurrency_rules(const std::string& path,
+                                          const Unit& unit) {
+  std::vector<Diagnostic> out;
+  for (const ParallelBody& b : find_parallel_bodies(unit.tokens)) {
+    scan_body(path, unit.tokens, b, out);
+  }
+  rule_unordered_iteration(path, unit, out);
+  rule_clock_in_hot_path(path, unit, out);
+  rule_atomic_outside_parallel(path, unit, out);
+  // Overlapping regions (a launcher nested in another launcher's body) can
+  // report the same token twice; keep the first of each (line, rule, msg).
+  std::vector<Diagnostic> unique;
+  std::set<std::string> seen;
+  for (auto& d : out) {
+    if (seen.insert(std::to_string(d.line) + '\0' + d.rule + '\0' + d.message)
+            .second) {
+      unique.push_back(std::move(d));
+    }
+  }
+  return unique;
+}
+
+}  // namespace vmincqr::lint

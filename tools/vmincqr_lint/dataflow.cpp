@@ -44,12 +44,8 @@ bool is_fit_callee(const std::string& name) {
   return name == "fit" || name == "fit_transform";
 }
 
-/// RNG engine type names whose construction consumes a seed.
 bool is_engine_type(const std::string& name) {
-  static const std::set<std::string> engines = {
-      "Rng",          "mt19937", "mt19937_64", "minstd_rand",
-      "minstd_rand0", "ranlux24", "ranlux48", "default_random_engine"};
-  return engines.count(name) > 0;
+  return is_rng_engine_type(name);
 }
 
 /// One statement inside a function scope as a token-index range
@@ -260,6 +256,13 @@ void rule_unseeded_rng(const std::string& path, const Unit& unit,
 }
 
 }  // namespace
+
+bool is_rng_engine_type(const std::string& name) {
+  static const std::set<std::string> engines = {
+      "Rng",          "mt19937", "mt19937_64", "minstd_rand",
+      "minstd_rand0", "ranlux24", "ranlux48", "default_random_engine"};
+  return engines.count(name) > 0;
+}
 
 std::vector<Diagnostic> dataflow_rules(const std::string& path,
                                        const Unit& unit) {

@@ -1,8 +1,11 @@
 #include "fix.hpp"
 
 #include <cstddef>
+#include <map>
+#include <sstream>
 #include <vector>
 
+#include "concurrency.hpp"
 #include "token.hpp"
 
 namespace vmincqr::lint {
@@ -93,11 +96,106 @@ std::string fix_pragma_once(const std::string& content) {
   return content.substr(0, pos) + "#pragma once\n" + content.substr(pos);
 }
 
+const std::map<std::string, std::string>& sorted_counterpart() {
+  static const std::map<std::string, std::string> m = {
+      {"unordered_map", "map"},
+      {"unordered_set", "set"},
+      {"unordered_multimap", "multimap"},
+      {"unordered_multiset", "multiset"}};
+  return m;
+}
+
+/// Rewrites every std::unordered_{map,set,...} in the TU to its sorted
+/// counterpart — declarations, temporaries, and the matching #include lines
+/// — when the TU carries at least one live (non-allowed) unordered-iteration
+/// finding. The swap is TU-wide because a declaration must flip for any
+/// iteration over it to become ordered. It is skipped wholesale when any
+/// unordered type passes extra template arguments (a custom hasher or
+/// equality has no sorted equivalent; that finding stays diagnose-only).
+std::string fix_unordered_iteration(const std::string& path,
+                                    const std::string& content) {
+  const Unit unit = tokenize(content);
+  bool live = false;
+  for (const auto& d : concurrency_rules(path, unit)) {
+    if (d.rule == "unordered-iteration" && !is_allowed(unit, d.rule, d.line)) {
+      live = true;
+      break;
+    }
+  }
+  if (!live) return content;
+
+  const auto& t = unit.tokens;
+  struct Span {
+    std::size_t begin;
+    std::size_t end;
+    const std::string* replacement;
+  };
+  std::vector<Span> spans;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const auto it = sorted_counterpart().find(t[i].text);
+    if (it == sorted_counterpart().end()) continue;
+    // Count top-level commas in the template argument list: more than one
+    // for a map (Key, Value) or more than zero for a set (Key) means a
+    // custom hasher — not mechanically rewritable, bail on the whole TU.
+    if (i + 1 < t.size() && t[i + 1].text == "<") {
+      int depth = 0;
+      std::size_t commas = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        const std::string& x = t[j].text;
+        if (x == "<" || x == "(" || x == "[" || x == "{") ++depth;
+        if (x == ">" || x == ")" || x == "]" || x == "}") {
+          if (--depth == 0) break;
+        }
+        if (x == "," && depth == 1) ++commas;
+      }
+      const bool is_map = t[i].text == "unordered_map" ||
+                          t[i].text == "unordered_multimap";
+      if (commas > (is_map ? 1u : 0u)) return content;
+    }
+    spans.push_back({t[i].offset, t[i].offset + t[i].text.size(), &it->second});
+  }
+
+  std::string out;
+  out.reserve(content.size());
+  std::size_t pos = 0;
+  for (const Span& span : spans) {
+    out += content.substr(pos, span.begin - pos);
+    out += *span.replacement;
+    pos = span.end;
+  }
+  out += content.substr(pos);
+
+  // The include directives are not tokens; rewrite them line by line.
+  std::istringstream in(out);
+  std::ostringstream rewritten;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!first) rewritten << '\n';
+    first = false;
+    std::size_t probe = line.find_first_not_of(" \t");
+    if (probe != std::string::npos && line.compare(probe, 1, "#") == 0) {
+      for (const auto& [unordered, sorted] : sorted_counterpart()) {
+        const std::string from = "<" + unordered + ">";
+        const std::size_t at = line.find(from);
+        if (at != std::string::npos) {
+          line.replace(at, from.size(), "<" + sorted + ">");
+        }
+      }
+    }
+    rewritten << line;
+  }
+  if (!out.empty() && out.back() == '\n') rewritten << '\n';
+  return rewritten.str();
+}
+
 }  // namespace
 
 std::string apply_fixes(const std::string& path, const std::string& content) {
   std::string out = fix_no_endl(content);
   if (is_header_path(path)) out = fix_pragma_once(out);
+  out = fix_unordered_iteration(path, out);
   return out;
 }
 

@@ -1,10 +1,16 @@
-// `vmincqr_lint --fix`: automatic rewrites for the two mechanically safe
-// rules. Everything else stays diagnose-only — a wrong automatic edit to a
+// `vmincqr_lint --fix`: automatic rewrites for the mechanically safe rules.
+// Everything else stays diagnose-only — a wrong automatic edit to a
 // contract or a comparison would be worse than the finding.
 //
 //   * no-endl      — `std::endl` (or a bare `endl`) becomes `"\n"`.
 //   * pragma-once  — a header missing `#pragma once` gains it after the
 //                    leading comment block.
+//   * unordered-iteration — when the TU has a live finding, every
+//                    std::unordered_{map,set,multimap,multiset} (and the
+//                    matching includes) becomes its sorted counterpart.
+//                    Skipped wholesale when any unordered type carries extra
+//                    template arguments (custom hasher/equality) — the swap
+//                    is only mechanical for the default-hash forms.
 //
 // Fixes are idempotent: applying them to already-fixed text is a no-op.
 #pragma once

@@ -5,7 +5,10 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
+#include "concurrency.hpp"
+#include "core/experiment.hpp"
 #include "dataflow.hpp"
 #include "token.hpp"
 
@@ -287,6 +290,25 @@ const std::vector<RuleInfo>& rule_table() {
       {"raw-thread",
        "raw std::thread/std::async/std::atomic only inside src/parallel/; "
        "all other code uses the deterministic pool"},
+      {"shared-mutable-capture",
+       "no unindexed writes to by-reference captures inside parallel bodies; "
+       "concurrent chunks race on shared state"},
+      {"nondeterministic-reduce",
+       "no accumulation into by-reference captures inside parallel bodies; "
+       "reductions go through parallel_deterministic_reduce's fixed-order "
+       "combine"},
+      {"rng-in-parallel",
+       "RNGs inside parallel bodies must be forked per chunk; otherwise the "
+       "stream order depends on the schedule"},
+      {"unordered-iteration",
+       "no iteration over std::unordered_{map,set}; hash order is not "
+       "reproducible across platforms or loads"},
+      {"clock-in-hot-path",
+       "wall-clock reads only in bench/ and tools/; timing must never steer "
+       "library results"},
+      {"atomic-outside-parallel",
+       "<atomic>/<mutex>-family includes and unqualified atomic uses only "
+       "inside src/parallel/ (closes the raw-thread gap)"},
   };
   return table;
 }
@@ -318,6 +340,7 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   rule_contract_coverage(ctx);
   rule_raw_thread(ctx);
   for (auto& d : dataflow_rules(path, unit)) raw.push_back(std::move(d));
+  for (auto& d : concurrency_rules(path, unit)) raw.push_back(std::move(d));
 
   // Apply per-line suppressions: same line or the line directly above.
   std::vector<Diagnostic> kept;
@@ -337,6 +360,24 @@ std::vector<Diagnostic> lint_file(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return lint_source(path, ss.str());
+}
+
+std::vector<Diagnostic> lint_files(const std::vector<std::string>& paths) {
+  // Dogfood the deterministic pool: one task per TU. Each task is a pure
+  // function of its file, and the final order is a total sort, so the
+  // merged diagnostics are byte-identical at every thread width (asserted
+  // by the SARIF invariance test).
+  const auto per_file = core::parallel_map<std::vector<Diagnostic>>(
+      paths.size(),
+      [&](std::size_t i) { return lint_file(paths[i]); });
+  std::vector<Diagnostic> out;
+  for (const auto& ds : per_file) out.insert(out.end(), ds.begin(), ds.end());
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return out;
 }
 
 bool is_lintable(const std::string& path) {

@@ -9,13 +9,16 @@
 // C++ rules, so they live here (no libclang dependency; the whole tool
 // builds in well under a second).
 //
-// Two phases:
+// Three phases:
 //   1. include-graph (include_graph.hpp) — layering DAG, cycle detection,
 //      IWYU-lite unused includes. Cross-file; runs when a directory is
 //      linted.
 //   2. per-TU — the token rules below plus the statistical-validity
 //      dataflow rules (dataflow.hpp) over a statement/call view with local
 //      symbol taint tracking.
+//   3. concurrency & determinism (concurrency.hpp) — a lambda/capture parse
+//      over parallel_for/parallel_deterministic_reduce call sites that
+//      enforces the src/parallel/ determinism contract statically.
 //
 // Suppression: append `// vmincqr-lint: allow(<rule-id>)` to the offending
 // line, or place it alone on the line above. Several ids may be listed,
@@ -55,6 +58,12 @@ std::vector<Diagnostic> lint_source(const std::string& path,
 
 /// Reads `path` and lints it. Throws std::runtime_error if unreadable.
 std::vector<Diagnostic> lint_file(const std::string& path);
+
+/// Lints many files, one pool task per TU (core::parallel_map — the linter
+/// dogfoods the deterministic pool it polices). The result is globally
+/// sorted by (file, line, rule, message), so output is byte-identical at
+/// every thread width.
+std::vector<Diagnostic> lint_files(const std::vector<std::string>& paths);
 
 /// True for files the linter understands (.hpp / .cpp).
 bool is_lintable(const std::string& path);

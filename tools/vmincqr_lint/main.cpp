@@ -11,7 +11,8 @@
 //   --include-root=DIR    root against which quoted includes resolve for the
 //                         include-graph pass (default: first directory arg)
 //   --fix                 apply the mechanically safe fixes (no-endl,
-//                         pragma-once) in place, then re-lint
+//                         pragma-once, unordered→sorted container rewrite)
+//                         in place, then re-lint
 //   --budget-ms=N         fail (exit 1) if the whole run exceeds N ms — the
 //                         semantic pass must never slow the tier-1 suite
 //
@@ -154,12 +155,10 @@ int main(int argc, char** argv) {
       }
     }
 
-    // Phase 2: per-TU rules.
-    for (const auto& file : files) {
-      for (auto& d : vmincqr::lint::lint_file(file)) {
-        diagnostics.push_back(std::move(d));
-      }
-    }
+    // Phases 2+3: per-TU rules, one pool task per file (the linter dogfoods
+    // the deterministic pool). lint_files sorts by (file, line, rule,
+    // message), so output is byte-identical at every thread width.
+    diagnostics = vmincqr::lint::lint_files(files);
 
     // Phase 1: include-graph over the collected set, includes resolved
     // against the include root.
