@@ -14,6 +14,7 @@ void StandardScaler::fit(const Matrix& x) {
   means_.assign(x.cols(), 0.0);
   scales_.assign(x.cols(), 1.0);
   const auto n = static_cast<double>(x.rows());
+  VMINCQR_AUDIT(n > 0.0, "StandardScaler::fit: empty() check let 0 rows by");
   for (std::size_t c = 0; c < x.cols(); ++c) {
     double m = 0.0;
     for (std::size_t r = 0; r < x.rows(); ++r) m += x(r, c);
@@ -100,6 +101,7 @@ void LabelScaler::fit(const Vector& y) {
 
 Vector LabelScaler::transform(const Vector& y) const {
   if (!fitted_) throw std::logic_error("LabelScaler::transform: not fitted");
+  VMINCQR_AUDIT(scale_ > 0.0, "LabelScaler::transform: degenerate scale");
   Vector out(y.size());
   for (std::size_t i = 0; i < y.size(); ++i) out[i] = (y[i] - mean_) / scale_;
   return out;

@@ -31,6 +31,7 @@ std::optional<Matrix> cholesky(const Matrix& a) {
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
     if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
     const double ljj = std::sqrt(diag);
+    VMINCQR_AUDIT(ljj > 0.0, "cholesky: nonpositive pivot escaped the check");
     l(j, j) = ljj;
     // Rows below the diagonal of column j are independent of each other:
     // each l(i, j) reads only finished columns (< j) plus a(i, j). Chunks

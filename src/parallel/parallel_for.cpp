@@ -9,6 +9,7 @@
 namespace vmincqr::parallel {
 
 std::size_t resolve_grain(std::size_t n_items, std::size_t grain) {
+  static_assert(kAutoMaxChunks > 0, "auto-grain needs a positive target");
   if (grain != 0) return grain;
   if (n_items == 0) return 1;
   return (n_items + kAutoMaxChunks - 1) / kAutoMaxChunks;
@@ -17,6 +18,7 @@ std::size_t resolve_grain(std::size_t n_items, std::size_t grain) {
 std::size_t chunk_count(std::size_t n_items, std::size_t grain) {
   if (n_items == 0) return 0;
   const std::size_t g = resolve_grain(n_items, grain);
+  VMINCQR_AUDIT(g > 0, "chunk_count: resolve_grain returned zero");
   return (n_items + g - 1) / g;
 }
 

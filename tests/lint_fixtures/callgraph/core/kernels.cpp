@@ -1,0 +1,13 @@
+// Helpers reached from the parallel body in parallel_driver.cpp; each
+// violates exactly one transitive parallel-context rule.
+
+double bump_counter(double x) {
+  static double total = 0.0;  // mutable-static-in-parallel (transitively)
+  total += x;
+  return total;
+}
+
+double draw_noise(double x) {
+  Rng r(42);  // rng-in-parallel: hardcoded seed, reached from a parallel body
+  return x + r.next();
+}

@@ -1,0 +1,10 @@
+// The parallel launch site: nothing here is wrong lexically, but every
+// function the body calls inherits the determinism contract transitively.
+
+void run_chunks(std::size_t n, std::vector<double>& out) {
+  parallel::parallel_for(n, 64, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = bump_counter(draw_noise(static_cast<double>(i)));
+    }
+  });
+}

@@ -1,0 +1,16 @@
+// Tier-annotation fixtures. fast_norm is committed to numeric_tiers.toml,
+// so its float accumulation is a sanctioned bit-exactness opt-out;
+// rogue_kernel carries the annotation without the manifest entry ->
+// numeric-tier-manifest.
+
+// vmincqr: numeric-tier(tolerance)
+double fast_norm(const std::vector<double>& xs) {
+  float acc = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) acc += xs[i];
+  return acc;
+}
+
+// vmincqr: numeric-tier(tolerance)
+double rogue_kernel(double x) {
+  return x + 1.0;
+}

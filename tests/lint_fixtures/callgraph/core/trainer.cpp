@@ -1,0 +1,9 @@
+// Training entry point plus the innocent-looking wrapper serve reaches it
+// through. The includes are layer-legal; only the call chain is not.
+
+double fit(double x) { return x * 2.0; }
+
+double refresh_model(double x) {
+  fit(x);
+  return x;
+}

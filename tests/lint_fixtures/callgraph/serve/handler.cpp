@@ -1,0 +1,8 @@
+// A serve-module function: calling refresh_model is include-legal (serve
+// may see core) but transitively reaches fit(), which [call_forbidden]
+// bans for this module -> call-layer-violation, reported here at the first
+// call edge out of the serve root.
+
+double handle_request(double x) {
+  return refresh_model(x);
+}

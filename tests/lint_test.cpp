@@ -1,9 +1,9 @@
 // Golden-file tests for vmincqr_lint: each fixture in tests/lint_fixtures/
 // makes exactly one rule fire, suppressions silence diagnostics, and the
-// real src/ tree is clean under all three phases (per-TU token + dataflow
-// rules, the concurrency & determinism rules, and the include-graph pass).
-// Suite names are lowercase so `ctest -R lint` selects every linter-related
-// test.
+// real src/ tree is clean under all four phases (per-TU token + dataflow
+// rules, the concurrency & determinism rules, the include-graph pass, and
+// the cross-TU call-graph pass). Suite names are lowercase so
+// `ctest -R lint` selects every linter-related test.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "callgraph.hpp"
 #include "fix.hpp"
 #include "include_graph.hpp"
 #include "lint.hpp"
@@ -20,13 +21,19 @@
 namespace {
 
 namespace fs = std::filesystem;
+using vmincqr::lint::analyze_call_graph;
+using vmincqr::lint::analyze_call_graph_directory;
 using vmincqr::lint::analyze_directory;
+using vmincqr::lint::CallGraph;
+using vmincqr::lint::CallGraphOptions;
 using vmincqr::lint::Diagnostic;
 using vmincqr::lint::LayerConfig;
 using vmincqr::lint::lint_file;
 using vmincqr::lint::lint_source;
 using vmincqr::lint::load_layers;
+using vmincqr::lint::load_tier_manifest;
 using vmincqr::lint::parse_layers;
+using vmincqr::lint::SourceFile;
 
 std::string fixture(const std::string& name) {
   return std::string(VMINCQR_LINT_FIXTURE_DIR) + "/" + name;
@@ -34,6 +41,18 @@ std::string fixture(const std::string& name) {
 
 std::string layering_dir() {
   return std::string(VMINCQR_LINT_FIXTURE_DIR) + "/layering";
+}
+
+std::string callgraph_dir() {
+  return std::string(VMINCQR_LINT_FIXTURE_DIR) + "/callgraph";
+}
+
+CallGraphOptions callgraph_fixture_options() {
+  CallGraphOptions opts;
+  opts.layers = load_layers(callgraph_dir() + "/layers.toml");
+  opts.tolerance_manifest =
+      load_tier_manifest(callgraph_dir() + "/numeric_tiers.toml");
+  return opts;
 }
 
 struct GoldenCase {
@@ -84,12 +103,15 @@ TEST(lint, FixturesCoverEveryRuleInTheTable) {
   EXPECT_EQ(fired.size(), vmincqr::lint::rule_table().size());
 }
 
-TEST(lint, RuleIdsAreUniqueAcrossBothTables) {
+TEST(lint, RuleIdsAreUniqueAcrossAllTables) {
   std::set<std::string> ids;
   for (const auto& rule : vmincqr::lint::rule_table()) {
     EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
   }
   for (const auto& rule : vmincqr::lint::graph_rule_table()) {
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
+  }
+  for (const auto& rule : vmincqr::lint::callgraph_rule_table()) {
     EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
   }
 }
@@ -531,6 +553,290 @@ TEST(lint, RealTreeIsClean) {
   }
 }
 
+// --- phase 4: cross-TU call graph -----------------------------------------
+
+TEST(lint, CallGraphFixtureFiresEveryPhase4RuleExactlyOnce) {
+  const auto analysis =
+      analyze_call_graph_directory(callgraph_dir(), callgraph_fixture_options());
+  std::string dump;
+  for (const auto& d : analysis.diagnostics) {
+    dump += vmincqr::lint::format(d) + "\n";
+  }
+  ASSERT_EQ(analysis.diagnostics.size(), 7u) << dump;
+  std::set<std::string> fired;
+  for (const auto& d : analysis.diagnostics) {
+    EXPECT_TRUE(fired.insert(d.rule).second)
+        << "rule fired twice: " << d.rule << "\n" << dump;
+  }
+  // The transitive RNG rule deliberately reuses the phase-3 id, so the
+  // expected set is the callgraph table plus rng-in-parallel.
+  std::set<std::string> expected = {"rng-in-parallel"};
+  for (const auto& rule : vmincqr::lint::callgraph_rule_table()) {
+    expected.insert(rule.id);
+  }
+  EXPECT_EQ(fired, expected) << dump;
+}
+
+TEST(lint, CallLayerViolationAnchorsAtTheServeRoot) {
+  const auto analysis =
+      analyze_call_graph_directory(callgraph_dir(), callgraph_fixture_options());
+  bool seen = false;
+  for (const auto& d : analysis.diagnostics) {
+    if (d.rule != "call-layer-violation") continue;
+    seen = true;
+    // Reported against the serve-module root's first call edge, not the TU
+    // that textually contains the fit() call.
+    EXPECT_NE(d.file.find("serve/handler.cpp"), std::string::npos) << d.file;
+    EXPECT_NE(d.message.find("'handle_request'"), std::string::npos);
+    EXPECT_NE(d.message.find("module 'serve'"), std::string::npos);
+    EXPECT_NE(d.message.find("handle_request -> refresh_model -> fit"),
+              std::string::npos)
+        << d.message;
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(lint, TransitiveParallelFindingsNameTheReachedHelpers) {
+  const auto analysis =
+      analyze_call_graph_directory(callgraph_dir(), callgraph_fixture_options());
+  for (const auto& d : analysis.diagnostics) {
+    if (d.rule == "mutable-static-in-parallel") {
+      EXPECT_NE(d.file.find("core/kernels.cpp"), std::string::npos) << d.file;
+      EXPECT_NE(d.message.find("'bump_counter'"), std::string::npos);
+    }
+    if (d.rule == "rng-in-parallel") {
+      EXPECT_NE(d.file.find("core/kernels.cpp"), std::string::npos) << d.file;
+      EXPECT_NE(d.message.find("'draw_noise'"), std::string::npos);
+      EXPECT_NE(d.message.find("hardcoded seed"), std::string::npos);
+    }
+    // The committed tolerance kernel must stay silent: its float
+    // accumulation is the sanctioned opt-out.
+    EXPECT_EQ(d.message.find("'fast_norm'"), std::string::npos) << d.message;
+  }
+}
+
+TEST(lint, TierRecordsAuditEveryAnnotation) {
+  const auto analysis =
+      analyze_call_graph_directory(callgraph_dir(), callgraph_fixture_options());
+  ASSERT_EQ(analysis.tiers.size(), 2u);
+  EXPECT_EQ(analysis.tiers[0].function, "fast_norm");
+  EXPECT_EQ(analysis.tiers[0].tier, "tolerance");
+  EXPECT_EQ(analysis.tiers[1].function, "rogue_kernel");
+  EXPECT_EQ(analysis.tiers[1].tier, "tolerance");
+  EXPECT_LT(analysis.tiers[0].line, analysis.tiers[1].line);
+}
+
+TEST(lint, StaleManifestEntriesAreReportedAgainstTheManifest) {
+  CallGraphOptions opts = callgraph_fixture_options();
+  opts.tolerance_manifest.insert("ghost_kernel");
+  opts.manifest_display = "numeric_tiers.toml";
+  const auto analysis = analyze_call_graph_directory(callgraph_dir(), opts);
+  bool seen = false;
+  for (const auto& d : analysis.diagnostics) {
+    if (d.rule != "numeric-tier-manifest" ||
+        d.message.find("'ghost_kernel'") == std::string::npos) {
+      continue;
+    }
+    seen = true;
+    EXPECT_EQ(d.file, "numeric_tiers.toml");
+    EXPECT_NE(d.message.find("stale"), std::string::npos);
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(lint, CallGraphResolvesOverloadsByArityWithConservativeFallback) {
+  const std::vector<SourceFile> files = {
+      {"a.cpp", "a.cpp",
+       "double scale(double x) { return x; }\n"
+       "double scale(double x, double y) { return x + y; }\n"
+       "double use1(double v) { return scale(v); }\n"
+       "double use3(double v) { return scale(v, v, v); }\n"}};
+  const CallGraph g = CallGraph::build(files, LayerConfig{});
+  ASSERT_EQ(g.defs().size(), 4u);
+  bool saw_exact = false;
+  bool saw_fallback = false;
+  for (const auto& c : g.calls()) {
+    if (c.name != "scale") continue;
+    if (c.arity == 1) {
+      saw_exact = true;
+      EXPECT_EQ(c.callees, (std::vector<std::size_t>{0}));
+    }
+    if (c.arity == 3) {
+      // No overload admits 3 arguments: the call falls back to the whole
+      // visible set rather than silently dropping the edge.
+      saw_fallback = true;
+      EXPECT_EQ(c.callees, (std::vector<std::size_t>{0, 1}));
+    }
+  }
+  EXPECT_TRUE(saw_exact);
+  EXPECT_TRUE(saw_fallback);
+}
+
+TEST(lint, CallGraphPrefersMemberAndQualifiedDefinitions) {
+  const std::vector<SourceFile> files = {
+      {"m.cpp", "m.cpp",
+       "struct Model {\n"
+       "  double update(double x) { return x; }\n"
+       "};\n"
+       "double update(double x) { return x + 1.0; }\n"
+       "double use_member(Model& m, double v) { return m.update(v); }\n"
+       "double use_qualified(double v) { return Model::update(v); }\n"
+       "double use_free(double v) { return update(v); }\n"}};
+  const CallGraph g = CallGraph::build(files, LayerConfig{});
+  ASSERT_EQ(g.defs().size(), 5u);
+  EXPECT_EQ(g.defs()[0].display, "Model::update");
+  for (const auto& c : g.calls()) {
+    if (c.name != "update") continue;
+    if (c.member || c.qualifier == "Model") {
+      EXPECT_EQ(c.callees, (std::vector<std::size_t>{0}));
+    } else {
+      // An unqualified call cannot rule the member out: both survive.
+      EXPECT_EQ(c.callees, (std::vector<std::size_t>{0, 1}));
+    }
+  }
+}
+
+TEST(lint, CallGraphTreatsExternalCallsAsLeaves) {
+  const std::vector<SourceFile> files = {
+      {"x.cpp", "x.cpp",
+       "double probe(std::vector<double>& xs, double v) {\n"
+       "  std::sort(xs.begin(), xs.end());\n"
+       "  return mystery_helper(v);\n"
+       "}\n"}};
+  const CallGraph g = CallGraph::build(files, LayerConfig{});
+  bool saw_unresolved = false;
+  for (const auto& c : g.calls()) {
+    EXPECT_NE(c.name, "sort");  // std:: never enters the graph
+    if (c.name == "mystery_helper") {
+      saw_unresolved = true;
+      EXPECT_TRUE(c.callees.empty());
+    }
+  }
+  EXPECT_TRUE(saw_unresolved);
+}
+
+TEST(lint, ReachabilityTerminatesOnCycles) {
+  const std::vector<SourceFile> files = {
+      {"c.cpp", "c.cpp",
+       "double ping(double x) { return pong(x) + 1.0; }\n"
+       "double pong(double x) { return ping(x) - 1.0; }\n"}};
+  const CallGraph g = CallGraph::build(files, LayerConfig{});
+  ASSERT_EQ(g.defs().size(), 2u);
+  EXPECT_EQ(g.reachable_from({0}), (std::set<std::size_t>{0, 1}));
+  EXPECT_EQ(g.reachable_from({1}), (std::set<std::size_t>{0, 1}));
+}
+
+TEST(lint, LayerVisibilityScopesCallResolution) {
+  const LayerConfig cfg = parse_layers(
+      "[modules]\n"
+      "low  = [\"low/\"]\n"
+      "high = [\"high/\"]\n"
+      "[allow]\n"
+      "low  = []\n"
+      "high = [\"low\"]\n");
+  const std::vector<SourceFile> files = {
+      {"low/a.cpp", "low/a.cpp", "double helper(double x) { return x; }\n"},
+      {"high/b.cpp", "high/b.cpp",
+       "double helper(double x) { return x * 2.0; }\n"
+       "double drive(double v) { return helper(v); }\n"},
+      {"low/c.cpp", "low/c.cpp",
+       "double blind(double v) { return helper(v); }\n"}};
+  const CallGraph g = CallGraph::build(files, cfg);
+  for (const auto& c : g.calls()) {
+    if (c.name != "helper") continue;
+    if (g.module_of_tu(c.tu) == "high") {
+      // high may include low: both definitions stay candidates.
+      EXPECT_EQ(c.callees, (std::vector<std::size_t>{0, 1}));
+    } else {
+      // low cannot include high, so the high-module overload is invisible.
+      EXPECT_EQ(c.callees, (std::vector<std::size_t>{0}));
+    }
+  }
+}
+
+TEST(lint, Phase4NegativeShapesStayClean) {
+  // A parameter-derived seed and a const static are both deterministic
+  // under any schedule; neither transitive rule may fire.
+  const std::string src =
+      "double seeded_noise(double seed) {\n"
+      "  Rng r(seed);\n"
+      "  return r.next();\n"
+      "}\n"
+      "double counting(double x) {\n"
+      "  static const double kBase = 1.0;\n"
+      "  return x + kBase;\n"
+      "}\n"
+      "void drive(std::size_t n) {\n"
+      "  parallel::parallel_for(n, 64, [&](std::size_t b, std::size_t e) {\n"
+      "    consume(seeded_noise(static_cast<double>(b)),\n"
+      "            counting(static_cast<double>(e)));\n"
+      "  });\n"
+      "}\n";
+  const auto analysis =
+      analyze_call_graph({{"p.cpp", "p.cpp", src}}, CallGraphOptions{});
+  for (const auto& d : analysis.diagnostics) {
+    ADD_FAILURE() << vmincqr::lint::format(d);
+  }
+}
+
+TEST(lint, Phase4FindingsHonorAllowSuppressions) {
+  const std::string body =
+      "  static double cache = 0.0;\n"
+      "  cache += x;\n"
+      "  return cache;\n"
+      "}\n"
+      "void drive(std::size_t n) {\n"
+      "  parallel::parallel_for(n, 64, [&](std::size_t b, std::size_t e) {\n"
+      "    consume(hot_static(static_cast<double>(b)));\n"
+      "  });\n"
+      "}\n";
+  const std::string bad = "double hot_static(double x) {\n" + body;
+  const auto fired =
+      analyze_call_graph({{"p.cpp", "p.cpp", bad}}, CallGraphOptions{});
+  ASSERT_EQ(fired.diagnostics.size(), 1u);
+  EXPECT_EQ(fired.diagnostics[0].rule, "mutable-static-in-parallel");
+  const std::string suppressed =
+      "double hot_static(double x) {\n"
+      "  // vmincqr-lint: allow(mutable-static-in-parallel)\n" +
+      body;
+  const auto silent =
+      analyze_call_graph({{"p.cpp", "p.cpp", suppressed}}, CallGraphOptions{});
+  EXPECT_TRUE(silent.diagnostics.empty());
+}
+
+TEST(lint, Phase4SarifAndDotAreByteIdenticalAcrossThreadWidths) {
+  CallGraphOptions opts = callgraph_fixture_options();
+  opts.emit_dot = true;
+  vmincqr::parallel::set_max_threads(1);
+  const auto narrow = analyze_call_graph_directory(callgraph_dir(), opts);
+  const std::string narrow_sarif =
+      vmincqr::lint::to_sarif(narrow.diagnostics, narrow.tiers);
+  vmincqr::parallel::set_max_threads(8);
+  const auto wide = analyze_call_graph_directory(callgraph_dir(), opts);
+  const std::string wide_sarif =
+      vmincqr::lint::to_sarif(wide.diagnostics, wide.tiers);
+  vmincqr::parallel::set_max_threads(0);  // restore env/hardware resolution
+  EXPECT_EQ(narrow_sarif, wide_sarif);
+  EXPECT_EQ(narrow.dot, wide.dot);
+  // The comparison is meaningful only when the run found things and the
+  // tier audit trail made it into the log.
+  EXPECT_NE(narrow_sarif.find("\"ruleId\""), std::string::npos);
+  EXPECT_NE(narrow_sarif.find("\"numericTiers\""), std::string::npos);
+}
+
+TEST(lint, DotDumpClustersModulesAndStylesReachability) {
+  CallGraphOptions opts = callgraph_fixture_options();
+  opts.emit_dot = true;
+  const auto analysis = analyze_call_graph_directory(callgraph_dir(), opts);
+  EXPECT_NE(analysis.dot.find("digraph vmincqr_callgraph"), std::string::npos);
+  EXPECT_NE(analysis.dot.find("cluster_core"), std::string::npos);
+  EXPECT_NE(analysis.dot.find("cluster_serve"), std::string::npos);
+  EXPECT_NE(analysis.dot.find("fillcolor"), std::string::npos);  // parallel
+  EXPECT_NE(analysis.dot.find("dashed"), std::string::npos);     // tolerance
+  EXPECT_NE(analysis.dot.find(" -> "), std::string::npos);       // edges
+  EXPECT_NE(analysis.dot.find("handle_request"), std::string::npos);
+}
+
 // --- SARIF output ---------------------------------------------------------
 
 // Minimal structural JSON check: braces/brackets balance outside string
@@ -588,6 +894,11 @@ TEST(lint, SarifListsEveryRuleEvenWhenClean) {
         << rule.id;
   }
   for (const auto& rule : vmincqr::lint::graph_rule_table()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
+              std::string::npos)
+        << rule.id;
+  }
+  for (const auto& rule : vmincqr::lint::callgraph_rule_table()) {
     EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
               std::string::npos)
         << rule.id;

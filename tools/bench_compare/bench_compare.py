@@ -3,6 +3,8 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.15]
+    bench_compare.py BASELINE.json RUN1.json RUN2.json ... --runs N \\
+        [--max-cv 0.10]
 
 Both files are flat-ish JSON emitted by bench/perf_models or
 bench/perf_parallel. The comparator walks the two documents in lockstep
@@ -22,12 +24,23 @@ Lists of objects are matched by their ``name`` field when present (so
 reordering the model zoo does not break the diff), positionally
 otherwise.
 
-Exit codes: 0 = within tolerance, 1 = regression or config mismatch,
-2 = usage / unreadable / unparseable input.
+Repeat mode (``--runs N``) takes N current-run files from repeated
+invocations of the same bench, averages every timing leaf before the
+baseline diff, and reports the per-metric coefficient of variation
+(sample stddev / mean). The CV report is the evidence for promoting the
++-15% comparator from soft-fail to hard gate: a metric whose CV across
+repeats approaches the tolerance band cannot gate anything. ``--max-cv``
+turns that judgment into a failure. Config leaves must be identical
+across repeats — differing thread counts or shapes mean the runs are not
+repeats at all.
+
+Exit codes: 0 = within tolerance, 1 = regression, config mismatch, or CV
+over --max-cv, 2 = usage / unreadable / unparseable input.
 """
 
 import argparse
 import json
+import math
 import sys
 
 HIGHER_BETTER_SUFFIXES = ("rows_per_s", "speedup", "qps")
@@ -123,6 +136,76 @@ def compare(base, cur, tolerance, path, failures, notes):
             notes.append("%s: improved %.6g -> %.6g" % (path, base, cur))
 
 
+def aggregate(docs, path, cvs, failures):
+    """Merge N repeat-run documents: timing leaves -> mean (CV recorded in
+    ``cvs``), config leaves -> verified-identical value. Structure mismatches
+    across repeats land in ``failures``."""
+    first = docs[0]
+
+    if isinstance(first, dict):
+        if not all(isinstance(d, dict) for d in docs):
+            failures.append("%s: repeat runs disagree on structure" % path)
+            return first
+        merged = {}
+        for key in first:
+            sub = "%s.%s" % (path, key) if path else key
+            missing = [d for d in docs if key not in d]
+            if missing:
+                failures.append("%s: missing from %d repeat run(s)" %
+                                (sub, len(missing)))
+                continue
+            merged[key] = aggregate([d[key] for d in docs], sub, cvs,
+                                    failures)
+        return merged
+
+    if isinstance(first, list):
+        if not all(isinstance(d, list) and len(d) == len(first)
+                   for d in docs):
+            failures.append("%s: repeat runs disagree on list length" % path)
+            return first
+        merged = []
+        for label, bval, _ in pair_lists(first, first):
+            sub = "%s[%s]" % (path, label)
+            if (isinstance(bval, dict) and "name" in bval):
+                group = []
+                for d in docs:
+                    match = [x for x in d
+                             if isinstance(x, dict) and
+                             x.get("name") == bval["name"]]
+                    if not match:
+                        failures.append("%s: missing from a repeat run" % sub)
+                        break
+                    group.append(match[0])
+                if len(group) == len(docs):
+                    merged.append(aggregate(group, sub, cvs, failures))
+            else:
+                idx = int(label)
+                merged.append(aggregate([d[idx] for d in docs], sub, cvs,
+                                        failures))
+        return merged
+
+    # Leaf: timing keys average, everything else must agree exactly.
+    key = path.rsplit(".", 1)[-1].rsplit("]", 1)[-1] or path
+    if classify(key) == "config" or isinstance(first, (str, bool)):
+        if any(d != first for d in docs):
+            failures.append(
+                "%s: config differs across repeat runs (%s); repeats must "
+                "share shapes and thread counts" %
+                (path, ", ".join(repr(d) for d in docs)))
+        return first
+    if not all(isinstance(d, (int, float)) for d in docs):
+        failures.append("%s: non-numeric perf leaf in a repeat run" % path)
+        return first
+    mean = sum(docs) / len(docs)
+    if len(docs) > 1:
+        var = sum((d - mean) ** 2 for d in docs) / (len(docs) - 1)
+        if mean != 0.0:
+            cvs[path] = math.sqrt(var) / abs(mean)
+        else:
+            cvs[path] = 0.0 if var == 0.0 else float("inf")
+    return mean
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -137,19 +220,56 @@ def main(argv):
     parser = argparse.ArgumentParser(
         description="diff a bench JSON against its committed baseline")
     parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("current", nargs="+",
+                        help="one run, or N repeat runs with --runs N")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="relative slack before a delta fails "
                              "(default 0.15 = 15%%)")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="repeat mode: expect this many current-run "
+                             "files, average timings, report per-metric CV")
+    parser.add_argument("--max-cv", type=float, default=None,
+                        help="fail when any metric's coefficient of "
+                             "variation across repeats exceeds this "
+                             "(requires --runs)")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
+    if args.runs is None:
+        if len(args.current) != 1:
+            parser.error("%d current files given; pass --runs %d for "
+                         "repeat mode" % (len(args.current),
+                                          len(args.current)))
+    elif args.runs < 2:
+        parser.error("--runs must be >= 2")
+    elif len(args.current) != args.runs:
+        parser.error("--runs %d but %d current files given" %
+                     (args.runs, len(args.current)))
+    if args.max_cv is not None and args.runs is None:
+        parser.error("--max-cv requires --runs")
 
     base = load(args.baseline)
-    cur = load(args.current)
+    docs = [load(path) for path in args.current]
 
     failures, notes = [], []
+    cvs = {}
+    if args.runs is not None:
+        cur = aggregate(docs, "", cvs, failures)
+        label = "mean of %d runs" % args.runs
+    else:
+        cur = docs[0]
+        label = args.current[0]
     compare(base, cur, args.tolerance, "", failures, notes)
+
+    for path in sorted(cvs):
+        flag = ""
+        if args.max_cv is not None and cvs[path] > args.max_cv:
+            failures.append("%s: CV %.1f%% across %d runs exceeds the "
+                            "%.1f%% --max-cv gate; metric too noisy to "
+                            "compare" % (path, 100.0 * cvs[path], args.runs,
+                                         100.0 * args.max_cv))
+            flag = "  <-- over --max-cv"
+        print("  cv: %-60s %6.2f%%%s" % (path, 100.0 * cvs[path], flag))
 
     for note in notes:
         print("  note: %s" % note)
@@ -160,7 +280,7 @@ def main(argv):
             print("  FAIL: %s" % failure)
         return 1
     print("bench_compare: %s within %.0f%% of %s" %
-          (args.current, 100.0 * args.tolerance, args.baseline))
+          (label, 100.0 * args.tolerance, args.baseline))
     return 0
 
 

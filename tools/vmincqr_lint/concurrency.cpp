@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "dataflow.hpp"
+#include "parse.hpp"
 
 namespace vmincqr::lint {
 namespace {
@@ -67,23 +68,6 @@ const std::set<std::string>& rng_draw_methods() {
       "normal_vector", "shuffle",     "fork",     "exponential",
       "poisson",       "gauss"};
   return names;
-}
-
-/// Index of the token matching the opener at `open` ('(', '[', '{', '<'),
-/// or t.size() when unbalanced.
-std::size_t match_forward(const std::vector<Token>& t, std::size_t open) {
-  const std::string& o = t[open].text;
-  const std::string close = o == "(" ? ")" : o == "[" ? "]"
-                            : o == "{" ? "}" : ">";
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].text == o) {
-      ++depth;
-    } else if (t[i].text == close && --depth == 0) {
-      return i;
-    }
-  }
-  return t.size();
 }
 
 /// A '[' opens a lambda capture list (rather than a subscript) when the
@@ -613,6 +597,14 @@ std::vector<ParallelBody> find_parallel_bodies(const std::vector<Token>& t) {
     if (t[open].text != "(") continue;
     const std::size_t close = match_forward(t, open);
     if (close >= t.size()) continue;
+    // A literal `use_pool=false` trailing argument pins the launch to the
+    // calling thread — the body runs sequentially by contract, so the
+    // parallel rules do not apply. Only the bare literal counts: a computed
+    // `use_pool` may still go parallel.
+    if (close >= 2 && t[close - 1].text == "false" &&
+        t[close - 2].text == ",") {
+      continue;
+    }
     const bool reduce_like = t[i].text == "parallel_deterministic_reduce";
     bool took_map_chunk = false;
     for (std::size_t j = open + 1; j < close;) {

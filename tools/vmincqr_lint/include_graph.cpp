@@ -253,10 +253,12 @@ LayerConfig parse_layers(const std::string& toml_text) {
                                  ": unterminated section header");
       }
       section = trim(line.substr(1, line.size() - 2));
-      if (section != "modules" && section != "allow") {
-        throw std::runtime_error("layers.toml:" + std::to_string(line_no) +
-                                 ": unknown section [" + section +
-                                 "] (expected [modules] or [allow])");
+      if (section != "modules" && section != "allow" &&
+          section != "call_forbidden") {
+        throw std::runtime_error(
+            "layers.toml:" + std::to_string(line_no) + ": unknown section [" +
+            section +
+            "] (expected [modules], [allow], or [call_forbidden])");
       }
       continue;
     }
@@ -269,11 +271,15 @@ LayerConfig parse_layers(const std::string& toml_text) {
     const auto values = parse_string_list(line.substr(eq + 1), line_no);
     if (section == "modules") {
       config.modules.push_back({key, values});
-    } else {
+    } else if (section == "allow") {
       config.allowed.emplace_back(key, values);
+    } else {
+      config.call_forbidden.emplace_back(key, values);
     }
   }
-  // Validate: every [allow] key and value must be a declared module.
+  // Validate: every [allow] key and value must be a declared module, and
+  // every [call_forbidden] key too (its values are symbol names, not
+  // modules, so they are free-form).
   std::set<std::string> known;
   for (const auto& m : config.modules) known.insert(m.name);
   for (const auto& [name, list] : config.allowed) {
@@ -286,6 +292,13 @@ LayerConfig parse_layers(const std::string& toml_text) {
         throw std::runtime_error("layers.toml: '" + name +
                                  "' allows unknown module '" + dep + "'");
       }
+    }
+  }
+  for (const auto& [name, list] : config.call_forbidden) {
+    (void)list;
+    if (known.count(name) == 0) {
+      throw std::runtime_error("layers.toml: [call_forbidden] entry '" +
+                               name + "' is not a declared module");
     }
   }
   return config;

@@ -41,11 +41,18 @@ struct SourceFile {
 ///   linalg    = ["linalg/"]
 ///   [allow]
 ///   linalg    = ["core_base"]
+///   [call_forbidden]
+///   serve     = ["fit", "calibrate"]
 ///
 /// A file maps to the module with the longest matching path prefix (exact
 /// file entries beat directory prefixes). Every module may include itself;
 /// all other edges must be listed under [allow]. Unmapped files are exempt
 /// from the layering rule but still participate in cycle/IWYU analysis.
+///
+/// [call_forbidden] feeds the phase-4 call-level layering rule
+/// (call-layer-violation, callgraph.hpp): functions in the listed module
+/// must not transitively *call* any symbol with one of the listed names,
+/// even when every include edge is legal.
 struct LayerConfig {
   struct Module {
     std::string name;
@@ -53,6 +60,9 @@ struct LayerConfig {
   };
   std::vector<Module> modules;
   std::vector<std::pair<std::string, std::vector<std::string>>> allowed;
+  /// module -> symbol names its functions must never transitively call.
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+      call_forbidden;
 
   /// Module name for a rel path, or "" when unmapped.
   [[nodiscard]] std::string module_of(const std::string& rel) const;

@@ -325,11 +325,51 @@ const std::vector<RuleInfo>& graph_rule_table() {
   return table;
 }
 
+const std::vector<RuleInfo>& callgraph_rule_table() {
+  static const std::vector<RuleInfo> table = {
+      {"mutable-static-in-parallel",
+       "no non-const function-local statics in functions reachable from "
+       "parallel bodies; concurrent chunks race on their state"},
+      {"call-layer-violation",
+       "modules listed in layers.toml [call_forbidden] must not transitively "
+       "call the named training symbols, even through legal includes"},
+      {"fp-narrowing",
+       "no double-to-float narrowing in bit_exact-tier functions on "
+       "predict/fit paths; declare numeric-tier(tolerance) to opt out"},
+      {"float-accumulator",
+       "no float loop accumulators in bit_exact-tier functions on "
+       "predict/fit paths; accumulate in double or opt into tolerance tier"},
+      {"unguarded-division",
+       "divisors on predict/fit paths must be compared, contract-checked, or "
+       "pinned nonzero before the division (applies at every tier)"},
+      {"numeric-tier-manifest",
+       "every numeric-tier(tolerance) annotation must be mirrored in the "
+       "committed tier manifest, and the manifest must carry no stale "
+       "entries"},
+  };
+  return table;
+}
+
 std::vector<Diagnostic> lint_source(const std::string& path,
-                                    const std::string& content) {
+                                    const std::string& content,
+                                    const LintPhases& phases) {
   const Unit unit = tokenize(content);
   std::vector<Diagnostic> raw;
   Ctx ctx{path, unit, is_header(path), raw};
+  if (!phases.per_tu) {
+    if (phases.concurrency) {
+      for (auto& d : concurrency_rules(path, unit)) raw.push_back(std::move(d));
+    }
+    std::vector<Diagnostic> kept;
+    for (auto& d : raw) {
+      if (!is_allowed(unit, d.rule, d.line)) kept.push_back(std::move(d));
+    }
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return a.line < b.line;
+                     });
+    return kept;
+  }
   rule_pragma_once(ctx);
   rule_using_namespace(ctx);
   rule_no_rand(ctx);
@@ -340,7 +380,9 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   rule_contract_coverage(ctx);
   rule_raw_thread(ctx);
   for (auto& d : dataflow_rules(path, unit)) raw.push_back(std::move(d));
-  for (auto& d : concurrency_rules(path, unit)) raw.push_back(std::move(d));
+  if (phases.concurrency) {
+    for (auto& d : concurrency_rules(path, unit)) raw.push_back(std::move(d));
+  }
 
   // Apply per-line suppressions: same line or the line directly above.
   std::vector<Diagnostic> kept;
@@ -354,22 +396,24 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   return kept;
 }
 
-std::vector<Diagnostic> lint_file(const std::string& path) {
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  const LintPhases& phases) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("vmincqr_lint: cannot read " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return lint_source(path, ss.str());
+  return lint_source(path, ss.str(), phases);
 }
 
-std::vector<Diagnostic> lint_files(const std::vector<std::string>& paths) {
+std::vector<Diagnostic> lint_files(const std::vector<std::string>& paths,
+                                   const LintPhases& phases) {
   // Dogfood the deterministic pool: one task per TU. Each task is a pure
   // function of its file, and the final order is a total sort, so the
   // merged diagnostics are byte-identical at every thread width (asserted
   // by the SARIF invariance test).
   const auto per_file = core::parallel_map<std::vector<Diagnostic>>(
       paths.size(),
-      [&](std::size_t i) { return lint_file(paths[i]); });
+      [&](std::size_t i) { return lint_file(paths[i], phases); });
   std::vector<Diagnostic> out;
   for (const auto& ds : per_file) out.insert(out.end(), ds.begin(), ds.end());
   std::sort(out.begin(), out.end(),

@@ -49,21 +49,39 @@ const std::vector<RuleInfo>& rule_table();
 /// need the whole file set, not one TU; `--rules` prints both.
 const std::vector<RuleInfo>& graph_rule_table();
 
+/// Cross-TU call-graph rules (phase 4, callgraph.hpp). Third table for the
+/// same reason as the graph table: these need the whole file set. The
+/// transitive rng-in-parallel findings reuse the phase-3 rule id, so it is
+/// deliberately absent here.
+const std::vector<RuleInfo>& callgraph_rule_table();
+
+/// Which per-TU phases run. Phase 1 (include graph) and phase 4 (call
+/// graph) operate on the whole file set and are selected by the driver;
+/// phases 2 and 3 are gated here so `--phase=` can slice them apart and so
+/// the tests/bench tier-1 run can drop the style phase.
+struct LintPhases {
+  bool per_tu = true;       // phase 2: token + dataflow rules
+  bool concurrency = true;  // phase 3: concurrency & determinism rules
+};
+
 /// Lints one translation unit given its contents (the unit-testable core).
 /// `path` is used for diagnostics and to decide header-only rules (.hpp).
 /// Runs the token rules and the dataflow rules; include-graph analysis is
 /// separate (include_graph.hpp).
 std::vector<Diagnostic> lint_source(const std::string& path,
-                                    const std::string& content);
+                                    const std::string& content,
+                                    const LintPhases& phases = {});
 
 /// Reads `path` and lints it. Throws std::runtime_error if unreadable.
-std::vector<Diagnostic> lint_file(const std::string& path);
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  const LintPhases& phases = {});
 
 /// Lints many files, one pool task per TU (core::parallel_map — the linter
 /// dogfoods the deterministic pool it polices). The result is globally
 /// sorted by (file, line, rule, message), so output is byte-identical at
 /// every thread width.
-std::vector<Diagnostic> lint_files(const std::vector<std::string>& paths);
+std::vector<Diagnostic> lint_files(const std::vector<std::string>& paths,
+                                   const LintPhases& phases = {});
 
 /// True for files the linter understands (.hpp / .cpp).
 bool is_lintable(const std::string& path);

@@ -4,20 +4,32 @@
 //   vmincqr_lint [options] <file-or-dir>...
 //
 // Options:
-//   --rules               print both rule tables and exit
+//   --rules               print all three rule tables and exit
 //   --format=text|sarif   output format (default text)
 //   --layers=FILE         layering DAG config; enables the layer-violation
-//                         rule for directory arguments
+//                         rule (phase 1) and seeds the call-level layering
+//                         rule (phase 4) for directory arguments
 //   --include-root=DIR    root against which quoted includes resolve for the
-//                         include-graph pass (default: first directory arg)
+//                         cross-file passes (default: first directory arg)
+//   --phase=LIST          comma list of phases to run (default 1,2,3,4):
+//                         1 include-graph, 2 per-TU token+dataflow,
+//                         3 concurrency, 4 cross-TU call graph
+//   --tier-manifest=FILE  numeric-tier manifest for the phase-4
+//                         numeric-tier-manifest rule (default: no manifest,
+//                         so any tolerance annotation is a finding)
+//   --callgraph=FILE      write the phase-4 call graph as Graphviz DOT
+//   --skip=LIST           drop findings for these rule ids (validated)
+//   --only=LIST           keep only findings for these rule ids (validated)
+//   --exclude=SUBSTR      drop collected files whose path contains SUBSTR
+//                         (repeatable; e.g. --exclude=lint_fixtures)
 //   --fix                 apply the mechanically safe fixes (no-endl,
 //                         pragma-once, unordered→sorted container rewrite)
 //                         in place, then re-lint
 //   --budget-ms=N         fail (exit 1) if the whole run exceeds N ms — the
 //                         semantic pass must never slow the tier-1 suite
 //
-// The include-graph pass (layering, cycles, IWYU-lite) runs whenever at
-// least one argument is a directory; per-TU rules always run.
+// The cross-file passes (1 and 4) run whenever at least one argument is a
+// directory (or --include-root is given); per-TU rules always run.
 //
 // Exit status: 0 when clean, 1 on any diagnostic (or blown budget), 2 on
 // usage/IO errors.
@@ -27,13 +39,16 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "callgraph.hpp"
 #include "fix.hpp"
 #include "include_graph.hpp"
 #include "lint.hpp"
+#include "numeric.hpp"
 #include "sarif.hpp"
 
 namespace fs = std::filesystem;
@@ -64,9 +79,31 @@ std::string read_file(const std::string& path) {
 int usage() {
   std::fprintf(stderr,
                "usage: vmincqr_lint [--rules] [--format=text|sarif] "
-               "[--layers=FILE] [--include-root=DIR] [--fix] "
+               "[--layers=FILE] [--include-root=DIR] [--phase=1,2,3,4] "
+               "[--tier-manifest=FILE] [--callgraph=FILE] [--skip=LIST] "
+               "[--only=LIST] [--exclude=SUBSTR]... [--fix] "
                "[--budget-ms=N] <file-or-dir>...\n");
   return 2;
+}
+
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Every rule id across the three tables, for --skip/--only validation —
+/// a typo'd id in CI would otherwise silently filter nothing.
+std::set<std::string> all_rule_ids() {
+  std::set<std::string> ids;
+  for (const auto& r : vmincqr::lint::rule_table()) ids.insert(r.id);
+  for (const auto& r : vmincqr::lint::graph_rule_table()) ids.insert(r.id);
+  for (const auto& r : vmincqr::lint::callgraph_rule_table()) ids.insert(r.id);
+  return ids;
 }
 
 }  // namespace
@@ -76,6 +113,12 @@ int main(int argc, char** argv) {
   std::string format_name = "text";
   std::string layers_path;
   std::string include_root;
+  std::string tier_manifest_path;
+  std::string callgraph_path;
+  std::set<int> phases = {1, 2, 3, 4};
+  std::set<std::string> skip_rules;
+  std::set<std::string> only_rules;
+  std::vector<std::string> excludes;
   bool fix = false;
   long budget_ms = -1;
   std::vector<std::string> paths;
@@ -84,10 +127,13 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--rules") {
       for (const auto& rule : vmincqr::lint::rule_table()) {
-        std::printf("%-24s %s\n", rule.id, rule.rationale);
+        std::printf("%-28s %s\n", rule.id, rule.rationale);
       }
       for (const auto& rule : vmincqr::lint::graph_rule_table()) {
-        std::printf("%-24s %s\n", rule.id, rule.rationale);
+        std::printf("%-28s %s\n", rule.id, rule.rationale);
+      }
+      for (const auto& rule : vmincqr::lint::callgraph_rule_table()) {
+        std::printf("%-28s %s\n", rule.id, rule.rationale);
       }
       return 0;
     }
@@ -102,6 +148,35 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--include-root=", 0) == 0) {
       include_root = arg.substr(15);
+      continue;
+    }
+    if (arg.rfind("--phase=", 0) == 0) {
+      phases.clear();
+      for (const auto& p : split_commas(arg.substr(8))) {
+        if (p != "1" && p != "2" && p != "3" && p != "4") return usage();
+        phases.insert(p[0] - '0');
+      }
+      if (phases.empty()) return usage();
+      continue;
+    }
+    if (arg.rfind("--tier-manifest=", 0) == 0) {
+      tier_manifest_path = arg.substr(16);
+      continue;
+    }
+    if (arg.rfind("--callgraph=", 0) == 0) {
+      callgraph_path = arg.substr(12);
+      continue;
+    }
+    if (arg.rfind("--skip=", 0) == 0) {
+      for (const auto& id : split_commas(arg.substr(7))) skip_rules.insert(id);
+      continue;
+    }
+    if (arg.rfind("--only=", 0) == 0) {
+      for (const auto& id : split_commas(arg.substr(7))) only_rules.insert(id);
+      continue;
+    }
+    if (arg.rfind("--exclude=", 0) == 0) {
+      excludes.push_back(arg.substr(10));
       continue;
     }
     if (arg == "--fix") {
@@ -121,6 +196,19 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) return usage();
 
+  {
+    const std::set<std::string> known = all_rule_ids();
+    for (const auto* filter : {&skip_rules, &only_rules}) {
+      for (const auto& id : *filter) {
+        if (known.count(id) == 0) {
+          std::fprintf(stderr, "vmincqr_lint: unknown rule id '%s'\n",
+                       id.c_str());
+          return 2;
+        }
+      }
+    }
+  }
+
   std::vector<std::string> files;
   std::vector<std::string> dir_args;
   try {
@@ -132,10 +220,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "vmincqr_lint: %s\n", e.what());
     return 2;
   }
+  files.erase(std::remove_if(files.begin(), files.end(),
+                             [&](const std::string& f) {
+                               for (const auto& sub : excludes) {
+                                 if (f.find(sub) != std::string::npos) {
+                                   return true;
+                                 }
+                               }
+                               return false;
+                             }),
+              files.end());
   std::sort(files.begin(), files.end());
   if (include_root.empty() && !dir_args.empty()) include_root = dir_args[0];
 
   std::vector<vmincqr::lint::Diagnostic> diagnostics;
+  std::vector<vmincqr::lint::TierRecord> tiers;
   try {
     // --fix first so diagnostics reflect the rewritten tree.
     if (fix) {
@@ -158,11 +257,16 @@ int main(int argc, char** argv) {
     // Phases 2+3: per-TU rules, one pool task per file (the linter dogfoods
     // the deterministic pool). lint_files sorts by (file, line, rule,
     // message), so output is byte-identical at every thread width.
-    diagnostics = vmincqr::lint::lint_files(files);
+    if (phases.count(2) > 0 || phases.count(3) > 0) {
+      vmincqr::lint::LintPhases per_tu_phases;
+      per_tu_phases.per_tu = phases.count(2) > 0;
+      per_tu_phases.concurrency = phases.count(3) > 0;
+      diagnostics = vmincqr::lint::lint_files(files, per_tu_phases);
+    }
 
-    // Phase 1: include-graph over the collected set, includes resolved
-    // against the include root.
-    if (!include_root.empty()) {
+    // Phases 1 and 4 need the whole file set with root-relative paths.
+    if (!include_root.empty() &&
+        (phases.count(1) > 0 || phases.count(4) > 0)) {
       vmincqr::lint::LayerConfig config;
       if (!layers_path.empty()) {
         config = vmincqr::lint::load_layers(layers_path);
@@ -180,8 +284,39 @@ int main(int argc, char** argv) {
                    const vmincqr::lint::SourceFile& b) {
                   return a.rel < b.rel;
                 });
-      for (auto& d : vmincqr::lint::analyze_include_graph(sources, config)) {
-        diagnostics.push_back(std::move(d));
+      // Phase 1: include-graph (layering DAG, cycles, IWYU-lite).
+      if (phases.count(1) > 0) {
+        for (auto& d :
+             vmincqr::lint::analyze_include_graph(sources, config)) {
+          diagnostics.push_back(std::move(d));
+        }
+      }
+      // Phase 4: cross-TU call graph (transitive parallel context,
+      // call-level layering, numeric-safety tiers).
+      if (phases.count(4) > 0) {
+        vmincqr::lint::CallGraphOptions options;
+        options.layers = config;
+        if (!tier_manifest_path.empty()) {
+          options.tolerance_manifest =
+              vmincqr::lint::load_tier_manifest(tier_manifest_path);
+          options.manifest_display = tier_manifest_path;
+        }
+        options.emit_dot = !callgraph_path.empty();
+        auto analysis = vmincqr::lint::analyze_call_graph(sources, options);
+        for (auto& d : analysis.diagnostics) {
+          diagnostics.push_back(std::move(d));
+        }
+        tiers = std::move(analysis.tiers);
+        if (!callgraph_path.empty()) {
+          std::ofstream out(callgraph_path,
+                            std::ios::binary | std::ios::trunc);
+          if (!out) {
+            std::fprintf(stderr, "vmincqr_lint: cannot write %s\n",
+                         callgraph_path.c_str());
+            return 2;
+          }
+          out << analysis.dot;
+        }
       }
     }
   } catch (const std::exception& e) {
@@ -189,8 +324,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!skip_rules.empty() || !only_rules.empty()) {
+    diagnostics.erase(
+        std::remove_if(diagnostics.begin(), diagnostics.end(),
+                       [&](const vmincqr::lint::Diagnostic& d) {
+                         if (skip_rules.count(d.rule) > 0) return true;
+                         return !only_rules.empty() &&
+                                only_rules.count(d.rule) == 0;
+                       }),
+        diagnostics.end());
+  }
+
   if (format_name == "sarif") {
-    std::printf("%s", vmincqr::lint::to_sarif(diagnostics).c_str());
+    std::printf("%s", vmincqr::lint::to_sarif(diagnostics, tiers).c_str());
   } else {
     for (const auto& d : diagnostics) {
       std::printf("%s\n", vmincqr::lint::format(d).c_str());

@@ -51,6 +51,21 @@ bool opens_function_body(const std::vector<Token>& t, std::size_t i) {
 
 }  // namespace
 
+std::size_t match_forward(const std::vector<Token>& t, std::size_t open) {
+  const std::string& o = t[open].text;
+  const std::string close = o == "(" ? ")" : o == "[" ? "]"
+                            : o == "{" ? "}" : ">";
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == o) {
+      ++depth;
+    } else if (t[i].text == close && --depth == 0) {
+      return i;
+    }
+  }
+  return t.size();
+}
+
 std::vector<FunctionScope> function_scopes(const Unit& unit) {
   const auto& t = unit.tokens;
   std::vector<FunctionScope> scopes;
