@@ -5,7 +5,14 @@
 // records what this machine measured together with the thread counts used,
 // so numbers stay comparable across runs of the same box.
 //
-// Usage: perf_parallel [output.json]   (default: BENCH_parallel.json)
+// Usage: perf_parallel [--stress] [output.json]
+//   default output: BENCH_parallel.json (BENCH_stress.json with --stress)
+//
+// --stress swaps the 4096-row serve batch for a 100000-row one — the
+// fleet-screening scale the hot-path analyzer profiles for — and skips the
+// GBT fit (train-side, unchanged by batch size). Its JSON is uploaded as a
+// separate artifact so the large-N throughput trend is trackable without
+// touching the committed small-batch baselines.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -33,6 +40,7 @@ namespace {
 constexpr std::size_t kTrainRows = 2000;
 constexpr std::size_t kFeatures = 13;
 constexpr std::size_t kBatchRows = 4096;
+constexpr std::size_t kStressBatchRows = 100000;
 
 struct Problem {
   linalg::Matrix x;
@@ -97,19 +105,35 @@ std::string json_number(double value) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  bool stress = false;
+  std::string out_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::string(argv[a]) == "--stress") {
+      stress = true;
+    } else {
+      out_path = argv[a];
+    }
+  }
+  if (out_path.empty()) {
+    out_path = stress ? "BENCH_stress.json" : "BENCH_parallel.json";
+  }
+  const std::size_t batch_rows = stress ? kStressBatchRows : kBatchRows;
   const std::size_t wide = parallel::max_threads();
   const Problem train = make_problem(kTrainRows, kFeatures);
-  const Problem batch = make_problem(kBatchRows, kFeatures);
+  const Problem batch = make_problem(batch_rows, kFeatures);
 
   // --- GBT fit: the split search + row loops are the pool's hottest user.
-  const WidthTiming gbt_fit = bench_at_widths(wide, 3, [&] {
-    auto model = models::make_point_regressor(models::ModelKind::kXgboost);
-    model->fit(train.x, train.y);
-  });
-  std::printf("gbt fit        1 thread %8.3f ms   %zu threads %8.3f ms   %.2fx\n",
-              1e3 * gbt_fit.seq_s, wide, 1e3 * gbt_fit.par_s,
-              gbt_fit.speedup());
+  // Skipped under --stress: fit cost does not depend on the serve batch.
+  WidthTiming gbt_fit;
+  if (!stress) {
+    gbt_fit = bench_at_widths(wide, 3, [&] {
+      auto model = models::make_point_regressor(models::ModelKind::kXgboost);
+      model->fit(train.x, train.y);
+    });
+    std::printf(
+        "gbt fit        1 thread %8.3f ms   %zu threads %8.3f ms   %.2fx\n",
+        1e3 * gbt_fit.seq_s, wide, 1e3 * gbt_fit.par_s, gbt_fit.speedup());
+  }
 
   // --- serve batch: row-sharded predict_interval over a CQR-GBT bundle.
   const core::MiscoverageAlpha alpha{0.1};
@@ -126,12 +150,12 @@ int main(int argc, char** argv) {
   const auto predictor =
       serve::VminPredictor::from_bytes(artifact::encode_bundle(bundle));
 
-  const WidthTiming serve_batch = bench_at_widths(wide, 10, [&] {
+  const WidthTiming serve_batch = bench_at_widths(wide, stress ? 5 : 10, [&] {
     volatile double sink = predictor.predict_batch(batch.x)[0].lower;
     (void)sink;
   });
   const double rows_per_s =
-      static_cast<double>(kBatchRows) / serve_batch.par_s;
+      static_cast<double>(batch_rows) / serve_batch.par_s;
   std::printf("serve batch    1 thread %8.3f ms   %zu threads %8.3f ms   %.2fx  (%.3g rows/s)\n",
               1e3 * serve_batch.seq_s, wide, 1e3 * serve_batch.par_s,
               serve_batch.speedup(), rows_per_s);
@@ -144,15 +168,17 @@ int main(int argc, char** argv) {
   std::fputs("{\n", out);
   std::fprintf(out, "  \"threads\": %zu,\n", wide);
   std::fprintf(out, "  \"train_rows\": %zu,\n", kTrainRows);
-  std::fprintf(out, "  \"batch_rows\": %zu,\n", kBatchRows);
-  std::fprintf(out, "  \"gbt_fit\": {\n");
-  std::fprintf(out, "    \"seq_ms\": %s,\n",
-               json_number(1e3 * gbt_fit.seq_s).c_str());
-  std::fprintf(out, "    \"par_ms\": %s,\n",
-               json_number(1e3 * gbt_fit.par_s).c_str());
-  std::fprintf(out, "    \"speedup\": %s\n",
-               json_number(gbt_fit.speedup()).c_str());
-  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"batch_rows\": %zu,\n", batch_rows);
+  if (!stress) {
+    std::fprintf(out, "  \"gbt_fit\": {\n");
+    std::fprintf(out, "    \"seq_ms\": %s,\n",
+                 json_number(1e3 * gbt_fit.seq_s).c_str());
+    std::fprintf(out, "    \"par_ms\": %s,\n",
+                 json_number(1e3 * gbt_fit.par_s).c_str());
+    std::fprintf(out, "    \"speedup\": %s\n",
+                 json_number(gbt_fit.speedup()).c_str());
+    std::fprintf(out, "  },\n");
+  }
   std::fprintf(out, "  \"serve_batch\": {\n");
   std::fprintf(out, "    \"seq_ms\": %s,\n",
                json_number(1e3 * serve_batch.seq_s).c_str());

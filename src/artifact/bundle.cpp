@@ -147,6 +147,7 @@ void render_index_list(std::ostringstream& out,
 
 std::string escaped(const std::string& raw) {
   std::string out;
+  out.reserve(raw.size());
   for (const char c : raw) {
     if (c == '"' || c == '\\') out.push_back('\\');
     out.push_back(c);

@@ -129,6 +129,10 @@ void put_gbt_body(Writer& writer, const models::GbtParams& params) {
   }
 }
 
+// The per-tree node vector is the sanctioned allocation: each tree owns its
+// node storage and the vector is moved into params.trees, so a hoisted
+// buffer would be re-allocated after every move anyway (hotpath_tiers.toml).
+// vmincqr: hot-path(allow-alloc)
 models::GbtParams get_gbt_body(Reader& reader) {
   models::GbtParams params;
   params.base_score = reader.get_f64();

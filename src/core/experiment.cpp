@@ -72,6 +72,7 @@ std::vector<PointModelScore> evaluate_point_models(
 
   // Aggregate: mean across folds, then best k per model (paper protocol).
   std::vector<PointModelScore> out;
+  out.reserve(zoo.size());
   for (std::size_t m = 0; m < zoo.size(); ++m) {
     PointModelScore best;
     best.model = zoo[m];

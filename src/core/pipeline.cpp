@@ -52,6 +52,7 @@ std::vector<std::size_t> cfs_sweep_for_model(models::ModelKind kind,
   const std::size_t cap = config.cfs_max_features;
   auto clip = [cap](std::vector<std::size_t> v) {
     std::vector<std::size_t> out;
+    out.reserve(v.size());
     for (auto k : v) {
       if (k <= cap) out.push_back(k);
     }

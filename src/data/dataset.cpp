@@ -84,6 +84,7 @@ std::vector<double> Dataset::label_temperatures() const {
 std::vector<std::size_t> Dataset::select_features(
     const std::function<bool(const FeatureInfo&)>& pred) const {
   std::vector<std::size_t> out;
+  out.reserve(feature_info_.size());
   for (std::size_t j = 0; j < feature_info_.size(); ++j) {
     if (pred(feature_info_[j])) out.push_back(j);
   }

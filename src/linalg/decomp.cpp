@@ -87,6 +87,23 @@ Vector forward_substitute(const Matrix& l, const Vector& b) {
   return x;
 }
 
+void forward_substitute_row(const Matrix& l, const Matrix& b_rows,
+                            std::size_t row, Vector* x) {
+  const std::size_t n = l.rows();
+  VMINCQR_CHECK_SHAPE(l.cols() == n && b_rows.cols() == n &&
+                          row < b_rows.rows(),
+                      "forward_substitute_row: dimension mismatch");
+  x->resize(n);
+  Vector& out = *x;
+  const double* b = b_rows.row_ptr(row);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* li = l.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * out[k];
+    out[i] = s / li[i];
+  }
+}
+
 Vector backward_substitute_transposed(const Matrix& l, const Vector& b) {
   const std::size_t n = l.rows();
   VMINCQR_CHECK_SHAPE(l.cols() == n && b.size() == n,

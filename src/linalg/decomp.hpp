@@ -25,6 +25,14 @@ Matrix cholesky_jittered(const Matrix& a, double initial_jitter = 1e-10,
 /// Solves L x = b where L is lower triangular. Throws on mismatch.
 Vector forward_substitute(const Matrix& l, const Vector& b);
 
+/// Solves L x = b where b is row `row` of `b_rows`, writing into `*x`
+/// (resized on first use, reused afterwards). The hot-path variant of
+/// forward_substitute: it neither copies the row out of `b_rows` nor
+/// returns a fresh vector, so per-row solves inside batched predict loops
+/// can run against one hoisted scratch buffer per chunk.
+void forward_substitute_row(const Matrix& l, const Matrix& b_rows,
+                            std::size_t row, Vector* x);
+
 /// Solves L^T x = b where L is lower triangular. Throws on mismatch.
 Vector backward_substitute_transposed(const Matrix& l, const Vector& b);
 

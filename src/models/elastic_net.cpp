@@ -127,6 +127,7 @@ void ElasticNetRegressor::import_params(ElasticNetParams params) {
 
 std::vector<std::size_t> ElasticNetRegressor::selected_features() const {
   std::vector<std::size_t> idx;
+  idx.reserve(coef_.size());
   for (std::size_t j = 0; j < coef_.size(); ++j) {
     // Soft-thresholding produces exact zeros; != 0.0 is the sparsity test.
     if (coef_[j] != 0.0) idx.push_back(j);  // vmincqr-lint: allow(float-equality)

@@ -151,6 +151,9 @@ Vector GaussianProcessRegressor::predict(const Matrix& x) const {
   return posterior(x).mean;
 }
 
+// Per-chunk variance scratch is the sanctioned allocation: one vector per
+// pool chunk, reused across every row of the chunk (hotpath_tiers.toml).
+// vmincqr: hot-path(allow-alloc)
 GpPosterior GaussianProcessRegressor::posterior(const Matrix& x) const {
   check_predict_args(x, n_features_, fitted_);
   const Matrix xs = scaler_.transform(x);
@@ -162,9 +165,10 @@ GpPosterior GaussianProcessRegressor::posterior(const Matrix& x) const {
   parallel::parallel_for(
       xs.rows(), /*grain=*/0,
       [&](std::size_t begin, std::size_t end) {
+        Vector v;  // hoisted per chunk; forward_substitute_row reuses it
         for (std::size_t i = begin; i < end; ++i) {
           // v = L^{-1} k_star_i ; var = k(x,x) + sn2 - v^T v
-          const Vector v = linalg::forward_substitute(chol_, k_star.row(i));
+          linalg::forward_substitute_row(chol_, k_star, i, &v);
           double var =
               config_.signal_variance + noise_variance_ - linalg::dot(v, v);
           post.variance[i] = std::max(var, 1e-12);

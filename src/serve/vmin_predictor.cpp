@@ -45,6 +45,10 @@ VminPredictor VminPredictor::from_bytes(
   return VminPredictor(artifact::decode_bundle(bytes));
 }
 
+// The per-shard row_block slab is the sanctioned allocation: each shard
+// hands its model a contiguous sub-batch so the predictor sees one
+// cache-friendly matrix per dispatch (hotpath_tiers.toml).
+// vmincqr: hot-path(allow-alloc)
 std::vector<IntervalPrediction> VminPredictor::predict_batch(
     const Matrix& x) const {
   VMINCQR_REQUIRE(x.rows() > 0, "VminPredictor::predict_batch: empty batch");
@@ -55,7 +59,7 @@ std::vector<IntervalPrediction> VminPredictor::predict_batch(
         std::to_string(bundle_.dataset_columns.size()));
   }
 
-  Matrix design = x;
+  Matrix design = x;  // local copy: scaling must not mutate the caller's batch
   if (bundle_.has_input_scaler) {
     data::StandardScaler scaler;
     scaler.import_params(bundle_.input_scaler);

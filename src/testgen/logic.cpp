@@ -51,6 +51,7 @@ std::vector<PatternWord> LogicSimulator::simulate_impl(
 
   std::vector<PatternWord> fanin_values;
   const auto& gates = netlist_.gates();
+  fanin_values.reserve(gates.size());
   for (std::size_t g = 0; g < gates.size(); ++g) {
     const std::size_t node = netlist_.n_inputs() + g;
     fanin_values.clear();

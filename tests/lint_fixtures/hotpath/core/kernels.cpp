@@ -1,0 +1,62 @@
+// Core helpers reached from the serve roots (and from the predict entry):
+// each definition carries exactly one phase-5 finding shape, or is a
+// deliberately silent negative. The abstract Model supplies the virtual
+// method name the dispatch rules harvest.
+
+struct Model {
+  virtual double eval(double x) const = 0;
+};
+
+// A predict-entry root: grow_rows is hot through both cones.
+double predict(const std::vector<double>& xs) {
+  return grow_rows(xs);
+}
+
+// alloc-in-hot-loop: a heavy container constructed on every iteration.
+double alloc_helper(double x, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector tmp(3);
+    acc += tmp.size() + x;
+  }
+  return acc;
+}
+
+// missed-reserve: the loop head makes the trip count visible, so the
+// reserve is mechanically derivable (and --fix inserts it).
+double grow_rows(const std::vector<double>& xs) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out.push_back(xs[i] * 2.0);
+  }
+  return out.back();
+}
+
+// temporary-materialization: the freshly copied row exists to read one
+// scalar.
+double peek_row(const Matrix& m, std::size_t i) {
+  return m.row(i).back();
+}
+
+// heavy-pass-by-value: a full Matrix copy per call, never mutated.
+double copy_param(Matrix m, double x) {
+  return m.rows() * x;
+}
+
+// virtual-in-inner-loop: per-element dispatch in an innermost loop.
+double inner_dispatch(const Model* model, double x, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += model->eval(x);
+  }
+  return acc;
+}
+
+// Negative: the same shape stays silent under a per-line allow().
+double batched_dispatch(const Model* model, double x, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += model->eval(x);  // vmincqr-lint: allow(virtual-in-inner-loop)
+  }
+  return acc;
+}

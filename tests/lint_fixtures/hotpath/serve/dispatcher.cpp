@@ -1,0 +1,38 @@
+// Serve-module roots for the phase-5 fixture tree: every definition in
+// this TU seeds the serve-reachable cone, so the core helpers handle()
+// calls become hot by reachability. The two annotated functions exercise
+// the grant/manifest contract in both directions: shard_scratch is
+// committed in hotpath_tiers.toml (granted, silent), rogue_scratch is
+// annotated but missing from the manifest -> hot-path-manifest fires on
+// the definition while the grant still silences its allocation.
+
+double handle(const Matrix& m, const Model* model,
+              const std::vector<double>& xs, double x) {
+  double acc = alloc_helper(x, xs.size());
+  acc += grow_rows(xs);
+  acc += peek_row(m, 0);
+  acc += copy_param(m, x);
+  acc += inner_dispatch(model, x, xs.size());
+  acc += batched_dispatch(model, x, xs.size());
+  return acc;
+}
+
+// vmincqr: hot-path(allow-alloc)
+double shard_scratch(double x, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> slab(4, x);
+    acc += slab[0];
+  }
+  return acc;
+}
+
+// vmincqr: hot-path(allow-alloc)
+double rogue_scratch(double x, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> slab(4, x);
+    acc += slab[1];
+  }
+  return acc;
+}

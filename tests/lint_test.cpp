@@ -1,9 +1,9 @@
 // Golden-file tests for vmincqr_lint: each fixture in tests/lint_fixtures/
 // makes exactly one rule fire, suppressions silence diagnostics, and the
-// real src/ tree is clean under all four phases (per-TU token + dataflow
-// rules, the concurrency & determinism rules, the include-graph pass, and
-// the cross-TU call-graph pass). Suite names are lowercase so
-// `ctest -R lint` selects every linter-related test.
+// real src/ tree is clean under all five phases (per-TU token + dataflow
+// rules, the concurrency & determinism rules, the include-graph pass, the
+// cross-TU call-graph pass, and the hot-path allocation analyzer). Suite
+// names are lowercase so `ctest -R lint` selects every linter-related test.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -13,6 +13,7 @@
 
 #include "callgraph.hpp"
 #include "fix.hpp"
+#include "hotpath.hpp"
 #include "include_graph.hpp"
 #include "lint.hpp"
 #include "parallel/thread_pool.hpp"
@@ -24,12 +25,17 @@ namespace fs = std::filesystem;
 using vmincqr::lint::analyze_call_graph;
 using vmincqr::lint::analyze_call_graph_directory;
 using vmincqr::lint::analyze_directory;
+using vmincqr::lint::analyze_hot_paths;
+using vmincqr::lint::analyze_hot_paths_directory;
 using vmincqr::lint::CallGraph;
 using vmincqr::lint::CallGraphOptions;
 using vmincqr::lint::Diagnostic;
+using vmincqr::lint::hotpath_report_json;
+using vmincqr::lint::HotPathOptions;
 using vmincqr::lint::LayerConfig;
 using vmincqr::lint::lint_file;
 using vmincqr::lint::lint_source;
+using vmincqr::lint::load_hotpath_manifest;
 using vmincqr::lint::load_layers;
 using vmincqr::lint::load_tier_manifest;
 using vmincqr::lint::parse_layers;
@@ -52,6 +58,19 @@ CallGraphOptions callgraph_fixture_options() {
   opts.layers = load_layers(callgraph_dir() + "/layers.toml");
   opts.tolerance_manifest =
       load_tier_manifest(callgraph_dir() + "/numeric_tiers.toml");
+  return opts;
+}
+
+std::string hotpath_dir() {
+  return std::string(VMINCQR_LINT_FIXTURE_DIR) + "/hotpath";
+}
+
+HotPathOptions hotpath_fixture_options() {
+  HotPathOptions opts;
+  opts.layers = load_layers(hotpath_dir() + "/layers.toml");
+  opts.alloc_manifest =
+      load_hotpath_manifest(hotpath_dir() + "/hotpath_tiers.toml");
+  opts.manifest_display = "hotpath_tiers.toml";
   return opts;
 }
 
@@ -112,6 +131,9 @@ TEST(lint, RuleIdsAreUniqueAcrossAllTables) {
     EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
   }
   for (const auto& rule : vmincqr::lint::callgraph_rule_table()) {
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
+  }
+  for (const auto& rule : vmincqr::lint::hotpath_rule_table()) {
     EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate rule id " << rule.id;
   }
 }
@@ -837,6 +859,214 @@ TEST(lint, DotDumpClustersModulesAndStylesReachability) {
   EXPECT_NE(analysis.dot.find("handle_request"), std::string::npos);
 }
 
+// --- phase 5: hot-path allocation & copy analyzer -------------------------
+
+TEST(lint, HotPathFixtureFiresEveryPhase5RuleExactlyOnce) {
+  const auto analysis =
+      analyze_hot_paths_directory(hotpath_dir(), hotpath_fixture_options());
+  std::string dump;
+  for (const auto& d : analysis.diagnostics) {
+    dump += vmincqr::lint::format(d) + "\n";
+  }
+  ASSERT_EQ(analysis.diagnostics.size(), 6u) << dump;
+  std::set<std::string> fired;
+  for (const auto& d : analysis.diagnostics) {
+    EXPECT_TRUE(fired.insert(d.rule).second)
+        << "rule fired twice: " << d.rule << "\n" << dump;
+  }
+  std::set<std::string> expected;
+  for (const auto& rule : vmincqr::lint::hotpath_rule_table()) {
+    expected.insert(rule.id);
+  }
+  EXPECT_EQ(fired, expected) << dump;
+}
+
+TEST(lint, HotPathFindingsCarryWitnessChains) {
+  const auto analysis =
+      analyze_hot_paths_directory(hotpath_dir(), hotpath_fixture_options());
+  for (const auto& d : analysis.diagnostics) {
+    if (d.rule == "alloc-in-hot-loop") {
+      // The helper lives in core/; only the chain from the serve root
+      // explains why it is hot.
+      EXPECT_NE(d.file.find("core/kernels.cpp"), std::string::npos) << d.file;
+      EXPECT_NE(d.message.find("handle -> alloc_helper"), std::string::npos)
+          << d.message;
+    }
+    if (d.rule == "missed-reserve") {
+      EXPECT_NE(d.message.find("out.reserve(xs.size())"), std::string::npos)
+          << d.message;
+    }
+    // The granted function must stay silent: its per-chunk slab is the
+    // sanctioned opt-out.
+    EXPECT_EQ(d.message.find("'shard_scratch'"), std::string::npos)
+        << d.message;
+  }
+}
+
+TEST(lint, HotPathGrantsAuditEveryAnnotation) {
+  const auto analysis =
+      analyze_hot_paths_directory(hotpath_dir(), hotpath_fixture_options());
+  ASSERT_EQ(analysis.grants.size(), 2u);
+  EXPECT_EQ(analysis.grants[0].function, "shard_scratch");
+  EXPECT_EQ(analysis.grants[1].function, "rogue_scratch");
+  for (const auto& g : analysis.grants) {
+    EXPECT_EQ(g.grant, "allow-alloc");
+    EXPECT_NE(g.file.find("serve/dispatcher.cpp"), std::string::npos);
+  }
+  EXPECT_LT(analysis.grants[0].line, analysis.grants[1].line);
+}
+
+TEST(lint, HotPathManifestDriftFiresInBothDirections) {
+  // Annotated-but-uncommitted: reported at the rogue definition.
+  const auto base =
+      analyze_hot_paths_directory(hotpath_dir(), hotpath_fixture_options());
+  bool seen_rogue = false;
+  for (const auto& d : base.diagnostics) {
+    if (d.rule != "hot-path-manifest") continue;
+    seen_rogue = true;
+    EXPECT_NE(d.file.find("serve/dispatcher.cpp"), std::string::npos)
+        << d.file;
+    EXPECT_NE(d.message.find("'rogue_scratch'"), std::string::npos)
+        << d.message;
+  }
+  EXPECT_TRUE(seen_rogue);
+  // Committed-but-unannotated: reported against the manifest itself.
+  HotPathOptions opts = hotpath_fixture_options();
+  opts.alloc_manifest.insert("ghost_kernel");
+  const auto stale = analyze_hot_paths_directory(hotpath_dir(), opts);
+  bool seen_ghost = false;
+  for (const auto& d : stale.diagnostics) {
+    if (d.rule != "hot-path-manifest" ||
+        d.message.find("'ghost_kernel'") == std::string::npos) {
+      continue;
+    }
+    seen_ghost = true;
+    EXPECT_EQ(d.file, "hotpath_tiers.toml");
+    EXPECT_NE(d.message.find("stale"), std::string::npos);
+  }
+  EXPECT_TRUE(seen_ghost);
+}
+
+TEST(lint, HotPathGrantSilencesAllocRulesButNotTheManifestCheck) {
+  const std::vector<SourceFile> files = {
+      {"serve/s.cpp", "serve/s.cpp",
+       "// vmincqr: hot-path(allow-alloc)\n"
+       "double shard(double x, std::size_t n) {\n"
+       "  double acc = 0.0;\n"
+       "  for (std::size_t i = 0; i < n; ++i) {\n"
+       "    std::vector<double> slab(4, x);\n"
+       "    acc += slab[0];\n"
+       "  }\n"
+       "  return acc;\n"
+       "}\n"}};
+  HotPathOptions committed;
+  committed.alloc_manifest.insert("shard");
+  EXPECT_TRUE(analyze_hot_paths(files, committed).diagnostics.empty());
+  // Without the manifest entry the allocation stays granted, but the drift
+  // is a finding: the grant never silences its own audit.
+  const auto drift = analyze_hot_paths(files, HotPathOptions{});
+  ASSERT_EQ(drift.diagnostics.size(), 1u);
+  EXPECT_EQ(drift.diagnostics[0].rule, "hot-path-manifest");
+}
+
+TEST(lint, HeavyPassByValueSparesMutatedAndMovedParams) {
+  // `predict` is an entry name, so the function is hot without any serve
+  // module. The mutated copy is load-bearing -> no finding.
+  const std::vector<SourceFile> mutated = {
+      {"m.cpp", "m.cpp",
+       "double predict(std::vector<double> xs) {\n"
+       "  xs.push_back(1.0);\n"
+       "  return xs.back();\n"
+       "}\n"}};
+  for (const auto& d : analyze_hot_paths(mutated, HotPathOptions{}).diagnostics) {
+    EXPECT_NE(d.rule, "heavy-pass-by-value") << vmincqr::lint::format(d);
+  }
+  const std::vector<SourceFile> copied = {
+      {"m.cpp", "m.cpp",
+       "double predict(std::vector<double> xs) {\n"
+       "  return xs.back();\n"
+       "}\n"}};
+  const auto fired = analyze_hot_paths(copied, HotPathOptions{});
+  ASSERT_EQ(fired.diagnostics.size(), 1u);
+  EXPECT_EQ(fired.diagnostics[0].rule, "heavy-pass-by-value");
+}
+
+TEST(lint, HotPathReportProfilesEveryHotFunction) {
+  const auto analysis =
+      analyze_hot_paths_directory(hotpath_dir(), hotpath_fixture_options());
+  bool saw_alloc_helper = false;
+  bool saw_granted = false;
+  for (const auto& c : analysis.costs) {
+    if (c.function == "alloc_helper") {
+      saw_alloc_helper = true;
+      EXPECT_TRUE(c.serve_reachable);
+      EXPECT_GE(c.loop_depth, 1u);
+      EXPECT_GE(c.alloc_sites, 1u);
+      EXPECT_NE(c.chain.find("handle"), std::string::npos) << c.chain;
+    }
+    if (c.function == "shard_scratch") {
+      saw_granted = true;
+      // Counts are pre-grant: the profile still sees the slab.
+      EXPECT_GE(c.alloc_sites, 1u);
+    }
+    if (c.function == "grow_rows") {
+      // Hot through both cones: serve's handle and the predict entry.
+      EXPECT_TRUE(c.serve_reachable);
+      EXPECT_TRUE(c.predict_reachable);
+    }
+  }
+  EXPECT_TRUE(saw_alloc_helper);
+  EXPECT_TRUE(saw_granted);
+}
+
+TEST(lint, HotPathSarifAndReportAreByteIdenticalAcrossThreadWidths) {
+  vmincqr::parallel::set_max_threads(1);
+  const auto narrow =
+      analyze_hot_paths_directory(hotpath_dir(), hotpath_fixture_options());
+  const std::string narrow_sarif =
+      vmincqr::lint::to_sarif(narrow.diagnostics, {}, narrow.grants);
+  const std::string narrow_report = hotpath_report_json(narrow);
+  vmincqr::parallel::set_max_threads(8);
+  const auto wide =
+      analyze_hot_paths_directory(hotpath_dir(), hotpath_fixture_options());
+  const std::string wide_sarif =
+      vmincqr::lint::to_sarif(wide.diagnostics, {}, wide.grants);
+  const std::string wide_report = hotpath_report_json(wide);
+  vmincqr::parallel::set_max_threads(0);  // restore env/hardware resolution
+  EXPECT_EQ(narrow_sarif, wide_sarif);
+  EXPECT_EQ(narrow_report, wide_report);
+  EXPECT_NE(narrow_sarif.find("\"hotPathGrants\""), std::string::npos);
+  EXPECT_NE(narrow_report.find("\"vmincqr-hotpath-report/1\""),
+            std::string::npos);
+}
+
+TEST(lint, HotPathRealTreeIsCleanAndProfilesTheServeKernel) {
+  HotPathOptions opts;
+  opts.layers = load_layers(VMINCQR_LINT_LAYERS_TOML);
+  opts.alloc_manifest = load_hotpath_manifest(VMINCQR_LINT_HOTPATH_TOML);
+  const auto analysis =
+      analyze_hot_paths_directory(VMINCQR_LINT_SRC_DIR, opts);
+  for (const auto& d : analysis.diagnostics) {
+    ADD_FAILURE() << vmincqr::lint::format(d);
+  }
+  // The report must cover the paper's serving kernel and its grant.
+  bool saw_predict_batch = false;
+  for (const auto& c : analysis.costs) {
+    if (c.function == "VminPredictor::predict_batch") {
+      saw_predict_batch = true;
+      EXPECT_TRUE(c.serve_reachable);
+    }
+  }
+  EXPECT_TRUE(saw_predict_batch);
+  bool granted_predict_batch = false;
+  for (const auto& g : analysis.grants) {
+    if (g.function == "VminPredictor::predict_batch") {
+      granted_predict_batch = true;
+    }
+  }
+  EXPECT_TRUE(granted_predict_batch);
+}
+
 // --- SARIF output ---------------------------------------------------------
 
 // Minimal structural JSON check: braces/brackets balance outside string
@@ -899,6 +1129,11 @@ TEST(lint, SarifListsEveryRuleEvenWhenClean) {
         << rule.id;
   }
   for (const auto& rule : vmincqr::lint::callgraph_rule_table()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
+              std::string::npos)
+        << rule.id;
+  }
+  for (const auto& rule : vmincqr::lint::hotpath_rule_table()) {
     EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
               std::string::npos)
         << rule.id;
@@ -1026,6 +1261,108 @@ TEST(lint, FixLeavesUnorderedLookupOnlyCodeAlone) {
       "  return weights.count(key) > 0;\n"
       "}\n";
   EXPECT_EQ(vmincqr::lint::apply_fixes("probe.cpp", before), before);
+}
+
+TEST(lint, FixInsertsReserveBeforeBoundedGrowthLoop) {
+  const std::string before =
+      "#include <vector>\n"
+      "std::vector<double> doubled(const std::vector<double>& xs) {\n"
+      "  std::vector<double> out;\n"
+      "  for (std::size_t i = 0; i < xs.size(); ++i) {\n"
+      "    out.push_back(2.0 * xs[i]);\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n";
+  const std::string after = vmincqr::lint::apply_fixes("probe.cpp", before);
+  EXPECT_NE(after.find("  out.reserve(xs.size());\n  for "),
+            std::string::npos)
+      << after;
+  EXPECT_EQ(vmincqr::lint::apply_fixes("probe.cpp", after), after);
+}
+
+TEST(lint, FixSkipsReserveWhenContainerAccumulatesAcrossAnOuterLoop) {
+  // The inner bound is not the total growth: reserving it per outer
+  // iteration would be misleading, so the loop is left alone.
+  const std::string before =
+      "#include <vector>\n"
+      "std::vector<double> flatten(const std::vector<std::vector<double>>& m) {\n"
+      "  std::vector<double> out;\n"
+      "  for (const auto& row : m) {\n"
+      "    for (std::size_t i = 0; i < row.size(); ++i) {\n"
+      "      out.push_back(row[i]);\n"
+      "    }\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n";
+  EXPECT_EQ(vmincqr::lint::apply_fixes("probe.cpp", before), before);
+}
+
+TEST(lint, FixSkipsReserveForPresizedOrSelfBoundedContainers) {
+  // Already reserved -> nothing to do; and a loop bounded by the growing
+  // container itself must never gain `out.reserve(out.size())`.
+  const std::string reserved =
+      "#include <vector>\n"
+      "std::vector<double> doubled(const std::vector<double>& xs) {\n"
+      "  std::vector<double> out;\n"
+      "  out.reserve(xs.size());\n"
+      "  for (std::size_t i = 0; i < xs.size(); ++i) {\n"
+      "    out.push_back(2.0 * xs[i]);\n"
+      "  }\n"
+      "  return out;\n"
+      "}\n";
+  EXPECT_EQ(vmincqr::lint::apply_fixes("probe.cpp", reserved), reserved);
+  const std::string self_bounded =
+      "#include <vector>\n"
+      "void grow(std::vector<double>& seed) {\n"
+      "  std::vector<double> out;\n"
+      "  for (std::size_t i = 0; i < out.size(); ++i) {\n"
+      "    out.push_back(1.0);\n"
+      "  }\n"
+      "  seed = out;\n"
+      "}\n";
+  EXPECT_EQ(vmincqr::lint::apply_fixes("probe.cpp", self_bounded),
+            self_bounded);
+}
+
+TEST(lint, FixRewritesUnmutatedByValueHeavyParamsInHeaders) {
+  const std::string before =
+      "#pragma once\n"
+      "#include <string>\n"
+      "#include <vector>\n"
+      "inline double total(std::vector<double> xs, std::string label) {\n"
+      "  double s = static_cast<double>(label.size());\n"
+      "  for (std::size_t i = 0; i < xs.size(); ++i) s += xs[i];\n"
+      "  return s;\n"
+      "}\n";
+  const std::string after = vmincqr::lint::apply_fixes("probe.hpp", before);
+  EXPECT_NE(after.find("const std::vector<double>& xs"), std::string::npos)
+      << after;
+  EXPECT_NE(after.find("const std::string& label"), std::string::npos)
+      << after;
+  EXPECT_EQ(vmincqr::lint::apply_fixes("probe.hpp", after), after);
+  // The signature of a .cpp definition must keep matching its header
+  // declaration, so the same text is untouched there.
+  EXPECT_EQ(vmincqr::lint::apply_fixes("probe.cpp", before), before);
+}
+
+TEST(lint, FixLeavesMutatedAndVirtualByValueParamsAlone) {
+  // A mutated copy is load-bearing; a virtual signature must change in
+  // lockstep with its base. Both stay diagnose-only.
+  const std::string mutated =
+      "#pragma once\n"
+      "#include <vector>\n"
+      "inline double consume(std::vector<double> xs) {\n"
+      "  xs.push_back(1.0);\n"
+      "  return xs.back();\n"
+      "}\n";
+  EXPECT_EQ(vmincqr::lint::apply_fixes("probe.hpp", mutated), mutated);
+  const std::string virt =
+      "#pragma once\n"
+      "#include <vector>\n"
+      "struct Base {\n"
+      "  virtual double score(std::vector<double> xs) { return xs.back(); }\n"
+      "};\n";
+  EXPECT_EQ(vmincqr::lint::apply_fixes("probe.hpp", virt), virt);
 }
 
 }  // namespace

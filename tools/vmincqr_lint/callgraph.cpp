@@ -233,86 +233,20 @@ TuExtract extract_tu(const std::string& content) {
   out.unit = tokenize(content);
   const auto& t = out.unit.tokens;
   const auto scopes = function_scopes(out.unit);
-  const auto classes = class_spans(t);
 
-  // --- Definitions: walk back from each body '{' to the signature. ---
-  // scope index -> local def index (kNoFunction when the scope is not a
-  // named definition we model: lambdas, operators, destructors).
+  // --- Definitions: the shared walker, then scope index -> local def index
+  // (kNoFunction when the scope is not a named definition we model:
+  // lambdas, operators, destructors). A def's body brace IS its scope's
+  // opening brace, so the two align by body_first.
+  out.defs = extract_definitions(out.unit);
+  std::map<std::size_t, std::size_t> def_by_body;
+  for (std::size_t di = 0; di < out.defs.size(); ++di) {
+    def_by_body[out.defs[di].body_first] = di;
+  }
   std::vector<std::size_t> def_of_scope(scopes.size(), kNoFunction);
   for (std::size_t si = 0; si < scopes.size(); ++si) {
-    const FunctionScope& s = scopes[si];
-    if (s.first == 0) continue;
-    std::size_t j = s.first - 1;
-    while (j > 0 && t[j].kind == TokKind::kIdent &&
-           is_trailing_qualifier(t[j].text)) {
-      --j;
-    }
-    // Trailing return type: hop back over `-> Type` to the params ')'.
-    {
-      std::size_t k = j;
-      std::size_t steps = 0;
-      while (k > 0 && steps++ < 24) {
-        const std::string& x = t[k].text;
-        if (x == "->") {
-          j = k - 1;
-          while (j > 0 && t[j].kind == TokKind::kIdent &&
-                 is_trailing_qualifier(t[j].text)) {
-            --j;
-          }
-          break;
-        }
-        if (t[k].kind != TokKind::kIdent && x != "::" && x != "<" &&
-            x != ">" && x != "," && x != "*" && x != "&") {
-          break;
-        }
-        --k;
-      }
-    }
-    if (t[j].text != ")") continue;  // lambda ([]) or something unmodelled
-    const std::size_t params_open = find_params_open(t, j);
-    if (params_open == 0) continue;
-    const std::size_t name_idx = params_open - 1;
-    if (t[name_idx].kind != TokKind::kIdent) continue;
-    if (is_non_call_keyword(t[name_idx].text)) continue;
-    if (name_idx > 0 &&
-        (t[name_idx - 1].text == "~" || t[name_idx - 1].text == "operator")) {
-      continue;  // destructors and operator overloads: never called by name
-    }
-    FunctionDef d;
-    d.name = t[name_idx].text;
-    if (name_idx >= 2 && t[name_idx - 1].text == "::" &&
-        t[name_idx - 2].kind == TokKind::kIdent) {
-      d.qualifier = t[name_idx - 2].text;  // out-of-line member
-    } else {
-      d.qualifier = innermost_class(classes, name_idx);  // inline member
-    }
-    d.display = d.qualifier.empty() || d.qualifier == d.name
-                    ? d.name
-                    : d.qualifier + "::" + d.name;
-    d.line = t[name_idx].line;
-    d.params_open = params_open;
-    d.body_first = s.first;
-    d.body_last = s.last;
-    const std::size_t params_close = match_forward(t, params_open);
-    const ArgScan ps = scan_args(t, params_open, params_close);
-    const bool lone_void =
-        params_close == params_open + 2 && t[params_open + 1].text == "void";
-    const std::size_t n_params = ps.any && !lone_void ? ps.commas + 1 : 0;
-    d.arity_max = ps.variadic ? kNoFunction : n_params;
-    d.arity_min = ps.commas_before_default != kNoFunction
-                      ? ps.commas_before_default
-                      : n_params;
-    for (std::size_t i = params_open + 1; i < params_close; ++i) {
-      if (t[i].kind != TokKind::kIdent) continue;
-      const std::string& nx = t[i + 1].text;
-      if ((nx == "," || nx == ")" || nx == "=") &&
-          !is_non_call_keyword(t[i].text)) {
-        d.params.push_back(t[i].text);
-      }
-    }
-    d.tier = numeric_tier_at(out.unit, d.line);
-    def_of_scope[si] = out.defs.size();
-    out.defs.push_back(std::move(d));
+    const auto it = def_by_body.find(scopes[si].first);
+    if (it != def_by_body.end()) def_of_scope[si] = it->second;
   }
 
   // --- Call sites, attributed to the enclosing scope's definition. ---
@@ -458,6 +392,90 @@ const std::set<std::string>& numeric_entry_names() {
 }
 
 }  // namespace
+
+std::vector<FunctionDef> extract_definitions(const Unit& unit) {
+  std::vector<FunctionDef> defs;
+  const auto& t = unit.tokens;
+  const auto scopes = function_scopes(unit);
+  const auto classes = class_spans(t);
+
+  // Walk back from each body '{' to the signature; scopes that are not a
+  // named definition we model (lambdas, operators, destructors) are skipped.
+  for (const FunctionScope& s : scopes) {
+    if (s.first == 0) continue;
+    std::size_t j = s.first - 1;
+    while (j > 0 && t[j].kind == TokKind::kIdent &&
+           is_trailing_qualifier(t[j].text)) {
+      --j;
+    }
+    // Trailing return type: hop back over `-> Type` to the params ')'.
+    {
+      std::size_t k = j;
+      std::size_t steps = 0;
+      while (k > 0 && steps++ < 24) {
+        const std::string& x = t[k].text;
+        if (x == "->") {
+          j = k - 1;
+          while (j > 0 && t[j].kind == TokKind::kIdent &&
+                 is_trailing_qualifier(t[j].text)) {
+            --j;
+          }
+          break;
+        }
+        if (t[k].kind != TokKind::kIdent && x != "::" && x != "<" &&
+            x != ">" && x != "," && x != "*" && x != "&") {
+          break;
+        }
+        --k;
+      }
+    }
+    if (t[j].text != ")") continue;  // lambda ([]) or something unmodelled
+    const std::size_t params_open = find_params_open(t, j);
+    if (params_open == 0) continue;
+    const std::size_t name_idx = params_open - 1;
+    if (t[name_idx].kind != TokKind::kIdent) continue;
+    if (is_non_call_keyword(t[name_idx].text)) continue;
+    if (name_idx > 0 &&
+        (t[name_idx - 1].text == "~" || t[name_idx - 1].text == "operator")) {
+      continue;  // destructors and operator overloads: never called by name
+    }
+    FunctionDef d;
+    d.name = t[name_idx].text;
+    if (name_idx >= 2 && t[name_idx - 1].text == "::" &&
+        t[name_idx - 2].kind == TokKind::kIdent) {
+      d.qualifier = t[name_idx - 2].text;  // out-of-line member
+    } else {
+      d.qualifier = innermost_class(classes, name_idx);  // inline member
+    }
+    d.display = d.qualifier.empty() || d.qualifier == d.name
+                    ? d.name
+                    : d.qualifier + "::" + d.name;
+    d.line = t[name_idx].line;
+    d.params_open = params_open;
+    d.body_first = s.first;
+    d.body_last = s.last;
+    const std::size_t params_close = match_forward(t, params_open);
+    const ArgScan ps = scan_args(t, params_open, params_close);
+    const bool lone_void =
+        params_close == params_open + 2 && t[params_open + 1].text == "void";
+    const std::size_t n_params = ps.any && !lone_void ? ps.commas + 1 : 0;
+    d.arity_max = ps.variadic ? kNoFunction : n_params;
+    d.arity_min = ps.commas_before_default != kNoFunction
+                      ? ps.commas_before_default
+                      : n_params;
+    for (std::size_t i = params_open + 1; i < params_close; ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& nx = t[i + 1].text;
+      if ((nx == "," || nx == ")" || nx == "=") &&
+          !is_non_call_keyword(t[i].text)) {
+        d.params.push_back(t[i].text);
+      }
+    }
+    d.tier = numeric_tier_at(unit, d.line);
+    defs.push_back(std::move(d));
+  }
+  return defs;
+}
 
 CallGraph CallGraph::build(const std::vector<SourceFile>& files,
                            const LayerConfig& layers) {

@@ -152,6 +152,13 @@ struct CallGraphAnalysis {
   std::string dot;
 };
 
+/// Extracts every named function definition from one TU's token stream
+/// (`tu` left unset — the caller stamps it). Shared by the phase-4 linker,
+/// the phase-5 hot-path analyzer, and the signature-rewriting fixes, so the
+/// three can never disagree about where a function's parameters and body
+/// sit.
+std::vector<FunctionDef> extract_definitions(const Unit& unit);
+
 /// Runs all phase-4 rules over the file set.
 CallGraphAnalysis analyze_call_graph(const std::vector<SourceFile>& files,
                                      const CallGraphOptions& options);

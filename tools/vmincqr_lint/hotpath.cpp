@@ -1,0 +1,904 @@
+#include "hotpath.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "callgraph.hpp"
+#include "concurrency.hpp"
+#include "parse.hpp"
+#include "sarif.hpp"
+
+namespace fs = std::filesystem;
+
+namespace vmincqr::lint {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> parse_string_list(const std::string& raw,
+                                           std::size_t line_no) {
+  const std::string s = trim(raw);
+  if (s.size() < 2 || s.front() != '[' || s.back() != ']') {
+    throw std::runtime_error("hotpath_tiers.toml:" + std::to_string(line_no) +
+                             ": expected a [\"...\"] list");
+  }
+  std::vector<std::string> out;
+  std::stringstream ss(s.substr(1, s.size() - 2));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    if (item.size() < 2 || item.front() != '"' || item.back() != '"') {
+      throw std::runtime_error("hotpath_tiers.toml:" +
+                               std::to_string(line_no) +
+                               ": list items must be quoted strings");
+    }
+    out.push_back(item.substr(1, item.size() - 2));
+  }
+  return out;
+}
+
+// --- hot-set construction --------------------------------------------------
+
+/// Entry points whose cones define the predict-reachable set. Mirrors the
+/// phase-4 numeric entry set minus the fit side: phase 5 profiles serving
+/// cost, and fit-time allocation is not on the latency path.
+const std::set<std::string>& predict_entry_names() {
+  static const std::set<std::string> names = {
+      "predict", "predict_interval", "predict_point", "predict_sigma",
+      "predict_batch"};
+  return names;
+}
+
+bool is_serve_tu(const CallGraph& g, const std::vector<SourceFile>& files,
+                 std::size_t tu) {
+  if (g.module_of_tu(tu) == "serve") return true;
+  const std::string& rel = files[tu].rel;
+  return rel.rfind("serve/", 0) == 0 ||
+         rel.find("/serve/") != std::string::npos;
+}
+
+/// Resolved call edges as a deterministic adjacency map.
+std::map<std::size_t, std::set<std::size_t>> adjacency(const CallGraph& g) {
+  std::map<std::size_t, std::set<std::size_t>> adj;
+  for (const CallSite& c : g.calls()) {
+    if (c.caller == kNoFunction) continue;
+    for (std::size_t callee : c.callees) adj[c.caller].insert(callee);
+  }
+  return adj;
+}
+
+/// BFS cone over the resolved graph, with parent links so diagnostics can
+/// print a witness chain. Roots and neighbors are visited in sorted order,
+/// so the parent (and thus the chain) of every node is deterministic.
+struct Reach {
+  std::set<std::size_t> reached;
+  std::map<std::size_t, std::size_t> parent;  // def -> def; kNoFunction = root
+};
+
+Reach breadth_first(const std::map<std::size_t, std::set<std::size_t>>& adj,
+                    const std::set<std::size_t>& roots) {
+  Reach r;
+  std::deque<std::size_t> queue;
+  for (std::size_t di : roots) {
+    r.reached.insert(di);
+    r.parent[di] = kNoFunction;
+    queue.push_back(di);
+  }
+  while (!queue.empty()) {
+    const std::size_t cur = queue.front();
+    queue.pop_front();
+    const auto it = adj.find(cur);
+    if (it == adj.end()) continue;
+    for (std::size_t next : it->second) {
+      if (!r.reached.insert(next).second) continue;
+      r.parent[next] = cur;
+      queue.push_back(next);
+    }
+  }
+  return r;
+}
+
+std::string chain_of(const CallGraph& g, const Reach& r, std::size_t di) {
+  std::vector<std::string> parts;
+  for (std::size_t cur = di; cur != kNoFunction; cur = r.parent.at(cur)) {
+    parts.push_back(g.defs()[cur].display);
+  }
+  std::reverse(parts.begin(), parts.end());
+  std::string chain;
+  for (const std::string& p : parts) {
+    if (!chain.empty()) chain += " -> ";
+    chain += p;
+  }
+  return chain;
+}
+
+// --- loop spans ------------------------------------------------------------
+
+/// One loop region inside a function body. Parallel lambda bodies are loop
+/// spans too — they run once per chunk, so per-span scratch is per-iteration
+/// scratch. `head_open` is the '(' of a for/while head (0 = headless:
+/// do-loop or parallel body).
+struct LoopSpan {
+  std::size_t head_open = 0;
+  std::size_t head_close = 0;
+  std::size_t begin = 0;  // first body token (inclusive)
+  std::size_t end = 0;    // one past the last body token
+  bool parallel = false;
+  bool has_inner = false;  // contains another loop span (not a leaf)
+};
+
+std::vector<LoopSpan> loop_spans(const std::vector<Token>& t,
+                                 std::size_t body_first, std::size_t body_last,
+                                 const std::vector<ParallelBody>& bodies) {
+  std::vector<LoopSpan> out;
+  for (std::size_t i = body_first + 1; i < body_last; ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text == "do") {
+      if (i + 1 < body_last && t[i + 1].text == "{") {
+        LoopSpan s;
+        s.begin = i + 2;
+        s.end = std::min(match_forward(t, i + 1), body_last);
+        out.push_back(s);
+      }
+      continue;
+    }
+    if (t[i].text != "for" && t[i].text != "while") continue;
+    if (i + 1 >= body_last || t[i + 1].text != "(") continue;
+    const std::size_t head_close = match_forward(t, i + 1);
+    if (head_close + 1 >= body_last) continue;
+    LoopSpan s;
+    s.head_open = i + 1;
+    s.head_close = head_close;
+    if (t[head_close + 1].text == "{") {
+      s.begin = head_close + 2;
+      s.end = std::min(match_forward(t, head_close + 1), body_last);
+    } else {
+      std::size_t j = head_close + 1;
+      int depth = 0;
+      while (j < body_last) {
+        const std::string& x = t[j].text;
+        if (x == "(" || x == "[" || x == "{") ++depth;
+        if (x == ")" || x == "]" || x == "}") --depth;
+        if (x == ";" && depth == 0) break;
+        ++j;
+      }
+      s.begin = head_close + 1;
+      s.end = j;
+    }
+    out.push_back(s);
+  }
+  for (const ParallelBody& b : bodies) {
+    if (b.body_first > body_first && b.body_last < body_last) {
+      LoopSpan s;
+      s.begin = b.body_first + 1;
+      s.end = b.body_last;
+      s.parallel = true;
+      out.push_back(s);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const LoopSpan& a, const LoopSpan& b) {
+    return std::tie(a.begin, a.end) < std::tie(b.begin, b.end);
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      if (j == i) continue;
+      if (out[j].begin >= out[i].begin && out[j].end <= out[i].end &&
+          (out[j].begin > out[i].begin || out[j].end < out[i].end)) {
+        out[i].has_inner = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+const LoopSpan* innermost_span(const std::vector<LoopSpan>& spans,
+                               std::size_t idx) {
+  const LoopSpan* best = nullptr;
+  for (const LoopSpan& s : spans) {
+    if (idx < s.begin || idx >= s.end) continue;
+    if (best == nullptr || (s.end - s.begin) < (best->end - best->begin)) {
+      best = &s;
+    }
+  }
+  return best;
+}
+
+std::size_t nesting_depth(const std::vector<LoopSpan>& spans,
+                          std::size_t idx) {
+  std::size_t depth = 0;
+  for (const LoopSpan& s : spans) {
+    if (idx >= s.begin && idx < s.end) ++depth;
+  }
+  return depth;
+}
+
+std::size_t max_nesting(const std::vector<LoopSpan>& spans) {
+  std::size_t depth = 0;
+  for (const LoopSpan& s : spans) {
+    depth = std::max(depth, nesting_depth(spans, s.begin));
+  }
+  return depth;
+}
+
+// --- token classifiers -----------------------------------------------------
+
+const std::set<std::string>& heavy_types() {
+  static const std::set<std::string> types = {"Matrix", "Vector", "vector",
+                                              "string"};
+  return types;
+}
+
+/// Member calls that materialize a fresh heavy container from an existing
+/// one (Matrix::row returns a Vector by value, take_cols copies columns,
+/// ...). `transform` is excluded on purpose: its result is consumed whole.
+const std::set<std::string>& materializing_calls() {
+  static const std::set<std::string> calls = {
+      "row", "col", "take_rows", "take_cols", "row_block", "with_intercept"};
+  return calls;
+}
+
+/// Members whose immediate application to a freshly materialized container
+/// proves the whole copy existed to read one scalar.
+const std::set<std::string>& reducer_members() {
+  static const std::set<std::string> members = {"front", "back", "at",
+                                                "size", "rows", "cols"};
+  return members;
+}
+
+/// Members whose call on a by-value parameter means the copy is mutated
+/// in place (the parameter doubles as local scratch — keep it by value).
+/// `data` is included conservatively: the returned pointer may be written.
+const std::set<std::string>& mutator_members() {
+  static const std::set<std::string> members = {
+      "push_back", "emplace_back", "pop_back", "clear",  "resize",
+      "reserve",   "insert",       "erase",    "assign", "swap",
+      "set",       "set_row",      "set_col",  "shrink_to_fit",
+      "append",    "data"};
+  return members;
+}
+
+}  // namespace
+
+bool heavy_type_at(const std::vector<Token>& t, std::size_t i) {
+  if (t[i].kind != TokKind::kIdent || heavy_types().count(t[i].text) == 0) {
+    return false;
+  }
+  if (i == 0) return true;
+  const std::string& p = t[i - 1].text;
+  if (p == "." || p == "->") return false;
+  if (p == "::") {
+    if (i < 2 || t[i - 2].kind != TokKind::kIdent) return false;
+    const std::string& q = t[i - 2].text;
+    return q == "std" || q == "linalg" || q == "vmincqr";
+  }
+  return true;
+}
+
+std::size_t after_template_args(const std::vector<Token>& t, std::size_t i) {
+  if (i + 1 < t.size() && t[i + 1].text == "<") {
+    const std::size_t close = match_forward(t, i + 1);
+    return close >= t.size() ? t.size() : close + 1;
+  }
+  return i + 1;
+}
+
+namespace {
+
+/// Locally declared heavy containers of one function body:
+/// name -> presized (constructed with arguments, copy-initialized, or
+/// reserve/resize/assign-ed anywhere in the body). Only these may fire the
+/// push_back growth rules — a parameter or member container may have been
+/// sized by the caller.
+std::map<std::string, bool> local_heavy_containers(const std::vector<Token>& t,
+                                                   std::size_t body_first,
+                                                   std::size_t body_last) {
+  std::map<std::string, bool> locals;
+  for (std::size_t i = body_first + 1; i < body_last; ++i) {
+    if (!heavy_type_at(t, i)) continue;
+    const std::size_t nx = after_template_args(t, i);
+    if (nx >= body_last || t[nx].kind != TokKind::kIdent) continue;
+    if (nx + 1 >= body_last) continue;
+    const std::string& after = t[nx + 1].text;
+    if (after == "(" || after == "{") {
+      locals[t[nx].text] = match_forward(t, nx + 1) > nx + 2;
+    } else if (after == "=") {
+      locals[t[nx].text] = true;  // copy/expression init carries capacity
+    } else if (after == ";") {
+      locals[t[nx].text] = false;  // default-constructed empty
+    }
+  }
+  for (std::size_t i = body_first + 1; i + 3 < body_last; ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const auto it = locals.find(t[i].text);
+    if (it == locals.end()) continue;
+    if ((t[i + 1].text == "." || t[i + 1].text == "->") &&
+        (t[i + 2].text == "reserve" || t[i + 2].text == "resize" ||
+         t[i + 2].text == "assign") &&
+        t[i + 3].text == "(") {
+      it->second = true;
+    }
+  }
+  return locals;
+}
+
+/// True when the loop's trip count is visible in its head: a
+/// `.rows()/.size()/.cols()` bound, or a range-for over a plain identifier.
+/// `bound` receives the mechanically derivable reserve expression.
+bool visible_trip_count(const std::vector<Token>& t, const LoopSpan& s,
+                        std::string* bound) {
+  if (s.head_open == 0) return false;  // do-loop or parallel body
+  for (std::size_t k = s.head_open + 1; k < s.head_close; ++k) {
+    if (t[k].text == "." && k + 2 < s.head_close &&
+        (t[k + 1].text == "rows" || t[k + 1].text == "size" ||
+         t[k + 1].text == "cols") &&
+        t[k + 2].text == "(") {
+      if (k > s.head_open + 1 && t[k - 1].kind == TokKind::kIdent) {
+        *bound = t[k - 1].text + "." + t[k + 1].text + "()";
+      } else {
+        *bound = "the loop bound";
+      }
+      return true;
+    }
+  }
+  // Range-for over a plain identifier: `for (const auto& v : xs)`.
+  const int inner = t[s.head_open].paren_depth + 1;
+  for (std::size_t k = s.head_open + 1; k < s.head_close; ++k) {
+    if (t[k].text != ":" || t[k].paren_depth != inner) continue;
+    if (k + 2 == s.head_close && t[k + 1].kind == TokKind::kIdent) {
+      *bound = t[k + 1].text + ".size()";
+      return true;
+    }
+    break;
+  }
+  return false;
+}
+
+/// Harvests every method name declared `virtual` or marked `override` in
+/// one TU. Type-free by design: any member call to a harvested name counts
+/// as potential virtual dispatch (over-approximation, documented in
+/// DESIGN.md §6). Destructors are skipped.
+void harvest_virtual_names(const std::vector<Token>& t,
+                           std::set<std::string>& names) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text == "virtual") {
+      for (std::size_t j = i + 1; j < t.size() && j < i + 16; ++j) {
+        const std::string& x = t[j].text;
+        if (x == ";" || x == "{" || x == "=") break;
+        if (x != "(") continue;
+        if (j > 0 && t[j - 1].kind == TokKind::kIdent &&
+            (j < 2 || t[j - 2].text != "~")) {
+          names.insert(t[j - 1].text);
+        }
+        break;
+      }
+      continue;
+    }
+    if (t[i].text != "override" && t[i].text != "final") continue;
+    std::size_t k = i;
+    while (k > 0 &&
+           (t[k - 1].text == "const" || t[k - 1].text == "noexcept")) {
+      --k;
+    }
+    if (k == 0 || t[k - 1].text != ")") continue;  // `class X final` etc.
+    int depth = 0;
+    std::size_t p = k - 1;
+    while (true) {
+      if (t[p].text == ")") ++depth;
+      if (t[p].text == "(" && --depth == 0) break;
+      if (p == 0) break;
+      --p;
+    }
+    if (t[p].text == "(" && p > 0 && t[p - 1].kind == TokKind::kIdent &&
+        (p < 2 || t[p - 2].text != "~")) {
+      names.insert(t[p - 1].text);
+    }
+  }
+}
+
+}  // namespace
+
+// --- heavy-pass-by-value ---------------------------------------------------
+
+std::vector<HeavyParam> heavy_value_params(const std::vector<Token>& t,
+                                           std::size_t params_open) {
+  std::vector<HeavyParam> out;
+  const std::size_t params_close = match_forward(t, params_open);
+  if (params_close >= t.size()) return out;
+  std::size_t seg_first = params_open + 1;
+  int depth = 0;
+  int angle = 0;
+  auto flush = [&](std::size_t seg_last) {
+    std::string type;
+    bool indirect = false;
+    std::size_t eq = seg_last;
+    for (std::size_t k = seg_first; k < seg_last; ++k) {
+      if (t[k].text == "&" || t[k].text == "*") indirect = true;
+      if (t[k].text == "=" && eq == seg_last) eq = k;
+      if (type.empty() && heavy_type_at(t, k)) type = t[k].text;
+    }
+    if (type.empty() || indirect) return;
+    std::string name;
+    for (std::size_t k = seg_first; k < eq; ++k) {
+      if (t[k].kind == TokKind::kIdent) name = t[k].text;
+    }
+    if (name.empty() || name == type || heavy_types().count(name) > 0) return;
+    out.push_back({type, name});
+  };
+  for (std::size_t k = params_open + 1; k < params_close; ++k) {
+    const std::string& x = t[k].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (x == "<" && k > 0 && t[k - 1].kind == TokKind::kIdent) ++angle;
+    if (x == ">" && angle > 0) --angle;
+    if (x == "," && depth == 0 && angle == 0) {
+      flush(k);
+      seg_first = k + 1;
+    }
+  }
+  flush(params_close);
+  return out;
+}
+
+bool param_mutated(const std::vector<Token>& t, std::size_t body_first,
+                   std::size_t body_last, const std::string& name) {
+  for (std::size_t k = body_first + 1; k < body_last; ++k) {
+    if (t[k].kind != TokKind::kIdent) continue;
+    // std::move(name) / move(name)
+    if (t[k].text == "move" && k + 2 < body_last && t[k + 1].text == "(" &&
+        t[k + 2].text == name) {
+      return true;
+    }
+    if (t[k].text != name) continue;
+    if (k > 0 && (t[k - 1].text == "." || t[k - 1].text == "->" ||
+                  t[k - 1].text == "::")) {
+      continue;  // member of something else
+    }
+    if (k + 1 >= body_last) continue;
+    const std::string& after = t[k + 1].text;
+    if (after == "=") return true;
+    if (k + 2 < body_last && t[k + 2].text == "=" &&
+        (after == "+" || after == "-" || after == "*" || after == "/" ||
+         after == "%" || after == "&" || after == "|" || after == "^")) {
+      return true;  // compound assignment
+    }
+    if (after == "[") {
+      const std::size_t close = match_forward(t, k + 1);
+      if (close + 1 < body_last && t[close + 1].text == "=") return true;
+    }
+    if ((after == "." || after == "->") && k + 3 < body_last &&
+        mutator_members().count(t[k + 2].text) > 0 &&
+        t[k + 3].text == "(") {
+      return true;
+    }
+    // Non-const-ref range-for: `for (auto& e : name)` mutates elements.
+    if (k > 1 && t[k - 1].text == ":" &&
+        t[k].paren_depth == t[k - 1].paren_depth) {
+      bool saw_ref = false;
+      bool saw_const = false;
+      for (std::size_t b = k - 1; b > 0 && t[b].text != "("; --b) {
+        if (t[b].text == "&") saw_ref = true;
+        if (t[b].text == "const") saw_const = true;
+        if (t[b].text == "for") break;
+      }
+      if (saw_ref && !saw_const) return true;
+    }
+  }
+  return false;
+}
+
+std::set<std::string> parse_hotpath_manifest(const std::string& toml_text) {
+  std::set<std::string> names;
+  std::stringstream ss(toml_text);
+  std::string raw;
+  std::string section;
+  std::size_t line_no = 0;
+  while (std::getline(ss, raw)) {
+    ++line_no;
+    std::string line = trim(raw);
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw std::runtime_error("hotpath_tiers.toml:" +
+                                 std::to_string(line_no) +
+                                 ": unterminated section header");
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      if (section != "allow_alloc") {
+        throw std::runtime_error("hotpath_tiers.toml:" +
+                                 std::to_string(line_no) +
+                                 ": unknown section [" + section +
+                                 "] (expected [allow_alloc])");
+      }
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || section != "allow_alloc" ||
+        trim(line.substr(0, eq)) != "functions") {
+      throw std::runtime_error(
+          "hotpath_tiers.toml:" + std::to_string(line_no) +
+          ": expected `functions = [\"...\"]` under [allow_alloc]");
+    }
+    for (auto& name : parse_string_list(line.substr(eq + 1), line_no)) {
+      names.insert(std::move(name));
+    }
+  }
+  return names;
+}
+
+std::set<std::string> load_hotpath_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("vmincqr_lint: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_hotpath_manifest(ss.str());
+}
+
+HotPathAnalysis analyze_hot_paths(const std::vector<SourceFile>& files,
+                                  const HotPathOptions& options) {
+  const CallGraph g = CallGraph::build(files, options.layers);
+  HotPathAnalysis out;
+  std::vector<Diagnostic> raw;
+  const auto& defs = g.defs();
+
+  // --- hot cones: serve-reachable and predict-reachable. ---
+  const auto adj = adjacency(g);
+  std::set<std::size_t> serve_roots;
+  std::set<std::size_t> predict_roots;
+  for (std::size_t di = 0; di < defs.size(); ++di) {
+    if (is_serve_tu(g, files, defs[di].tu)) serve_roots.insert(di);
+    if (predict_entry_names().count(defs[di].name) > 0) {
+      predict_roots.insert(di);
+    }
+  }
+  const Reach serve_reach = breadth_first(adj, serve_roots);
+  const Reach predict_reach = breadth_first(adj, predict_roots);
+  std::set<std::size_t> hot = serve_reach.reached;
+  hot.insert(predict_reach.reached.begin(), predict_reach.reached.end());
+
+  // --- file-set-wide virtual method names. ---
+  std::set<std::string> virtual_names;
+  for (std::size_t tu = 0; tu < files.size(); ++tu) {
+    harvest_virtual_names(g.unit(tu).tokens, virtual_names);
+  }
+
+  // --- per-TU parallel-body cache (one parse per TU, not per def). ---
+  std::map<std::size_t, std::vector<ParallelBody>> bodies_cache;
+  auto parallel_bodies_of =
+      [&](std::size_t tu) -> const std::vector<ParallelBody>& {
+    auto it = bodies_cache.find(tu);
+    if (it == bodies_cache.end()) {
+      it = bodies_cache.emplace(tu, find_parallel_bodies(g.unit(tu).tokens))
+               .first;
+    }
+    return it->second;
+  };
+
+  // --- per-function scan. ---
+  for (std::size_t di : hot) {
+    const FunctionDef& d = defs[di];
+    const Unit& u = g.unit(d.tu);
+    const auto& t = u.tokens;
+    if (d.body_last >= t.size() || d.params_open >= t.size()) continue;
+    const std::string& file = g.display_of(d.tu);
+    const bool granted =
+        hot_path_grants_at(u, d.line).count("allow-alloc") > 0;
+    const auto spans =
+        loop_spans(t, d.body_first, d.body_last, parallel_bodies_of(d.tu));
+    const auto locals = local_heavy_containers(t, d.body_first, d.body_last);
+    const bool in_serve = serve_reach.reached.count(di) > 0;
+    const std::string chain = in_serve ? chain_of(g, serve_reach, di)
+                                       : chain_of(g, predict_reach, di);
+
+    FunctionCost cost;
+    cost.function = d.display;
+    cost.file = file;
+    cost.line = d.line;
+    cost.serve_reachable = in_serve;
+    cost.predict_reachable = predict_reach.reached.count(di) > 0;
+    cost.loop_depth = max_nesting(spans);
+    cost.chain = chain;
+
+    std::set<std::pair<std::size_t, std::string>> fired;  // (line, rule)
+    auto report = [&](std::size_t line, const std::string& rule,
+                      const std::string& message) {
+      if (!fired.emplace(line, rule).second) return;
+      raw.push_back({file, line, rule, message});
+    };
+
+    for (std::size_t i = d.body_first + 1; i < d.body_last; ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const LoopSpan* span = innermost_span(spans, i);
+
+      // Heavy construction (declaration or temporary) inside a loop.
+      if (heavy_type_at(t, i) && span != nullptr) {
+        const std::size_t nx = after_template_args(t, i);
+        bool alloc = false;
+        std::string what;
+        if (nx < d.body_last && t[nx].kind == TokKind::kIdent &&
+            nx + 1 < d.body_last) {
+          const std::string& after = t[nx + 1].text;
+          if (after == "(" || after == "{" || after == "=" || after == ";") {
+            alloc = true;
+            what = "'" + t[i].text + " " + t[nx].text + "'";
+          }
+        } else if (nx < d.body_last &&
+                   (t[nx].text == "(" || t[nx].text == "{")) {
+          alloc = true;
+          what = "a '" + t[i].text + "' temporary";
+        }
+        if (alloc) {
+          ++cost.alloc_sites;
+          if (!granted) {
+            report(t[i].line, "alloc-in-hot-loop",
+                   what + " is constructed inside a " +
+                       (span->parallel ? std::string("parallel body (runs "
+                                                     "once per chunk)")
+                                       : std::string("loop")) +
+                       " in hot function '" + d.display + "' (chain: " +
+                       chain + "); hoist the buffer out of the loop, or "
+                       "annotate the function `// vmincqr: "
+                       "hot-path(allow-alloc)` and record the justification "
+                       "in " + options.manifest_display);
+          }
+        }
+      }
+
+      // Growth via push_back on a locally declared, never-reserved
+      // container inside a loop.
+      if ((t[i].text == "push_back" || t[i].text == "emplace_back") &&
+          span != nullptr && i >= 2 && i + 1 < d.body_last &&
+          (t[i - 1].text == "." || t[i - 1].text == "->") &&
+          t[i + 1].text == "(" && t[i - 2].kind == TokKind::kIdent) {
+        const std::string& container = t[i - 2].text;
+        const auto local = locals.find(container);
+        if (local != locals.end() && !local->second) {
+          ++cost.alloc_sites;
+          std::string bound;
+          if (!granted && visible_trip_count(t, *span, &bound)) {
+            report(t[i].line, "missed-reserve",
+                   "'" + container + "." + t[i].text + "' grows inside a "
+                       "loop whose trip count is visible in its head; "
+                       "insert '" + container + ".reserve(" + bound +
+                       ")' before the loop (--fix does this) in hot "
+                       "function '" + d.display + "' (chain: " + chain +
+                       ")");
+          } else if (!granted) {
+            report(t[i].line, "alloc-in-hot-loop",
+                   "'" + container + "." + t[i].text + "' grows a "
+                       "never-reserved local container inside a " +
+                       (span->parallel ? std::string("parallel body")
+                                       : std::string("loop")) +
+                       " in hot function '" + d.display + "' (chain: " +
+                       chain + "); reserve an upper bound first, or "
+                       "annotate `// vmincqr: hot-path(allow-alloc)` and "
+                       "record it in " + options.manifest_display);
+          }
+        }
+      }
+
+      // Materializing member call: immediately reduced -> the copy existed
+      // to read one scalar; otherwise a per-iteration copy when in a loop.
+      if (materializing_calls().count(t[i].text) > 0 && i >= 1 &&
+          i + 1 < d.body_last &&
+          (t[i - 1].text == "." || t[i - 1].text == "->") &&
+          t[i + 1].text == "(") {
+        const std::size_t close = match_forward(t, i + 1);
+        bool reduced = false;
+        std::string via;
+        if (close + 1 < d.body_last) {
+          if (t[close + 1].text == "[") {
+            reduced = true;
+            via = "indexed";
+          } else if ((t[close + 1].text == "." ||
+                      t[close + 1].text == "->") &&
+                     close + 3 < d.body_last &&
+                     reducer_members().count(t[close + 2].text) > 0 &&
+                     t[close + 3].text == "(") {
+            reduced = true;
+            via = "reduced via ." + t[close + 2].text + "()";
+          }
+        }
+        if (reduced) {
+          ++cost.copy_sites;
+          if (!granted) {
+            report(t[i].line, "temporary-materialization",
+                   "'." + t[i].text + "(...)' materializes a fresh "
+                       "container that is immediately " + via +
+                       " in hot function '" + d.display + "' (chain: " +
+                       chain + "); read through the source container "
+                       "instead of copying it");
+          }
+        } else if (span != nullptr) {
+          ++cost.copy_sites;
+          if (!granted) {
+            report(t[i].line, "alloc-in-hot-loop",
+                   "'." + t[i].text + "(...)' materializes a fresh "
+                       "container on every iteration of a " +
+                       (span->parallel ? std::string("parallel body")
+                                       : std::string("loop")) +
+                       " in hot function '" + d.display + "' (chain: " +
+                       chain + "); hoist or reuse a buffer, or annotate "
+                       "`// vmincqr: hot-path(allow-alloc)` and record it "
+                       "in " + options.manifest_display);
+          }
+        }
+      }
+
+      // Virtual dispatch in an innermost (leaf) loop.
+      if (virtual_names.count(t[i].text) > 0 && i >= 1 &&
+          i + 1 < d.body_last &&
+          (t[i - 1].text == "." || t[i - 1].text == "->") &&
+          t[i + 1].text == "(" && span != nullptr && !span->has_inner) {
+        report(t[i].line, "virtual-in-inner-loop",
+               "'." + t[i].text + "(...)' dispatches through a vtable "
+                   "inside an innermost loop of hot function '" + d.display +
+                   "' (chain: " + chain + "); per-element indirect calls "
+                   "block inlining and the planned vectorization — batch "
+                   "the call (one dispatch per chunk) or devirtualize");
+      }
+    }
+
+    // Heavy parameters taken by value and never mutated: one full copy per
+    // call, invisible to the per-TU rules when the call sites live in other
+    // TUs.
+    for (const HeavyParam& p : heavy_value_params(t, d.params_open)) {
+      if (param_mutated(t, d.body_first, d.body_last, p.name)) continue;
+      ++cost.copy_sites;
+      report(d.line, "heavy-pass-by-value",
+             "parameter '" + p.name + "' ('" + p.type + "' by value) of "
+                 "hot function '" + d.display + "' (chain: " + chain +
+                 ") is never mutated or moved; take it by const reference "
+                 "(--fix rewrites header definitions)");
+    }
+
+    out.costs.push_back(std::move(cost));
+  }
+
+  // --- grants + manifest enforcement (every annotated definition, hot or
+  // not: the manifest is the reviewable source of truth). ---
+  {
+    std::set<std::string> used_entries;
+    for (std::size_t di = 0; di < defs.size(); ++di) {
+      const FunctionDef& d = defs[di];
+      const auto grants = hot_path_grants_at(g.unit(d.tu), d.line);
+      for (const std::string& grant : grants) {
+        out.grants.push_back(
+            {d.display, g.display_of(d.tu), d.line, grant});
+      }
+      if (grants.count("allow-alloc") == 0) continue;
+      if (options.alloc_manifest.count(d.display) > 0) {
+        used_entries.insert(d.display);
+      } else if (options.alloc_manifest.count(d.name) > 0) {
+        used_entries.insert(d.name);
+      } else {
+        raw.push_back(
+            {g.display_of(d.tu), d.line, "hot-path-manifest",
+             "'" + d.display + "' is annotated hot-path(allow-alloc) but "
+                 "is not listed in " + options.manifest_display +
+                 "; every sanctioned hot-path allocation must be committed "
+                 "to the manifest so the grant is reviewable in one place"});
+      }
+    }
+    for (const std::string& entry : options.alloc_manifest) {
+      if (used_entries.count(entry) == 0) {
+        raw.push_back(
+            {options.manifest_display, 1, "hot-path-manifest",
+             "manifest entry '" + entry + "' matches no function annotated "
+                 "hot-path(allow-alloc); remove the stale entry or "
+                 "annotate the function"});
+      }
+    }
+    std::sort(out.grants.begin(), out.grants.end(),
+              [](const HotPathRecord& a, const HotPathRecord& b) {
+                return std::tie(a.file, a.line, a.function, a.grant) <
+                       std::tie(b.file, b.line, b.function, b.grant);
+              });
+  }
+
+  // --- allow() suppressions, then the canonical total order. ---
+  std::map<std::string, std::size_t> tu_of_display;
+  for (std::size_t tu = 0; tu < files.size(); ++tu) {
+    tu_of_display[g.display_of(tu)] = tu;
+  }
+  for (Diagnostic& d : raw) {
+    const auto it = tu_of_display.find(d.file);
+    if (it != tu_of_display.end() &&
+        is_allowed(g.unit(it->second), d.rule, d.line)) {
+      continue;
+    }
+    out.diagnostics.push_back(std::move(d));
+  }
+  std::sort(out.diagnostics.begin(), out.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  out.diagnostics.erase(
+      std::unique(out.diagnostics.begin(), out.diagnostics.end(),
+                  [](const Diagnostic& a, const Diagnostic& b) {
+                    return std::tie(a.file, a.line, a.rule, a.message) ==
+                           std::tie(b.file, b.line, b.rule, b.message);
+                  }),
+      out.diagnostics.end());
+  std::sort(out.costs.begin(), out.costs.end(),
+            [](const FunctionCost& a, const FunctionCost& b) {
+              return std::tie(a.file, a.line, a.function) <
+                     std::tie(b.file, b.line, b.function);
+            });
+  return out;
+}
+
+HotPathAnalysis analyze_hot_paths_directory(const std::string& root,
+                                            const HotPathOptions& options) {
+  std::vector<SourceFile> files;
+  const fs::path base(root);
+  for (const auto& entry : fs::recursive_directory_iterator(base)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("vmincqr_lint: cannot read " +
+                               entry.path().string());
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back({entry.path().string(),
+                     entry.path().lexically_relative(base).generic_string(),
+                     ss.str()});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  return analyze_hot_paths(files, options);
+}
+
+std::string hotpath_report_json(const HotPathAnalysis& analysis) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"vmincqr-hotpath-report/1\",\n  \"functions\": [";
+  bool first = true;
+  for (const FunctionCost& c : analysis.costs) {
+    os << (first ? "" : ",") << "\n    {\"function\": \""
+       << json_escape(c.function) << "\", \"file\": \""
+       << json_escape(c.file) << "\", \"line\": " << c.line
+       << ", \"serve_reachable\": " << (c.serve_reachable ? "true" : "false")
+       << ", \"predict_reachable\": "
+       << (c.predict_reachable ? "true" : "false")
+       << ", \"loop_depth\": " << c.loop_depth
+       << ", \"alloc_sites\": " << c.alloc_sites
+       << ", \"copy_sites\": " << c.copy_sites << ", \"chain\": \""
+       << json_escape(c.chain) << "\"}";
+    first = false;
+  }
+  os << "\n  ],\n  \"grants\": [";
+  first = true;
+  for (const HotPathRecord& r : analysis.grants) {
+    os << (first ? "" : ",") << "\n    {\"function\": \""
+       << json_escape(r.function) << "\", \"file\": \""
+       << json_escape(r.file) << "\", \"line\": " << r.line
+       << ", \"grant\": \"" << json_escape(r.grant) << "\"}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace vmincqr::lint

@@ -1,0 +1,158 @@
+// Phase-5 hot-path allocation & copy analyzer — the static profiler that
+// precedes the SIMD/data-layout overhaul of the predict and serve kernels.
+//
+// The paper's serving story is batched Vmin interval prediction for fleets
+// of chips, so the product lives or dies on per-row cost inside
+// serve::VminPredictor::predict_batch and everything it reaches. Phase 4
+// already knows exactly which functions those are (the cross-TU call
+// graph); this phase walks the serve-reachable and predict-reachable
+// function sets and flags every hidden allocation, copy, and temporary in
+// their bodies:
+//
+//   * alloc-in-hot-loop        — a heavy container (Matrix / Vector /
+//     std::vector / std::string) constructed, or grown via push_back
+//     without reserve, inside a loop of a hot function. Parallel lambda
+//     bodies count as loops (they run once per chunk), so per-chunk scratch
+//     is flagged too — the hoist-vs-grant decision is always recorded.
+//   * heavy-pass-by-value      — a Matrix/Vector/std::vector/std::string
+//     parameter taken by value on a hot-reachable function that never
+//     mutates or moves it: a full copy per call, invisible to the per-TU
+//     matrix-by-value rule when declaration and call sit in different TUs.
+//   * temporary-materialization — a freshly materialized container
+//     (`x.row(i)`, `take_cols(...)`, ...) immediately indexed or reduced:
+//     the whole copy exists to read one element.
+//   * missed-reserve           — a push_back growth loop whose trip count
+//     is a visible `.rows()` / `.size()` / `.cols()` bound: the reserve is
+//     mechanically derivable (and `--fix` inserts it).
+//   * virtual-in-inner-loop    — virtual dispatch inside an innermost loop
+//     of a hot function: per-element indirect calls that block both
+//     inlining and the upcoming vectorization.
+//
+// Governance mirrors the numeric-tier contract: an intentional allocation
+// is granted per function with `// vmincqr: hot-path(allow-alloc)` on the
+// definition line (or the line above), and every grant must be mirrored in
+// the committed hotpath_tiers.toml manifest (rule hot-path-manifest fires
+// on drift in either direction). Grants are recorded in SARIF
+// runs[0].properties, so the deployed report is an audit trail of every
+// sanctioned hot-path allocation.
+//
+// The per-function cost table (`--hotpath-report=FILE`) lists every hot
+// function with its allocation sites, copy sites, and loop depth — the
+// work-list the SIMD PR starts from. Counts are pre-grant and
+// pre-suppression on purpose: the report is a profile, not a gate.
+//
+// Determinism: extraction reuses CallGraph::build (per-TU fan-out on the
+// deterministic pool); everything after is sequential over sorted
+// containers, so diagnostics, SARIF, and the JSON report are byte-identical
+// at every thread width.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "diagnostic.hpp"
+#include "include_graph.hpp"
+#include "token.hpp"
+
+namespace vmincqr::lint {
+
+/// One explicit hot-path grant annotation, recorded in SARIF run
+/// properties as the allocation audit trail (every function that opted out
+/// of the allocation-class rules, with the manifest as source of truth).
+struct HotPathRecord {
+  std::string function;  // display name, e.g. "VminPredictor::predict_batch"
+  std::string file;
+  std::size_t line = 0;
+  std::string grant;  // "allow-alloc"
+};
+
+/// One row of the per-function cost table. Site counts are raw profile
+/// data: they include granted and allow()-suppressed sites.
+struct FunctionCost {
+  std::string function;  // display name
+  std::string file;
+  std::size_t line = 0;
+  bool serve_reachable = false;
+  bool predict_reachable = false;
+  std::size_t loop_depth = 0;   // max loop nesting in the body
+  std::size_t alloc_sites = 0;  // heavy constructions / growth inside loops
+  std::size_t copy_sites = 0;   // materializing calls in loops + by-value
+  std::string chain;            // witness, e.g. "predict_batch -> f -> g"
+};
+
+/// Parses the hot-path manifest:
+///
+///   [allow_alloc]
+///   functions = ["VminPredictor::predict_batch"]
+///
+/// Entries may be bare or Class::-qualified names. Throws
+/// std::runtime_error on malformed input.
+std::set<std::string> parse_hotpath_manifest(const std::string& toml_text);
+
+/// Reads and parses a manifest file. Throws on IO or parse errors.
+std::set<std::string> load_hotpath_manifest(const std::string& path);
+
+struct HotPathOptions {
+  LayerConfig layers;
+  /// Functions committed as allow-alloc (parse_hotpath_manifest). Entries
+  /// match a definition's display name or bare name.
+  std::set<std::string> alloc_manifest;
+  /// Manifest path for diagnostics (stale entries report against it).
+  std::string manifest_display = "hotpath_tiers.toml";
+};
+
+struct HotPathAnalysis {
+  /// Sorted by (file, line, rule, message); grants and allow()
+  /// suppressions applied.
+  std::vector<Diagnostic> diagnostics;
+  /// Every explicit hot-path grant annotation, sorted by (file, line).
+  std::vector<HotPathRecord> grants;
+  /// Cost row per hot function, sorted by (file, line, function).
+  std::vector<FunctionCost> costs;
+};
+
+/// A heavy parameter taken by value: Matrix/Vector/std::vector/std::string
+/// with no `&`/`*` anywhere in its parameter-list segment.
+struct HeavyParam {
+  std::string type;
+  std::string name;
+};
+
+/// True when tokens[i] spells a heavy container type (bare, or qualified by
+/// a namespace we own) rather than a member or foreign name. Shared with
+/// the --fix signature rewriter.
+bool heavy_type_at(const std::vector<Token>& t, std::size_t i);
+
+/// Index of the first token after tokens[i]'s optional template argument
+/// list (`vector<double>` -> the token after '>').
+std::size_t after_template_args(const std::vector<Token>& t, std::size_t i);
+
+/// By-value heavy parameters of a definition whose parameter list opens at
+/// tokens[params_open].
+std::vector<HeavyParam> heavy_value_params(const std::vector<Token>& t,
+                                           std::size_t params_open);
+
+/// True when the body moves, assigns to, writes through, or calls a mutator
+/// on `name` — the by-value copy is then load-bearing and the parameter
+/// must stay by value. Shared by the heavy-pass-by-value rule and the --fix
+/// rewriter so they can never disagree about what is safely const-ref.
+bool param_mutated(const std::vector<Token>& t, std::size_t body_first,
+                   std::size_t body_last, const std::string& name);
+
+/// Runs all phase-5 rules over the file set.
+HotPathAnalysis analyze_hot_paths(const std::vector<SourceFile>& files,
+                                  const HotPathOptions& options);
+
+/// Convenience: collects .hpp/.cpp files under `root` (rel paths computed
+/// against `root`, sorted) and analyzes them. Throws on IO errors.
+HotPathAnalysis analyze_hot_paths_directory(const std::string& root,
+                                            const HotPathOptions& options);
+
+/// Renders the cost table as the `--hotpath-report` JSON document —
+/// deterministic (sorted rows, fixed key order), so the report can be
+/// byte-compared across thread widths like the SARIF output.
+std::string hotpath_report_json(const HotPathAnalysis& analysis);
+
+}  // namespace vmincqr::lint

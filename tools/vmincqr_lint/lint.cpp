@@ -350,6 +350,36 @@ const std::vector<RuleInfo>& callgraph_rule_table() {
   return table;
 }
 
+const std::vector<RuleInfo>& hotpath_rule_table() {
+  static const std::vector<RuleInfo> table = {
+      {"alloc-in-hot-loop",
+       "no heavy container construction or unreserved growth inside loops "
+       "(incl. parallel bodies) of serve/predict-reachable functions; hoist "
+       "the buffer or grant hot-path(allow-alloc) via the manifest"},
+      {"heavy-pass-by-value",
+       "Matrix/Vector/std::vector/std::string parameters of hot-reachable "
+       "functions must not be copied by value when never mutated or moved; "
+       "take const references"},
+      {"temporary-materialization",
+       "a freshly materialized container (row/col/take_*/row_block) must "
+       "not be immediately indexed or reduced; read through the source "
+       "container instead of copying it"},
+      {"missed-reserve",
+       "push_back growth loops with a visible .rows()/.size()/.cols() trip "
+       "count must reserve first; the call is mechanically derivable and "
+       "--fix inserts it"},
+      {"virtual-in-inner-loop",
+       "no virtual dispatch inside innermost loops of hot functions; "
+       "per-element indirect calls block inlining and vectorization — batch "
+       "or devirtualize"},
+      {"hot-path-manifest",
+       "every hot-path(allow-alloc) annotation must be mirrored in the "
+       "committed hot-path manifest, and the manifest must carry no stale "
+       "entries"},
+  };
+  return table;
+}
+
 std::vector<Diagnostic> lint_source(const std::string& path,
                                     const std::string& content,
                                     const LintPhases& phases) {

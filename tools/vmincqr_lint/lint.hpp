@@ -55,6 +55,11 @@ const std::vector<RuleInfo>& graph_rule_table();
 /// deliberately absent here.
 const std::vector<RuleInfo>& callgraph_rule_table();
 
+/// Hot-path allocation & copy rules (phase 5, hotpath.hpp). Fourth table:
+/// these run over the serve-reachable and predict-reachable cones of the
+/// phase-4 call graph, so they also need the whole file set.
+const std::vector<RuleInfo>& hotpath_rule_table();
+
 /// Which per-TU phases run. Phase 1 (include graph) and phase 4 (call
 /// graph) operate on the whole file set and are selected by the driver;
 /// phases 2 and 3 are gated here so `--phase=` can slice them apart and so

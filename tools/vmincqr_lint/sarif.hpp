@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "diagnostic.hpp"
+#include "hotpath.hpp"
 #include "numeric.hpp"
 
 namespace vmincqr::lint {
@@ -26,5 +27,13 @@ std::string to_sarif(const std::vector<Diagnostic>& diagnostics);
 /// produces the exact same bytes as the overload above.
 std::string to_sarif(const std::vector<Diagnostic>& diagnostics,
                      const std::vector<TierRecord>& tiers);
+
+/// Same, with the phase-5 hot-path grants rendered into the run's
+/// `properties.hotPathGrants` next to the numeric tiers — the log then
+/// audits every sanctioned hot-path allocation too. Empty `tiers` and
+/// `grants` produce the exact same bytes as the base overload.
+std::string to_sarif(const std::vector<Diagnostic>& diagnostics,
+                     const std::vector<TierRecord>& tiers,
+                     const std::vector<HotPathRecord>& grants);
 
 }  // namespace vmincqr::lint

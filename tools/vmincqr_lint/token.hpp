@@ -39,6 +39,13 @@ struct Unit {
   /// function's definition line (or the line above) sets that function's
   /// tier; unknown tier names are ignored (the annotation never fails).
   std::map<std::size_t, std::string> numeric_tiers;
+  /// line -> grants declared via `vmincqr: hot-path(allow-alloc)`. Consumed
+  /// by the phase-5 hot-path rules: a grant comment on a function's
+  /// definition line (or the line above) exempts that function from the
+  /// allocation-class rules — but only when the grant is also mirrored in
+  /// the committed hotpath_tiers.toml manifest (rule hot-path-manifest).
+  /// Unknown grant names are ignored, like unknown numeric tiers.
+  std::map<std::size_t, std::set<std::string>> hot_path_grants;
 };
 
 /// Lexes one TU. Never fails: unterminated constructs consume to EOF.
@@ -50,5 +57,10 @@ bool is_allowed(const Unit& unit, const std::string& rule, std::size_t line);
 /// The numeric tier annotated on `line` or the line directly above, or ""
 /// when unannotated (callers default to bit_exact).
 std::string numeric_tier_at(const Unit& unit, std::size_t line);
+
+/// The hot-path grants annotated on `line` or the line directly above
+/// (empty when unannotated). Today the only recognized grant is
+/// "allow-alloc".
+std::set<std::string> hot_path_grants_at(const Unit& unit, std::size_t line);
 
 }  // namespace vmincqr::lint
