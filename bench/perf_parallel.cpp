@@ -8,11 +8,17 @@
 // Usage: perf_parallel [--stress] [output.json]
 //   default output: BENCH_parallel.json (BENCH_stress.json with --stress)
 //
-// --stress swaps the 4096-row serve batch for a 100000-row one — the
+// --stress swaps the 4096-row serve batch for a 1000000-row one — the
 // fleet-screening scale the hot-path analyzer profiles for — and skips the
 // GBT fit (train-side, unchanged by batch size). Its JSON is uploaded as a
 // separate artifact so the large-N throughput trend is trackable without
 // touching the committed small-batch baselines.
+//
+// Besides wall-clock the JSON carries the STATISTICAL outputs of the benched
+// predictor (empirical coverage and mean interval width on the synthetic
+// batch): bench_compare gates these alongside the timings, so a perf
+// "optimization" that quietly shifts the intervals fails the comparison
+// instead of landing.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -24,10 +30,12 @@
 
 #include "artifact/bundle.hpp"
 #include "conformal/cqr.hpp"
+#include "linalg/kernels.hpp"
 #include "models/factory.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 #include "serve/vmin_predictor.hpp"
+#include "stats/metrics.hpp"
 
 using namespace vmincqr;
 
@@ -40,7 +48,7 @@ namespace {
 constexpr std::size_t kTrainRows = 2000;
 constexpr std::size_t kFeatures = 13;
 constexpr std::size_t kBatchRows = 4096;
-constexpr std::size_t kStressBatchRows = 100000;
+constexpr std::size_t kStressBatchRows = 1000000;
 
 struct Problem {
   linalg::Matrix x;
@@ -123,16 +131,30 @@ int main(int argc, char** argv) {
   const Problem batch = make_problem(batch_rows, kFeatures);
 
   // --- GBT fit: the split search + row loops are the pool's hottest user.
-  // Skipped under --stress: fit cost does not depend on the serve batch.
+  // Benched on both kernel tiers: bit_exact keeps the exact sort-scan split
+  // search, fast routes through the histogram-binned search. Skipped under
+  // --stress: fit cost does not depend on the serve batch.
   WidthTiming gbt_fit;
+  WidthTiming gbt_fit_fast;
   if (!stress) {
-    gbt_fit = bench_at_widths(wide, 3, [&] {
+    const auto fit_once = [&] {
       auto model = models::make_point_regressor(models::ModelKind::kXgboost);
       model->fit(train.x, train.y);
-    });
+    };
+    gbt_fit = bench_at_widths(wide, 3, fit_once);
     std::printf(
         "gbt fit        1 thread %8.3f ms   %zu threads %8.3f ms   %.2fx\n",
         1e3 * gbt_fit.seq_s, wide, 1e3 * gbt_fit.par_s, gbt_fit.speedup());
+    {
+      const linalg::KernelPolicyGuard policy(linalg::KernelPolicy::kFast);
+      gbt_fit_fast = bench_at_widths(wide, 3, fit_once);
+    }
+    std::printf(
+        "gbt fit (fast) 1 thread %8.3f ms   %zu threads %8.3f ms   %.2fx  "
+        "(%.2fx vs exact)\n",
+        1e3 * gbt_fit_fast.seq_s, wide, 1e3 * gbt_fit_fast.par_s,
+        gbt_fit_fast.speedup(),
+        gbt_fit_fast.par_s > 0.0 ? gbt_fit.par_s / gbt_fit_fast.par_s : 0.0);
   }
 
   // --- serve batch: row-sharded predict_interval over a CQR-GBT bundle.
@@ -160,6 +182,21 @@ int main(int argc, char** argv) {
               1e3 * serve_batch.seq_s, wide, 1e3 * serve_batch.par_s,
               serve_batch.speedup(), rows_per_s);
 
+  // --- statistical outputs of the benched predictor (gated by
+  // bench_compare next to the timings: a throughput win that moves the
+  // intervals is a regression, not an optimization).
+  const auto intervals = predictor.predict_batch(batch.x);
+  linalg::Vector lower(batch_rows);
+  linalg::Vector upper(batch_rows);
+  for (std::size_t i = 0; i < batch_rows; ++i) {
+    lower[i] = intervals[i].lower;
+    upper[i] = intervals[i].upper;
+  }
+  const double coverage = stats::interval_coverage(batch.y, lower, upper);
+  const double mean_width = stats::mean_interval_length(lower, upper);
+  std::printf("stats          coverage %.4f   mean width %.6f V\n", coverage,
+              mean_width);
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -178,6 +215,19 @@ int main(int argc, char** argv) {
     std::fprintf(out, "    \"speedup\": %s\n",
                  json_number(gbt_fit.speedup()).c_str());
     std::fprintf(out, "  },\n");
+    std::fprintf(out, "  \"gbt_fit_fast\": {\n");
+    std::fprintf(out, "    \"seq_ms\": %s,\n",
+                 json_number(1e3 * gbt_fit_fast.seq_s).c_str());
+    std::fprintf(out, "    \"par_ms\": %s,\n",
+                 json_number(1e3 * gbt_fit_fast.par_s).c_str());
+    std::fprintf(out, "    \"speedup\": %s,\n",
+                 json_number(gbt_fit_fast.speedup()).c_str());
+    std::fprintf(out, "    \"vs_exact\": %s\n",
+                 json_number(gbt_fit_fast.par_s > 0.0
+                                 ? gbt_fit.par_s / gbt_fit_fast.par_s
+                                 : 0.0)
+                     .c_str());
+    std::fprintf(out, "  },\n");
   }
   std::fprintf(out, "  \"serve_batch\": {\n");
   std::fprintf(out, "    \"seq_ms\": %s,\n",
@@ -188,6 +238,11 @@ int main(int argc, char** argv) {
                json_number(serve_batch.speedup()).c_str());
   std::fprintf(out, "    \"rows_per_s\": %s\n",
                json_number(rows_per_s).c_str());
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"stats\": {\n");
+  std::fprintf(out, "    \"coverage\": %s,\n", json_number(coverage).c_str());
+  std::fprintf(out, "    \"mean_width_v\": %s\n",
+               json_number(mean_width).c_str());
   std::fprintf(out, "  }\n");
   std::fputs("}\n", out);
   std::fclose(out);

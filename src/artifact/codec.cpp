@@ -100,6 +100,11 @@ void Writer::put_index_vec(const std::vector<std::size_t>& value) {
   for (const std::size_t v : value) put_u64(v);
 }
 
+void Writer::put_i32_vec(const std::vector<std::int32_t>& value) {
+  put_u64(value.size());
+  for (const std::int32_t v : value) put_u32(static_cast<std::uint32_t>(v));
+}
+
 void Writer::put_matrix(const Matrix& value) {
   put_u64(value.rows());
   put_u64(value.cols());
@@ -225,6 +230,15 @@ std::vector<std::size_t> Reader::get_index_vec() {
   std::vector<std::size_t> out(length);
   for (std::size_t i = 0; i < length; ++i) {
     out[i] = get_u64();
+  }
+  return out;
+}
+
+std::vector<std::int32_t> Reader::get_i32_vec() {
+  const std::size_t length = get_length(kU32Size);
+  std::vector<std::int32_t> out(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out[i] = static_cast<std::int32_t>(get_u32());
   }
   return out;
 }

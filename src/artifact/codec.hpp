@@ -41,7 +41,14 @@ class ArtifactError : public std::runtime_error {
 }
 
 inline constexpr std::uint32_t kMagic = fourcc('V', 'Q', 'A', 'F');
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Version history:
+///   1 — initial format; GBT trees as interleaved per-node records.
+///   2 — GBT trees as SoA node planes (is_leaf / feature / threshold /
+///       left / right / value / leaf_id / gain), mirroring the flat-forest
+///       traversal layout so decode feeds the planes without a transpose.
+/// Writers emit kFormatVersion; Reader::open accepts every version in
+/// [1, kFormatVersion] and decoders branch on Reader::format_version().
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Chunk tags. Bundle-level chunks first, then one tag per serializable
 /// predictor type (the tag doubles as the type discriminator).
@@ -82,6 +89,7 @@ class Writer {
   void put_str(const std::string& value);
   void put_vec(const Vector& value);
   void put_index_vec(const std::vector<std::size_t>& value);
+  void put_i32_vec(const std::vector<std::int32_t>& value);
   void put_matrix(const Matrix& value);
 
   /// Seals the artifact and releases the byte buffer. Contract violation
@@ -129,6 +137,7 @@ class Reader {
   [[nodiscard]] std::string get_str();
   [[nodiscard]] Vector get_vec();
   [[nodiscard]] std::vector<std::size_t> get_index_vec();
+  [[nodiscard]] std::vector<std::int32_t> get_i32_vec();
   [[nodiscard]] Matrix get_matrix();
 
  private:

@@ -109,31 +109,73 @@ void put_mlp_body(Writer& writer, const models::MlpParams& params) {
   writer.put_f64(params.b2);
 }
 
+// v2 encoding: SoA node planes over the whole forest, in tree order — the
+// same layout the flat-forest traversal kernel consumes, so decode fills
+// planes instead of transposing per-node records.
 void put_gbt_body(Writer& writer, const models::GbtParams& params) {
   writer.put_f64(params.base_score);
   writer.put_f64(params.learning_rate);
   writer.put_u64(params.n_features);
-  writer.put_u64(params.trees.size());
+  std::size_t total = 0;
+  std::vector<std::size_t> counts;
+  counts.reserve(params.trees.size());
   for (const auto& nodes : params.trees) {
-    writer.put_u64(nodes.size());
+    counts.push_back(nodes.size());
+    total += nodes.size();
+  }
+  writer.put_index_vec(counts);
+  writer.put_u64(total);
+  for (const auto& nodes : params.trees) {
     for (const models::TreeNode& node : nodes) {
       writer.put_u8(node.is_leaf ? 1 : 0);
-      writer.put_u64(node.feature);
-      writer.put_f64(node.threshold);
-      writer.put_u32(static_cast<std::uint32_t>(node.left));
-      writer.put_u32(static_cast<std::uint32_t>(node.right));
-      writer.put_f64(node.value);
-      writer.put_u32(static_cast<std::uint32_t>(node.leaf_id));
-      writer.put_f64(node.gain);
     }
   }
+  std::vector<std::size_t> features(total);
+  Vector f64_plane(total);
+  std::vector<std::int32_t> i32_plane(total);
+  const auto for_each_node = [&params](auto&& fn) {
+    std::size_t i = 0;
+    for (const auto& nodes : params.trees) {
+      for (const models::TreeNode& node : nodes) fn(i++, node);
+    }
+  };
+  for_each_node([&](std::size_t i, const models::TreeNode& n) {
+    features[i] = n.feature;
+  });
+  writer.put_index_vec(features);
+  for_each_node([&](std::size_t i, const models::TreeNode& n) {
+    f64_plane[i] = n.threshold;
+  });
+  writer.put_vec(f64_plane);
+  for_each_node([&](std::size_t i, const models::TreeNode& n) {
+    i32_plane[i] = n.left;
+  });
+  writer.put_i32_vec(i32_plane);
+  for_each_node([&](std::size_t i, const models::TreeNode& n) {
+    i32_plane[i] = n.right;
+  });
+  writer.put_i32_vec(i32_plane);
+  for_each_node([&](std::size_t i, const models::TreeNode& n) {
+    f64_plane[i] = n.value;
+  });
+  writer.put_vec(f64_plane);
+  for_each_node([&](std::size_t i, const models::TreeNode& n) {
+    i32_plane[i] = n.leaf_id;
+  });
+  writer.put_i32_vec(i32_plane);
+  for_each_node([&](std::size_t i, const models::TreeNode& n) {
+    f64_plane[i] = n.gain;
+  });
+  writer.put_vec(f64_plane);
 }
 
+// Legacy (format version 1) decode: interleaved per-node records.
+//
 // The per-tree node vector is the sanctioned allocation: each tree owns its
 // node storage and the vector is moved into params.trees, so a hoisted
 // buffer would be re-allocated after every move anyway (hotpath_tiers.toml).
 // vmincqr: hot-path(allow-alloc)
-models::GbtParams get_gbt_body(Reader& reader) {
+models::GbtParams get_gbt_body_v1(Reader& reader) {
   models::GbtParams params;
   params.base_score = reader.get_f64();
   params.learning_rate = reader.get_f64();
@@ -156,6 +198,60 @@ models::GbtParams get_gbt_body(Reader& reader) {
       node.gain = reader.get_f64();
       nodes.push_back(node);
     }
+    params.trees.push_back(std::move(nodes));
+  }
+  return params;
+}
+
+// The per-tree node vector is the sanctioned allocation (see above).
+// vmincqr: hot-path(allow-alloc)
+models::GbtParams get_gbt_body(Reader& reader) {
+  if (reader.format_version() < 2) return get_gbt_body_v1(reader);
+  models::GbtParams params;
+  params.base_score = reader.get_f64();
+  params.learning_rate = reader.get_f64();
+  params.n_features = reader.get_u64();
+  const std::vector<std::size_t> counts = reader.get_index_vec();
+  const std::uint64_t total = reader.get_u64();
+  std::uint64_t counted = 0;
+  for (const std::size_t c : counts) counted += c;
+  if (counted != total) {
+    throw ArtifactError("GBT node plane length disagrees with tree counts");
+  }
+  std::vector<std::uint8_t> is_leaf(static_cast<std::size_t>(total));
+  for (auto& flag : is_leaf) flag = reader.get_u8();
+  const std::vector<std::size_t> features = reader.get_index_vec();
+  const Vector thresholds = reader.get_vec();
+  const std::vector<std::int32_t> lefts = reader.get_i32_vec();
+  const std::vector<std::int32_t> rights = reader.get_i32_vec();
+  const Vector values = reader.get_vec();
+  const std::vector<std::int32_t> leaf_ids = reader.get_i32_vec();
+  const Vector gains = reader.get_vec();
+  if (features.size() != total || thresholds.size() != total ||
+      lefts.size() != total || rights.size() != total ||
+      values.size() != total || leaf_ids.size() != total ||
+      gains.size() != total) {
+    throw ArtifactError("GBT node planes have inconsistent lengths");
+  }
+  params.trees.reserve(counts.size());
+  std::size_t base = 0;
+  for (const std::size_t n_nodes : counts) {
+    std::vector<models::TreeNode> nodes;
+    nodes.reserve(n_nodes);
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      const std::size_t i = base + n;
+      models::TreeNode node;
+      node.is_leaf = is_leaf[i] != 0;
+      node.feature = features[i];
+      node.threshold = thresholds[i];
+      node.left = lefts[i];
+      node.right = rights[i];
+      node.value = values[i];
+      node.leaf_id = leaf_ids[i];
+      node.gain = gains[i];
+      nodes.push_back(node);
+    }
+    base += n_nodes;
     params.trees.push_back(std::move(nodes));
   }
   return params;

@@ -19,6 +19,7 @@
 #include "core/split_spec.hpp"
 #include "core/units.hpp"
 #include "data/dataset.hpp"
+#include "linalg/kernels.hpp"
 #include "models/factory.hpp"
 
 namespace vmincqr::core {
@@ -36,6 +37,13 @@ struct PipelineConfig {
   /// verbatim into conformal::CqrConfig (and friends) wherever the pipeline
   /// builds a calibrated predictor.
   CalibrationSplit split;
+  /// Accuracy tier for the dense/tree compute kernels during this fit.
+  /// fit_screen scopes the process-wide policy to the fit via
+  /// linalg::KernelPolicyGuard: kBitExact (default) reproduces the reference
+  /// summation orders bit for bit; kFast enables the reassociated kernels
+  /// and histogram-binned split search (tolerance-gated, still
+  /// deterministic and thread-count invariant).
+  linalg::KernelPolicy kernel_policy = linalg::KernelPolicy::kBitExact;
 };
 
 /// The assembled design for one scenario: the legal feature columns and the

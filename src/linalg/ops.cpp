@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/contracts.hpp"
+#include "linalg/kernels.hpp"
 
 namespace vmincqr::linalg {
 
@@ -10,17 +11,11 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   VMINCQR_CHECK_SHAPE(a.cols() == b.rows(), "matmul: " + shape_string(a) +
                                                  " * " + shape_string(b));
   Matrix out(a.rows(), b.cols(), 0.0);
-  // i-k-j ordering keeps the inner loop contiguous in both b and out.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      // Sparsity fast path: skipping an exact zero is lossless.
-      if (aik == 0.0) continue;  // vmincqr-lint: allow(float-equality)
-      const double* brow = b.row_ptr(k);
-      double* orow = out.row_ptr(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
-    }
-  }
+  // The exact kernel tier keeps the classic i-k-j per-element order and the
+  // lossless exact-zero skip on A, so the default tier matches the old
+  // scalar loop bit for bit.
+  gemm(a.rows(), a.cols(), b.cols(), a.row_ptr(0), a.cols(), b.row_ptr(0),
+       b.cols(), out.row_ptr(0), out.cols(), kernel_policy());
   return out;
 }
 
@@ -29,12 +24,9 @@ Vector matvec(const Matrix& a, const Vector& x) {
                       "matvec: " + shape_string(a) + " * vector of " +
                           std::to_string(x.size()));
   Vector out(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.row_ptr(i);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
-    out[i] = acc;
-  }
+  // Exact tier: per-row ascending-j accumulation, as the old loop.
+  gemv(a.rows(), a.cols(), a.row_ptr(0), a.cols(), x.data(), out.data(),
+       kernel_policy());
   return out;
 }
 
@@ -73,9 +65,8 @@ Vector transpose_matvec(const Matrix& a, const Vector& y) {
 
 double dot(const Vector& a, const Vector& b) {
   VMINCQR_CHECK_SHAPE(a.size() == b.size(), "dot: length mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  // Exact tier: single ascending-order accumulator, as the old loop.
+  return dot_kernel(a.size(), a.data(), b.data(), kernel_policy());
 }
 
 double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }

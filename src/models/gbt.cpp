@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/binning.hpp"
+#include "linalg/kernels.hpp"
 #include "parallel/parallel_for.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/quantile.hpp"
@@ -45,6 +47,19 @@ void GradientBoostedTrees::fit(const Matrix& x, const Vector& y) {
   Vector grad(n), hess(n);
   trees_.reserve(static_cast<std::size_t>(config_.n_rounds));
 
+  // Fast kernel tier: pre-bin the design once, then every round's split
+  // search runs over histograms instead of the exact sort scan. The binner
+  // is a pure function of x, so fits stay deterministic and thread-count
+  // invariant — they just choose (slightly) different trees than the
+  // bit-exact tier, which is why the policy gates them.
+  const bool binned = linalg::kernel_policy() == linalg::KernelPolicy::kFast;
+  core::FeatureBinner binner;
+  std::vector<std::uint16_t> codes;
+  if (binned) {
+    binner.fit(x);
+    codes = binner.bin(x);
+  }
+
   const bool parallel_rows = n >= kMinParallelRows;
   for (int round = 0; round < config_.n_rounds; ++round) {
     parallel::parallel_for(
@@ -57,7 +72,11 @@ void GradientBoostedTrees::fit(const Matrix& x, const Vector& y) {
         },
         parallel_rows);
     RegressionTree tree;
-    tree.fit(x, grad, hess, config_.tree);
+    if (binned) {
+      tree.fit_binned(x, grad, hess, config_.tree, binner, codes);
+    } else {
+      tree.fit(x, grad, hess, config_.tree);
+    }
 
     if (config_.loss.kind == LossKind::kPinball) {
       // Leaf-quantile refit: set each leaf to the loss-optimal constant for
@@ -86,23 +105,29 @@ void GradientBoostedTrees::fit(const Matrix& x, const Vector& y) {
         parallel_rows);
     trees_.push_back(std::move(tree));
   }
+  rebuild_flat();
   fitted_ = true;
+}
+
+void GradientBoostedTrees::rebuild_flat() {
+  flat_.clear();
+  for (const auto& tree : trees_) flat_.add_tree(tree.nodes());
 }
 
 Vector GradientBoostedTrees::predict(const Matrix& x) const {
   check_predict_args(x, n_features_, fitted_);
   Vector out(x.rows(), base_score_);
-  // Row-outer so rows shard across threads; each row still accumulates its
-  // trees in round order, preserving the sequential summation order exactly.
+  // Row-sharded over the flat SoA planes. Each row still accumulates its
+  // trees in round order on top of the base score, so the summation order —
+  // and therefore every bit — matches the old pointer-chasing loop; the
+  // kernel only re-tiles WHICH (row, tree) pair is traversed when. The
+  // grain pins shards to the traversal row block: auto-grain would cut
+  // small batches into slivers that re-stream the node planes per sliver.
   parallel::parallel_for(
-      x.rows(), /*grain=*/0,
+      x.rows(), /*grain=*/models::kTraversalRowBlock,
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t r = begin; r < end; ++r) {
-          const double* row = x.row_ptr(r);
-          for (const auto& tree : trees_) {
-            out[r] += config_.learning_rate * tree.predict_row(row);
-          }
-        }
+        flat_.accumulate(x.row_ptr(begin), end - begin, x.cols(),
+                         config_.learning_rate, out.data() + begin);
       },
       /*use_pool=*/x.rows() >= kMinParallelRows);
   return out;
@@ -161,6 +186,7 @@ void GradientBoostedTrees::import_params(const GbtParams& params) {
   base_score_ = params.base_score;
   config_.learning_rate = params.learning_rate;
   n_features_ = params.n_features;
+  rebuild_flat();
   fitted_ = true;
 }
 

@@ -57,8 +57,12 @@ class GradientBoostedTrees final : public Regressor {
   void import_params(const GbtParams& params);
 
  private:
+  /// Rebuilds flat_ from trees_ (fit and import both end here).
+  void rebuild_flat();
+
   GbtConfig config_;
   std::vector<RegressionTree> trees_;
+  FlatForest flat_;  ///< SoA planes of the whole ensemble (predict kernel)
   double base_score_ = 0.0;
   std::size_t n_features_ = 0;
   bool fitted_ = false;

@@ -1,9 +1,11 @@
 #include "models/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "linalg/kernels.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace vmincqr::models {
@@ -16,12 +18,13 @@ namespace {
 constexpr std::size_t kMlpGrain = 32;
 
 /// Per-chunk training scratch: gradient accumulator plus the activation
-/// buffers of the forward pass, so concurrent chunks never share state and
-/// the epoch loop never touches the allocator.
+/// slab (z) and hidden-layer sensitivity slab (dh) of the blocked forward /
+/// backward passes, so concurrent chunks never share state and the epoch
+/// loop never touches the allocator.
 struct MlpChunkScratch {
   std::vector<double> grads;
-  std::vector<double> hidden;
-  std::vector<double> relu_mask;
+  std::vector<double> z;   ///< chunk_rows x h pre-activations, then ReLU(z)
+  std::vector<double> dh;  ///< chunk_rows x h hidden-layer gradients
 };
 
 /// Adam state for one flat parameter vector.
@@ -29,6 +32,13 @@ struct AdamState {
   std::vector<double> m, v;
   int t = 0;
   explicit AdamState(std::size_t n) : m(n, 0.0), v(n, 0.0) {}
+  // Kept out of line: GCC 12 misattributes the vector deallocations when the
+  // destructor inlines into fit()'s epoch scope (-Wfree-nonheap-object false
+  // positive under -O2), which would break -Werror CI builds.
+#if defined(__GNUC__) && !defined(__clang__)
+  __attribute__((noinline))
+#endif
+  ~AdamState() = default;
 
   void step(std::vector<double>& params, const std::vector<double>& grads,
             double lr) {
@@ -92,9 +102,10 @@ void MlpRegressor::fit(const Matrix& x, const Vector& y) {
   std::vector<MlpChunkScratch> scratch(n_chunks);
   for (auto& s : scratch) {
     s.grads.assign(params.size(), 0.0);
-    s.hidden.assign(h, 0.0);
-    s.relu_mask.assign(h, 0.0);
+    s.z.assign(kMlpGrain * h, 0.0);
+    s.dh.assign(kMlpGrain * h, 0.0);
   }
+  const linalg::KernelPolicy policy = linalg::kernel_policy();
 
   const double inv_n = 1.0 / static_cast<double>(n);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -107,30 +118,46 @@ void MlpRegressor::fit(const Matrix& x, const Vector& y) {
           double* gb1 = gw1 + d * h;
           double* gw2 = gb1 + h;
           double* gb2 = gw2 + h;
-          for (std::size_t i = begin; i < end; ++i) {
-            const double* row = xs.row_ptr(i);
-            // Forward.
-            for (std::size_t j = 0; j < h; ++j) {
-              double z = b1[j];
-              for (std::size_t k = 0; k < d; ++k) z += w1[k * h + j] * row[k];
-              s.relu_mask[j] = z > 0.0 ? 1.0 : 0.0;
-              s.hidden[j] = z > 0.0 ? z : 0.0;
-            }
-            double out = *b2;
-            for (std::size_t j = 0; j < h; ++j) out += w2[j] * s.hidden[j];
+          const std::size_t rows = end - begin;
 
-            // Backward.
+          // Blocked forward: Z <- b1 (broadcast), then Z += X_chunk * W1.
+          // The exact-tier kernel accumulates each z(i,j) in ascending k on
+          // top of the caller-seeded b1[j] — the same summation order as the
+          // old per-sample loop, so the activations are bit-identical.
+          double* z = s.z.data();
+          for (std::size_t r = 0; r < rows; ++r) {
+            std::copy(b1, b1 + h, z + r * h);
+          }
+          linalg::gemm(rows, d, h, xs.row_ptr(begin), d, w1, h, z, h, policy);
+
+          double* dhm = s.dh.data();
+          for (std::size_t r = 0; r < rows; ++r) {
+            const std::size_t i = begin + r;
+            double* zr = z + r * h;
+            // ReLU in place; the output sum visits all j like the old loop.
+            double out = *b2;
+            for (std::size_t j = 0; j < h; ++j) {
+              zr[j] = zr[j] > 0.0 ? zr[j] : 0.0;
+              out += w2[j] * zr[j];
+            }
+
+            // Backward (dense layers); gw1 is deferred to the gemm_at below.
             const double dl = config_.loss.gradient(ys[i], out) * inv_n;
             *gb2 += dl;
             for (std::size_t j = 0; j < h; ++j) {
-              gw2[j] += dl * s.hidden[j];
-              const double dh = dl * w2[j] * s.relu_mask[j];
+              gw2[j] += dl * zr[j];
+              const double dh = zr[j] > 0.0 ? dl * w2[j] : 0.0;
+              dhm[r * h + j] = dh;
               // ReLU mask zeroes dh exactly; skipping dead units is lossless.
               if (dh == 0.0) continue;  // vmincqr-lint: allow(float-equality)
               gb1[j] += dh;
-              for (std::size_t k = 0; k < d; ++k) gw1[k * h + j] += dh * row[k];
             }
           }
+          // gw1 += X_chunk^T * DH. The exact tier walks samples in ascending
+          // order per (k, j) element and skips dh == 0 terms, reproducing the
+          // old `if (dh == 0.0) continue` inner loop bit for bit.
+          linalg::gemm_at(rows, d, h, xs.row_ptr(begin), d, dhm, h, gw1, h,
+                          policy);
         },
         /*use_pool=*/n >= 2 * kMlpGrain);
     // Deterministic fold: chunk partials in ascending chunk index.
@@ -163,23 +190,44 @@ void MlpRegressor::fit(const Matrix& x, const Vector& y) {
   fitted_ = true;
 }
 
+namespace {
+
+/// Rows per forward() activation slab. Fixed (never thread-count derived):
+/// per-row results are chunk-independent, but a fixed grain also bounds the
+/// per-chunk scratch at kForwardGrain * h doubles regardless of batch size.
+constexpr std::size_t kForwardGrain = 256;
+
+}  // namespace
+
+// vmincqr: hot-path(allow-alloc)
 Vector MlpRegressor::forward(const Matrix& xs) const {
   // Width comes from the fitted parameters, not the config, so an imported
   // parameter set with a different hidden width evaluates correctly.
   const std::size_t h = b1_.size();
-  Vector out(xs.rows(), b2_);
-  parallel::parallel_for(
-      xs.rows(), /*grain=*/0,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const double* row = xs.row_ptr(i);
+  const std::size_t d = xs.cols();
+  const linalg::KernelPolicy policy = linalg::kernel_policy();
+  Vector out(xs.rows());
+  parallel::for_each_chunk(
+      xs.rows(), kForwardGrain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        (void)chunk;
+        const std::size_t rows = end - begin;
+        // Per-chunk activation slab: Z <- b1 (broadcast), Z += X_chunk * W1
+        // through the blocked kernel. The exact tier seeds each z(i, j) with
+        // b1[j] and adds in ascending k — the per-sample loop's exact order.
+        std::vector<double> z(rows * h);
+        for (std::size_t r = 0; r < rows; ++r) {
+          std::copy(b1_.begin(), b1_.end(), z.begin() + r * h);
+        }
+        linalg::gemm(rows, d, h, xs.row_ptr(begin), d, w1_.row_ptr(0), h,
+                     z.data(), h, policy);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const double* zr = z.data() + r * h;
           double acc = b2_;
           for (std::size_t j = 0; j < h; ++j) {
-            double z = b1_[j];
-            for (std::size_t k = 0; k < xs.cols(); ++k) z += w1_(k, j) * row[k];
-            if (z > 0.0) acc += w2_[j] * z;
+            if (zr[j] > 0.0) acc += w2_[j] * zr[j];
           }
-          out[i] = acc;
+          out[begin + r] = acc;
         }
       },
       /*use_pool=*/xs.rows() * h >= 4096);

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "models/flat_forest.hpp"
 #include "models/losses.hpp"
 #include "models/regressor.hpp"
 #include "rng/rng.hpp"
@@ -102,8 +103,12 @@ class OrderedBoostedTrees final : public Regressor {
   /// Quantile-based candidate thresholds per feature.
   [[nodiscard]] std::vector<std::vector<double>> compute_borders(const Matrix& x) const;
 
+  /// Rebuilds flat_ from trees_ (fit and import both end here).
+  void rebuild_flat();
+
   OrderedBoostConfig config_;
   std::vector<ObliviousTree> trees_;
+  FlatObliviousForest flat_;  ///< SoA level/leaf planes (predict kernel)
   Vector feature_gains_;
   double base_score_ = 0.0;
   std::size_t n_features_ = 0;

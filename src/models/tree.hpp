@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/binning.hpp"
 #include "linalg/matrix.hpp"
+#include "models/flat_forest.hpp"
 
 namespace vmincqr::models {
 
@@ -48,6 +50,19 @@ class RegressionTree {
   void fit(const Matrix& x, const Vector& grad, const Vector& hess,
            const TreeConfig& config,
            const std::vector<std::size_t>& rows = {});
+
+  /// Histogram-split variant of fit(): the split search scans pre-binned
+  /// codes (one G/H/count histogram per feature, O(n + bins) instead of the
+  /// exact O(n log n) sort scan), with candidate thresholds limited to the
+  /// binner's edges. Fully deterministic and thread-count invariant, but the
+  /// chosen splits can differ from fit()'s exact scan — fast-tier only
+  /// (linalg::KernelPolicy::kFast fit paths route here).
+  /// `codes` is the binner's row-major code matrix for x; throws
+  /// std::invalid_argument on shape mismatch with x or the binner.
+  void fit_binned(const Matrix& x, const Vector& grad, const Vector& hess,
+                  const TreeConfig& config, const core::FeatureBinner& binner,
+                  const std::vector<std::uint16_t>& codes,
+                  const std::vector<std::size_t>& rows = {});
 
   /// Prediction for one feature row of length d (must equal the training
   /// feature count; unchecked hot path).
@@ -88,10 +103,22 @@ class RegressionTree {
   /// std::invalid_argument on dangling children or non-dense leaf ids.
   void import_nodes(std::vector<TreeNode> nodes);
 
+  /// The single-tree SoA planes predict() traverses (rebuilt by fit /
+  /// fit_binned / import_nodes, kept in sync by set_leaf_value). Ensemble
+  /// models build their own multi-tree FlatForest from nodes() instead.
+  [[nodiscard]] const FlatForest& flat() const noexcept { return flat_; }
+
  private:
   std::int32_t build(const Matrix& x, const Vector& grad, const Vector& hess,
                      const TreeConfig& config, std::vector<std::size_t>& rows,
                      int depth);
+
+  std::int32_t build_binned(const Vector& grad, const Vector& hess,
+                            const TreeConfig& config,
+                            const core::FeatureBinner& binner,
+                            const std::vector<std::uint16_t>& codes,
+                            std::size_t n_features,
+                            std::vector<std::size_t>& rows, int depth);
 
   /// Fit-time scratch: one row-order buffer per feature, reused by every
   /// node's split search (the per-feature chunks of one search run
@@ -100,6 +127,7 @@ class RegressionTree {
   std::vector<std::vector<std::size_t>> split_sort_scratch_;
 
   std::vector<TreeNode> nodes_;
+  FlatForest flat_;  // single-tree SoA mirror of nodes_ (see flat())
   std::vector<std::int32_t> leaf_node_index_;  // leaf_id -> node index
   std::vector<std::int32_t> train_leaf_ids_;
   std::size_t n_leaves_ = 0;

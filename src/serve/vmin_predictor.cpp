@@ -16,6 +16,10 @@ namespace {
 /// handful of rows costs more than predicting them.
 constexpr std::size_t kMinParallelBatchRows = 16;
 
+/// Rows per dispatch shard — matches models::kTraversalRowBlock so each
+/// shard streams the flattened tree planes exactly once per 256 rows.
+constexpr std::size_t kServeShardRows = 256;
+
 }  // namespace
 
 VminPredictor::VminPredictor(artifact::VminBundle bundle)
@@ -59,21 +63,42 @@ std::vector<IntervalPrediction> VminPredictor::predict_batch(
         std::to_string(bundle_.dataset_columns.size()));
   }
 
-  Matrix design = x;  // local copy: scaling must not mutate the caller's batch
-  if (bundle_.has_input_scaler) {
-    data::StandardScaler scaler;
-    scaler.import_params(bundle_.input_scaler);
-    design = scaler.transform(design);
+  // Identity fast path: no scaler and selected == all columns in order
+  // means the caller's batch IS the design matrix — skip both the defensive
+  // copy and the take_cols gather (together they cost as much as a model
+  // predict on a large batch).
+  bool identity = !bundle_.has_input_scaler &&
+                  bundle_.selected_features.size() == x.cols();
+  if (identity) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      if (bundle_.selected_features[c] != c) {
+        identity = false;
+        break;
+      }
+    }
   }
-  design = design.take_cols(bundle_.selected_features);
+  Matrix scratch;
+  if (!identity) {
+    scratch = x;  // local copy: scaling must not mutate the caller's batch
+    if (bundle_.has_input_scaler) {
+      data::StandardScaler scaler;
+      scaler.import_params(bundle_.input_scaler);
+      scratch = scaler.transform(scratch);
+    }
+    scratch = scratch.take_cols(bundle_.selected_features);
+  }
+  const Matrix& design = identity ? x : scratch;
 
   // Row-sharded inference: every supported interval method computes each
   // test row independently (conformal quantiles are additive constants
   // fixed at calibration time), so per-shard predict_interval calls
   // concatenate to exactly the whole-batch answer — at any thread count.
+  // The shard grain matches the tree-traversal row block (256): smaller
+  // shards would re-stream the flattened node planes once per shard, and
+  // the grain is a pure function of the batch shape, never thread count.
   std::vector<IntervalPrediction> out(x.rows());
   parallel::parallel_for(
-      x.rows(), /*grain=*/0,
+      x.rows(), /*grain=*/kServeShardRows,
       [&](std::size_t begin, std::size_t end) {
         const models::IntervalPrediction band =
             bundle_.predictor->predict_interval(design.row_block(begin, end));

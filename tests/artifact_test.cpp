@@ -19,6 +19,7 @@
 #include "core/pipeline.hpp"
 #include "models/elastic_net.hpp"
 #include "models/factory.hpp"
+#include "models/gbt.hpp"
 #include "models/linear.hpp"
 #include "models/region.hpp"
 #include "rng/rng.hpp"
@@ -413,7 +414,7 @@ TEST(ArtifactBundle, MissingPredictorRejected) {
 TEST(ArtifactBundle, DebugJsonRendersDecodedValues) {
   const auto bundle = fitted_bundle();
   const std::string json = artifact::debug_json(bundle);
-  EXPECT_NE(json.find("\"format_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"format_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("CQR"), std::string::npos);
   EXPECT_NE(json.find("\"read_point_hours\": 48"), std::string::npos);
   EXPECT_NE(json.find("\"selected_features\""), std::string::npos);
@@ -481,6 +482,73 @@ TEST(ArtifactGolden, CheckedInFixtureDecodesToExpectedPredictions) {
     EXPECT_EQ(band.lower[i], expected[i][0]) << "row " << i;
     EXPECT_EQ(band.upper[i], expected[i][1]) << "row " << i;
   }
+}
+
+TEST(ArtifactGolden, V1FixtureStillDecodesToExpectedPredictions) {
+  // The pre-SoA (format version 1) fixture must keep decoding through the
+  // legacy path: Reader::open accepts [1, kFormatVersion] and the decoders
+  // branch on format_version(). Same frozen forward pass as the v2 fixture.
+  const auto bytes =
+      read_file(std::string(VMINCQR_ARTIFACT_FIXTURE_DIR) +
+                "/golden_cqr_linear_v1.vqa");
+  const auto bundle = artifact::decode_bundle(bytes);
+  EXPECT_EQ(bundle.format_version, 1u);
+  EXPECT_EQ(bundle.label, "golden CQR linear");
+
+  const linalg::Matrix x{{0.0, 1.0, 2.0, 3.0},
+                         {1.0, -1.0, 0.5, -0.5},
+                         {-2.0, 0.25, 4.0, 8.0}};
+  const auto band =
+      bundle.predictor->predict_interval(x.take_cols(bundle.selected_features));
+  const double expected[3][2] = {
+      {0.44374999999999998, 0.52500000000000002},
+      {0.45156249999999998, 0.53281250000000002},
+      {0.42695312499999999, 0.50820312499999998},
+  };
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(band.lower[i], expected[i][0]) << "row " << i;
+    EXPECT_EQ(band.upper[i], expected[i][1]) << "row " << i;
+  }
+}
+
+TEST(ArtifactModels, GbtV1InterleavedRecordsDecode) {
+  // Hand-encode a fitted GBT with the v1 interleaved per-node record layout,
+  // stamp the header as version 1, and check the legacy decoder reproduces
+  // the live model bit for bit.
+  const Problem p = make_problem(80, 4);
+  models::GbtConfig config;
+  config.n_rounds = 5;
+  models::GradientBoostedTrees model(config);
+  model.fit(p.x, p.y);
+  const models::GbtParams params = model.export_params();
+
+  artifact::Writer writer;
+  writer.begin_chunk(artifact::ChunkKind::kGbt);
+  writer.put_f64(params.base_score);
+  writer.put_f64(params.learning_rate);
+  writer.put_u64(params.n_features);
+  writer.put_u64(params.trees.size());
+  for (const auto& nodes : params.trees) {
+    writer.put_u64(nodes.size());
+    for (const models::TreeNode& node : nodes) {
+      writer.put_u8(node.is_leaf ? 1 : 0);
+      writer.put_u64(node.feature);
+      writer.put_f64(node.threshold);
+      writer.put_u32(static_cast<std::uint32_t>(node.left));
+      writer.put_u32(static_cast<std::uint32_t>(node.right));
+      writer.put_f64(node.value);
+      writer.put_u32(static_cast<std::uint32_t>(node.leaf_id));
+      writer.put_f64(node.gain);
+    }
+  }
+  writer.end_chunk();
+  auto bytes = writer.finish();
+  bytes[4] = 1;  // rewrite the header: declare format version 1
+
+  artifact::Reader reader = artifact::Reader::open(bytes);
+  EXPECT_EQ(reader.format_version(), 1u);
+  const auto decoded = artifact::decode_regressor(reader);
+  EXPECT_EQ(decoded->predict(p.x), model.predict(p.x));
 }
 
 TEST(ArtifactGolden, FormatIsByteStableAgainstFixture) {

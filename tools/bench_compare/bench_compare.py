@@ -15,6 +15,15 @@ and classifies every leaf by its key:
   * lower-is-better   -- keys ending in ``_ms``, ``_s`` or ``_us``
     (checked after the higher-is-better suffixes, since ``rows_per_s``
     also ends in ``_s``): FAIL when current > baseline * (1 + tolerance).
+  * statistical       -- keys ending in ``coverage`` gate on an ABSOLUTE
+    two-sided band (``--stat-abs-tol``, default +-0.02): a coverage drop
+    from 0.93 to 0.90 is a 3-point miscoverage regression no matter how
+    small it looks relatively, and a large coverage GAIN usually means the
+    intervals ballooned. Keys ending in ``width_v`` gate on a two-sided
+    RELATIVE band (``--stat-rel-tol``, default +-10%): narrower intervals
+    with held coverage would be an improvement, but a silent width change
+    in either direction means the predictor's statistical behaviour moved
+    and the baseline must be regenerated deliberately.
   * config            -- integer or string leaves that carry no timing
     suffix (``threads``, ``n_train``, ``artifact_bytes``, model names):
     FAIL on any mismatch. Comparing runs with different shapes or thread
@@ -39,16 +48,30 @@ over --max-cv, 2 = usage / unreadable / unparseable input.
 """
 
 import argparse
+import collections
 import json
 import math
 import sys
 
+# Per-class gate widths: perf (one-sided relative), stat_abs (two-sided
+# absolute, coverage points), stat_rel (two-sided relative, width).
+Tolerances = collections.namedtuple("Tolerances",
+                                    ["perf", "stat_abs", "stat_rel"])
+
 HIGHER_BETTER_SUFFIXES = ("rows_per_s", "speedup", "qps")
 LOWER_BETTER_SUFFIXES = ("_ms", "_s", "_us")
+STAT_ABS_SUFFIXES = ("coverage",)
+STAT_REL_SUFFIXES = ("width_v",)
 
 
 def classify(key):
-    """Return 'higher', 'lower', or 'config' for a leaf key."""
+    """Return 'higher', 'lower', 'stat_abs', 'stat_rel', or 'config'."""
+    for suffix in STAT_ABS_SUFFIXES:
+        if key.endswith(suffix):
+            return "stat_abs"
+    for suffix in STAT_REL_SUFFIXES:
+        if key.endswith(suffix):
+            return "stat_rel"
     for suffix in HIGHER_BETTER_SUFFIXES:
         if key.endswith(suffix):
             return "higher"
@@ -71,7 +94,7 @@ def pair_lists(base, cur):
             for i, b in enumerate(base)]
 
 
-def compare(base, cur, tolerance, path, failures, notes):
+def compare(base, cur, tols, path, failures, notes):
     if isinstance(base, dict):
         if not isinstance(cur, dict):
             failures.append("%s: baseline is an object, current is %s" %
@@ -82,7 +105,7 @@ def compare(base, cur, tolerance, path, failures, notes):
             if key not in cur:
                 failures.append("%s: missing from current run" % sub)
                 continue
-            compare(bval, cur[key], tolerance, sub, failures, notes)
+            compare(bval, cur[key], tols, sub, failures, notes)
         for key in cur:
             if key not in base:
                 notes.append("%s.%s: new key, not in baseline (ignored)" %
@@ -99,7 +122,7 @@ def compare(base, cur, tolerance, path, failures, notes):
             if cval is None:
                 failures.append("%s: missing from current run" % sub)
                 continue
-            compare(bval, cval, tolerance, sub, failures, notes)
+            compare(bval, cval, tols, sub, failures, notes)
         return
 
     # Leaf. The class is decided by the last path component.
@@ -118,8 +141,34 @@ def compare(base, cur, tolerance, path, failures, notes):
                         (path, base, cur))
         return
 
-    if kind == "higher":
-        floor = base * (1.0 - tolerance)
+    if kind == "stat_abs":
+        # Two-sided ABSOLUTE band: coverage lives on [0, 1] and its target
+        # (1 - alpha) is an absolute promise, so the gate is in coverage
+        # points, not percent-of-baseline.
+        delta = cur - base
+        if abs(delta) > tols.stat_abs:
+            failures.append(
+                "%s: STATISTICAL SHIFT %.6g -> %.6g (|delta| %.4f exceeds "
+                "the +-%.4f absolute band)" %
+                (path, base, cur, abs(delta), tols.stat_abs))
+        elif delta != 0.0:
+            notes.append("%s: within stat band %.6g -> %.6g (delta %+.4f)" %
+                         (path, base, cur, delta))
+    elif kind == "stat_rel":
+        # Two-sided RELATIVE band: a width change in EITHER direction means
+        # the predictor's statistical behaviour moved — narrower is only a
+        # win when deliberate, so it still trips the gate.
+        rel = (cur - base) / base if base != 0.0 else float("inf")
+        if abs(rel) > tols.stat_rel:
+            failures.append(
+                "%s: STATISTICAL SHIFT %.6g -> %.6g (%+.1f%% exceeds the "
+                "+-%.0f%% relative band)" %
+                (path, base, cur, 100.0 * rel, 100.0 * tols.stat_rel))
+        elif rel != 0.0:
+            notes.append("%s: within stat band %.6g -> %.6g (%+.1f%%)" %
+                         (path, base, cur, 100.0 * rel))
+    elif kind == "higher":
+        floor = base * (1.0 - tols.perf)
         if cur < floor:
             failures.append(
                 "%s: REGRESSION %.6g -> %.6g (floor %.6g, -%.0f%%)" %
@@ -127,7 +176,7 @@ def compare(base, cur, tolerance, path, failures, notes):
         elif cur > base:
             notes.append("%s: improved %.6g -> %.6g" % (path, base, cur))
     else:  # lower-is-better
-        ceiling = base * (1.0 + tolerance)
+        ceiling = base * (1.0 + tols.perf)
         if cur > ceiling:
             failures.append(
                 "%s: REGRESSION %.6g -> %.6g (ceiling %.6g, +%.0f%%)" %
@@ -225,6 +274,12 @@ def main(argv):
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="relative slack before a delta fails "
                              "(default 0.15 = 15%%)")
+    parser.add_argument("--stat-abs-tol", type=float, default=0.02,
+                        help="two-sided ABSOLUTE band for coverage-class "
+                             "stats (default 0.02 = 2 coverage points)")
+    parser.add_argument("--stat-rel-tol", type=float, default=0.10,
+                        help="two-sided RELATIVE band for width-class "
+                             "stats (default 0.10 = 10%%)")
     parser.add_argument("--runs", type=int, default=None,
                         help="repeat mode: expect this many current-run "
                              "files, average timings, report per-metric CV")
@@ -235,6 +290,10 @@ def main(argv):
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
+    if not 0.0 <= args.stat_abs_tol <= 1.0:
+        parser.error("--stat-abs-tol must be in [0, 1]")
+    if args.stat_rel_tol < 0.0:
+        parser.error("--stat-rel-tol must be >= 0")
     if args.runs is None:
         if len(args.current) != 1:
             parser.error("%d current files given; pass --runs %d for "
@@ -259,7 +318,9 @@ def main(argv):
     else:
         cur = docs[0]
         label = args.current[0]
-    compare(base, cur, args.tolerance, "", failures, notes)
+    tols = Tolerances(perf=args.tolerance, stat_abs=args.stat_abs_tol,
+                      stat_rel=args.stat_rel_tol)
+    compare(base, cur, tols, "", failures, notes)
 
     for path in sorted(cvs):
         flag = ""
