@@ -1,0 +1,372 @@
+// Serving-daemon benchmark: sustained throughput and request latency through
+// the VminDaemon front door (bounded queue -> batcher -> predict_batch),
+// emitted as machine-readable BENCH_serve.json.
+//
+// Usage: perf_serve [output.json]     default output: BENCH_serve.json
+//
+// Four scenarios sweep the two daemon knobs that move serving performance:
+// the batch cap (16 = latency-lean coalescing, 256 = throughput-lean) and
+// the pool width (1 thread vs this host's max). Each scenario reports
+//   * qps       -- closed-set wave: submit kWaveQueries tickets, wait all;
+//                  queries / median wall-clock over 3 waves.
+//   * p50/p99   -- closed-loop ask() round trips (submit + block), in us.
+//   * coverage / mean_width_v -- the statistical outputs of the responses
+//                  the daemon actually returned for the wave, against the
+//                  wave's known labels. The daemon serves bit-exactly to
+//                  serve::VminPredictor at every width, so these must be
+//                  IDENTICAL across all four scenarios; bench_compare gates
+//                  them per scenario, catching both statistical drift and
+//                  any future width-dependent serving bug.
+//
+// Two further blocks are deterministic by construction (integer leaves, so
+// bench_compare gates them exactly, not within a tolerance band):
+//   * overload  -- pause-fill-drain on a tiny queue: exact admitted / shed /
+//                  batch counts prove backpressure sheds typed responses and
+//                  never grows the queue past its bound.
+//   * cache     -- scripted install/activate sequence on a 2-slot LRU:
+//                  exact hit / miss / eviction counts.
+//
+// Wall-clock timing is bench/-only by repo policy; the daemon itself stays
+// clock-free.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "artifact/bundle.hpp"
+#include "conformal/cqr.hpp"
+#include "daemon/vmin_daemon.hpp"
+#include "models/factory.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+#include "serve/vmin_predictor.hpp"
+#include "stats/metrics.hpp"
+
+using namespace vmincqr;
+
+namespace {
+
+constexpr std::size_t kTrainRows = 2000;
+constexpr std::size_t kFeatures = 13;
+constexpr std::size_t kWaveQueries = 4096;
+constexpr std::size_t kLatencySamples = 256;
+constexpr int kWaveReps = 5;
+// Percentiles are computed per repetition and the MEDIAN across reps is
+// reported: one scheduler hiccup then moves one rep's p99, not the metric.
+constexpr int kLatencyReps = 5;
+
+struct Problem {
+  linalg::Matrix x;
+  linalg::Vector y;
+};
+
+Problem make_problem(std::size_t n, std::size_t d) {
+  rng::Rng rng(7);
+  Problem p{linalg::Matrix(n, d), linalg::Vector(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    double signal = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      p.x(i, c) = rng.normal();
+      signal += (c % 3 == 0 ? 0.3 : 0.05) * p.x(i, c);
+    }
+    p.y[i] = 0.55 + 0.01 * signal + rng.normal(0.0, 0.003);
+  }
+  return p;
+}
+
+/// Median wall-clock seconds over `reps` runs of `fn` (one warmup first).
+double median_seconds(int reps, const std::function<void()>& fn) {
+  fn();  // warmup: first run pays allocator/cache/pool-spawn setup
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+std::string json_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+/// Trains the CQR-GBT predictor once and freezes it as VQAF bytes; every
+/// daemon in this bench installs copies of this one artifact.
+std::vector<std::uint8_t> make_artifact_bytes(const Problem& train) {
+  const core::MiscoverageAlpha alpha{0.1};
+  auto cqr = std::make_unique<conformal::ConformalizedQuantileRegressor>(
+      alpha, models::make_quantile_pair(models::ModelKind::kXgboost, alpha));
+  cqr->fit(train.x, train.y);
+  artifact::VminBundle bundle;
+  bundle.label = cqr->name();
+  for (std::size_t c = 0; c < kFeatures; ++c) {
+    bundle.dataset_columns.push_back(c);
+    bundle.selected_features.push_back(c);
+  }
+  bundle.predictor = std::move(cqr);
+  return artifact::encode_bundle(bundle);
+}
+
+struct ScenarioResult {
+  std::string name;
+  std::size_t threads = 0;
+  std::size_t max_batch_rows = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double coverage = 0.0;
+  double mean_width = 0.0;
+};
+
+ScenarioResult run_scenario(std::string name, std::size_t width,
+                            std::size_t max_batch_rows,
+                            const std::vector<std::uint8_t>& artifact_bytes,
+                            const Problem& wave) {
+  ScenarioResult r;
+  r.name = std::move(name);
+  r.threads = width;
+  r.max_batch_rows = max_batch_rows;
+
+  const std::size_t n = wave.x.rows();
+  std::vector<daemon::ChipQuery> queries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queries[i].features.assign(wave.x.row_ptr(i), wave.x.row_ptr(i) + kFeatures);
+  }
+
+  // The daemon is the pool's sole external caller while running, so the
+  // width is pinned before start() and restored after stop().
+  parallel::set_max_threads(width);
+  {
+    daemon::DaemonConfig config;
+    config.queue_capacity = n + 8;  // waves never shed: pure serving numbers
+    config.max_batch_rows = max_batch_rows;
+    daemon::VminDaemon d(config);
+    d.install_bytes("main", artifact_bytes);
+    d.start();
+
+    // Throughput: one closed-set wave = submit everything, then wait for
+    // everything. The responses of the measured wave double as the
+    // statistical sample.
+    std::vector<daemon::Ticket> tickets(n);
+    linalg::Vector lower(n);
+    linalg::Vector upper(n);
+    const auto one_wave = [&] {
+      for (std::size_t i = 0; i < n; ++i) {
+        tickets[i] = d.submit(queries[i]);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const daemon::ServeResponse& response = tickets[i].wait();
+        lower[i] = response.interval.lower;
+        upper[i] = response.interval.upper;
+      }
+    };
+    const double wave_s = median_seconds(kWaveReps, one_wave);
+    r.qps = static_cast<double>(n) / wave_s;
+    r.coverage = stats::interval_coverage(wave.y, lower, upper);
+    r.mean_width = stats::mean_interval_length(lower, upper);
+
+    // Latency: closed-loop single-chip round trips (one ask() at a time, so
+    // every sample pays the full queue -> batch-of-1 -> wake path).
+    std::vector<double> p50_reps;
+    std::vector<double> p99_reps;
+    std::vector<double> lat_us(kLatencySamples);
+    (void)d.ask(queries[0]);  // warmup
+    for (int rep = 0; rep < kLatencyReps; ++rep) {
+      for (std::size_t s = 0; s < kLatencySamples; ++s) {
+        const auto start = std::chrono::steady_clock::now();
+        (void)d.ask(queries[s % n]);
+        const auto stop = std::chrono::steady_clock::now();
+        lat_us[s] = 1e6 * std::chrono::duration<double>(stop - start).count();
+      }
+      std::sort(lat_us.begin(), lat_us.end());
+      p50_reps.push_back(lat_us[lat_us.size() / 2]);
+      p99_reps.push_back(
+          lat_us[std::min(lat_us.size() - 1, lat_us.size() * 99 / 100)]);
+    }
+    std::sort(p50_reps.begin(), p50_reps.end());
+    std::sort(p99_reps.begin(), p99_reps.end());
+    r.p50_us = p50_reps[p50_reps.size() / 2];
+    r.p99_us = p99_reps[p99_reps.size() / 2];
+
+    d.stop();
+  }
+  parallel::set_max_threads(0);
+  return r;
+}
+
+/// Deterministic overload: the batcher is paused before start, the tiny
+/// queue is filled past its bound from this thread, and stop() drains.
+/// Every count below is exact — no races, no sleeps.
+daemon::DaemonStats run_overload_block(
+    const std::vector<std::uint8_t>& artifact_bytes, const Problem& wave,
+    std::size_t queue_capacity, std::size_t overflow,
+    std::size_t max_batch_rows) {
+  daemon::DaemonConfig config;
+  config.queue_capacity = queue_capacity;
+  config.max_batch_rows = max_batch_rows;
+  daemon::VminDaemon d(config);
+  d.install_bytes("main", artifact_bytes);
+  d.pause();
+  d.start();
+  std::vector<daemon::Ticket> tickets;
+  for (std::size_t i = 0; i < queue_capacity + overflow; ++i) {
+    daemon::ChipQuery q;
+    q.features.assign(wave.x.row_ptr(i), wave.x.row_ptr(i) + kFeatures);
+    tickets.push_back(d.submit(q));
+  }
+  d.stop();  // opens the gate, drains the admitted requests, joins
+  for (const auto& t : tickets) {
+    (void)t.wait();  // all resolved: typed shed or served
+  }
+  return d.stats();
+}
+
+/// Scripted LRU exercise on a 2-slot cache: install A, B (both resident),
+/// re-activate A (hit, refreshes A), install C (evicts LRU = B), activate B
+/// (miss: evicted, throws), activate A (hit).
+daemon::DaemonStats run_cache_block(
+    const std::vector<std::uint8_t>& artifact_bytes) {
+  daemon::DaemonConfig config;
+  config.cache_capacity = 2;
+  daemon::VminDaemon d(config);
+  d.install_bytes("A", artifact_bytes);
+  d.install_bytes("B", artifact_bytes);
+  (void)d.activate("A");
+  d.install_bytes("C", artifact_bytes);
+  bool evicted_misses = false;
+  try {
+    (void)d.activate("B");
+  } catch (const std::invalid_argument&) {
+    evicted_misses = true;
+  }
+  (void)d.activate("A");
+  if (!evicted_misses) {
+    std::fprintf(stderr, "cache block: expected B to be evicted\n");
+    std::exit(1);
+  }
+  return d.stats();
+}
+
+void write_scenario(std::FILE* out, const ScenarioResult& r, bool last) {
+  std::fprintf(out, "    {\n");
+  std::fprintf(out, "      \"name\": \"%s\",\n", r.name.c_str());
+  std::fprintf(out, "      \"threads\": %zu,\n", r.threads);
+  std::fprintf(out, "      \"max_batch_rows\": %zu,\n", r.max_batch_rows);
+  std::fprintf(out, "      \"qps\": %s,\n", json_number(r.qps).c_str());
+  std::fprintf(out, "      \"p50_us\": %s,\n", json_number(r.p50_us).c_str());
+  std::fprintf(out, "      \"p99_us\": %s,\n", json_number(r.p99_us).c_str());
+  std::fprintf(out, "      \"coverage\": %s,\n",
+               json_number(r.coverage).c_str());
+  std::fprintf(out, "      \"mean_width_v\": %s\n",
+               json_number(r.mean_width).c_str());
+  std::fprintf(out, "    }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  const std::size_t wide = parallel::max_threads();
+  const Problem train = make_problem(kTrainRows, kFeatures);
+  const Problem wave = make_problem(kWaveQueries, kFeatures);
+  const std::vector<std::uint8_t> artifact_bytes = make_artifact_bytes(train);
+
+  std::vector<ScenarioResult> scenarios;
+  scenarios.push_back(
+      run_scenario("batch16_w1", 1, 16, artifact_bytes, wave));
+  scenarios.push_back(
+      run_scenario("batch16_wmax", wide, 16, artifact_bytes, wave));
+  scenarios.push_back(
+      run_scenario("batch256_w1", 1, 256, artifact_bytes, wave));
+  scenarios.push_back(
+      run_scenario("batch256_wmax", wide, 256, artifact_bytes, wave));
+  for (const auto& r : scenarios) {
+    std::printf(
+        "%-13s %zu thread(s)  batch %3zu  %9.0f qps  p50 %8.1f us  "
+        "p99 %8.1f us  coverage %.4f  width %.6f V\n",
+        r.name.c_str(), r.threads, r.max_batch_rows, r.qps, r.p50_us,
+        r.p99_us, r.coverage, r.mean_width);
+  }
+
+  constexpr std::size_t kOverloadQueue = 8;
+  constexpr std::size_t kOverloadOverflow = 5;
+  constexpr std::size_t kOverloadBatch = 4;
+  const daemon::DaemonStats overload = run_overload_block(
+      artifact_bytes, wave, kOverloadQueue, kOverloadOverflow, kOverloadBatch);
+  std::printf(
+      "overload      submitted %zu  accepted %llu  shed %llu  batches %llu  "
+      "max depth %zu\n",
+      kOverloadQueue + kOverloadOverflow,
+      static_cast<unsigned long long>(overload.accepted),
+      static_cast<unsigned long long>(overload.shed_queue_full),
+      static_cast<unsigned long long>(overload.batches),
+      overload.max_queue_depth);
+
+  const daemon::DaemonStats cache = run_cache_block(artifact_bytes);
+  std::printf(
+      "cache         installs %llu  activations %llu  hits %llu  misses %llu"
+      "  evictions %llu\n",
+      static_cast<unsigned long long>(cache.installs),
+      static_cast<unsigned long long>(cache.activations),
+      static_cast<unsigned long long>(cache.cache.hits),
+      static_cast<unsigned long long>(cache.cache.misses),
+      static_cast<unsigned long long>(cache.cache.evictions));
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fputs("{\n", out);
+  std::fprintf(out, "  \"threads\": %zu,\n", wide);
+  std::fprintf(out, "  \"features\": %zu,\n", kFeatures);
+  std::fprintf(out, "  \"wave_queries\": %zu,\n", kWaveQueries);
+  std::fprintf(out, "  \"latency_samples\": %zu,\n", kLatencySamples);
+  std::fprintf(out, "  \"artifact_bytes\": %zu,\n", artifact_bytes.size());
+  std::fprintf(out, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    write_scenario(out, scenarios[i], i + 1 == scenarios.size());
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"overload\": {\n");
+  std::fprintf(out, "    \"submitted\": %zu,\n",
+               kOverloadQueue + kOverloadOverflow);
+  std::fprintf(out, "    \"queue_capacity\": %zu,\n", kOverloadQueue);
+  std::fprintf(out, "    \"accepted\": %llu,\n",
+               static_cast<unsigned long long>(overload.accepted));
+  std::fprintf(out, "    \"shed_queue_full\": %llu,\n",
+               static_cast<unsigned long long>(overload.shed_queue_full));
+  std::fprintf(out, "    \"served_ok\": %llu,\n",
+               static_cast<unsigned long long>(overload.served_ok));
+  std::fprintf(out, "    \"batches\": %llu,\n",
+               static_cast<unsigned long long>(overload.batches));
+  std::fprintf(out, "    \"max_queue_depth\": %zu\n",
+               overload.max_queue_depth);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"cache\": {\n");
+  std::fprintf(out, "    \"installs\": %llu,\n",
+               static_cast<unsigned long long>(cache.installs));
+  std::fprintf(out, "    \"activations\": %llu,\n",
+               static_cast<unsigned long long>(cache.activations));
+  std::fprintf(out, "    \"hits\": %llu,\n",
+               static_cast<unsigned long long>(cache.cache.hits));
+  std::fprintf(out, "    \"misses\": %llu,\n",
+               static_cast<unsigned long long>(cache.cache.misses));
+  std::fprintf(out, "    \"evictions\": %llu\n",
+               static_cast<unsigned long long>(cache.cache.evictions));
+  std::fprintf(out, "  }\n");
+  std::fputs("}\n", out);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

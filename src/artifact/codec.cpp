@@ -1,6 +1,8 @@
 #include "artifact/codec.hpp"
 
+#include <array>
 #include <bit>
+#include <cstddef>
 #include <sstream>
 #include <utility>
 
@@ -21,7 +23,34 @@ bool printable_fourcc(std::uint32_t value) {
   return true;
 }
 
+/// Byte size of the encoded trailing CSUM chunk: kind + size + crc payload.
+constexpr std::size_t kChecksumChunkBytes = kU32Size + kU64Size + kU32Size;
+
+const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
 }  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  const auto& table = crc32_table();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
 
 std::string chunk_kind_name(ChunkKind kind) {
   const auto value = static_cast<std::uint32_t>(kind);
@@ -115,6 +144,13 @@ std::vector<std::uint8_t> Writer::finish() {
   VMINCQR_REQUIRE(open_size_offsets_.empty(),
                   "Writer::finish: unclosed chunk");
   VMINCQR_REQUIRE(!finished_, "Writer::finish: already finished");
+  // v3 seal: CRC-32 over everything written so far (header included),
+  // carried in a final CSUM chunk. Computed before the chunk is appended,
+  // so the seal covers exactly the bytes Reader::open re-hashes.
+  const std::uint32_t crc = crc32(bytes_.data(), bytes_.size());
+  begin_chunk(ChunkKind::kChecksum);
+  put_u32(crc);
+  end_chunk();
   finished_ = true;
   return std::move(bytes_);
 }
@@ -139,6 +175,31 @@ Reader Reader::open(const std::vector<std::uint8_t>& bytes) {
                         std::to_string(kFormatVersion) + ")");
   }
   header.format_version_ = version;
+  if (version >= kChecksumVersion) {
+    // The artifact must end with a CSUM chunk sealing every preceding byte.
+    // Verify BEFORE any chunk parsing — a corrupted chunk header must not
+    // get the chance to misdirect the parse — then strip the seal from the
+    // readable region so decoders never see it.
+    if (header.remaining() < kChecksumChunkBytes) {
+      throw ArtifactError("v" + std::to_string(version) +
+                          " artifact missing trailing CSUM chunk");
+    }
+    const std::uint8_t* const seal_begin =
+        header.end_ - static_cast<std::ptrdiff_t>(kChecksumChunkBytes);
+    Reader seal(seal_begin, header.end_);
+    if (static_cast<ChunkKind>(seal.get_u32()) != ChunkKind::kChecksum ||
+        seal.get_u64() != kU32Size) {
+      throw ArtifactError("v" + std::to_string(version) +
+                          " artifact missing trailing CSUM chunk");
+    }
+    const std::uint32_t stored = seal.get_u32();
+    const std::uint32_t actual = crc32(
+        bytes.data(), static_cast<std::size_t>(seal_begin - bytes.data()));
+    if (stored != actual) {
+      throw ArtifactError("checksum mismatch: artifact bytes are corrupted");
+    }
+    header.end_ = seal_begin;
+  }
   return header;
 }
 

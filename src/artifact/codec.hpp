@@ -46,9 +46,22 @@ inline constexpr std::uint32_t kMagic = fourcc('V', 'Q', 'A', 'F');
 ///   2 — GBT trees as SoA node planes (is_leaf / feature / threshold /
 ///       left / right / value / leaf_id / gain), mirroring the flat-forest
 ///       traversal layout so decode feeds the planes without a transpose.
+///   3 — mandatory trailing CSUM chunk: CRC-32 (IEEE, reflected) of every
+///       preceding byte, header included. Writer::finish appends it;
+///       Reader::open verifies it BEFORE any chunk parsing and strips it
+///       from the readable region, so decoders never see it. A CRC-32
+///       detects every burst error up to 32 bits — in particular any
+///       single flipped byte anywhere in the artifact — turning silent
+///       payload corruption (e.g. a damaged IEEE-754 coefficient that
+///       still parses) into a hard ArtifactError at load time. A CSUM
+///       chunk in a v1/v2 stream is rejected as an unknown chunk, so
+///       corrupting a v3 header's version field cannot skip verification.
 /// Writers emit kFormatVersion; Reader::open accepts every version in
 /// [1, kFormatVersion] and decoders branch on Reader::format_version().
-inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kFormatVersion = 3;
+
+/// First format version whose artifacts carry the trailing CSUM chunk.
+inline constexpr std::uint32_t kChecksumVersion = 3;
 
 /// Chunk tags. Bundle-level chunks first, then one tag per serializable
 /// predictor type (the tag doubles as the type discriminator).
@@ -68,10 +81,15 @@ enum class ChunkKind : std::uint32_t {
   kCqr = fourcc('C', 'Q', 'R', 'C'),
   kSplitCp = fourcc('S', 'C', 'P', 'C'),
   kNormalizedCp = fourcc('N', 'C', 'P', 'C'),
+  kChecksum = fourcc('C', 'S', 'U', 'M'),  ///< trailing CRC-32 seal (v3+)
 };
 
 /// Human-readable FourCC, e.g. "META" (non-printable bytes escape to '?').
 [[nodiscard]] std::string chunk_kind_name(ChunkKind kind);
+
+/// CRC-32 (IEEE 802.3, reflected, init/final-xor 0xFFFFFFFF) — the integrity
+/// seal behind the v3 CSUM chunk. Exposed for tests and external tooling.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
 
 /// Streams the compact binary encoding. Scalars outside a chunk are legal
 /// (nested payload encoders rely on it); finish() rejects unclosed chunks.

@@ -1,0 +1,53 @@
+#include "daemon/bundle_cache.hpp"
+
+#include "core/contracts.hpp"
+
+namespace vmincqr::daemon {
+
+BundleCache::BundleCache(std::size_t capacity) : capacity_(capacity) {
+  VMINCQR_REQUIRE(capacity > 0, "BundleCache: capacity must be positive");
+}
+
+std::shared_ptr<const serve::VminPredictor> BundleCache::get(
+    const std::string& key) {
+  const parallel::ScopedLock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->second;
+}
+
+void BundleCache::put(const std::string& key,
+                      std::shared_ptr<const serve::VminPredictor> predictor) {
+  VMINCQR_REQUIRE(predictor != nullptr, "BundleCache: null predictor");
+  const parallel::ScopedLock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(predictor);
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.emplace_front(key, std::move(predictor));
+  index_[key] = order_.begin();
+  while (order_.size() > capacity_) {
+    index_.erase(order_.back().first);
+    order_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t BundleCache::size() const {
+  const parallel::ScopedLock lock(mutex_);
+  return order_.size();
+}
+
+BundleCacheStats BundleCache::stats() const {
+  const parallel::ScopedLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace vmincqr::daemon

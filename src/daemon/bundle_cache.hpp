@@ -1,0 +1,70 @@
+// LRU cache of decoded artifact bundles, for multi-scenario fleets.
+//
+// Decoding a .vqa artifact (parse + model reconstruction) is the expensive
+// step of a swap; serving a fleet that cycles through a handful of scenarios
+// should pay it once per scenario, not once per activation. The cache maps a
+// caller-chosen key (scenario label, file path, ...) to a fully decoded
+// predictor, evicting the least-recently-used entry past capacity.
+//
+// Values are shared_ptr<const VminPredictor>: eviction never invalidates an
+// epoch that is still serving — the predictor retires with its last snapshot
+// (same refcount retirement as parallel::SwapCell).
+//
+// Thread-safe behind a parallel::Mutex; all operations are O(log n) map
+// lookups plus O(1) list splices.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "parallel/sync.hpp"
+#include "serve/vmin_predictor.hpp"
+
+namespace vmincqr::daemon {
+
+/// Cache counters; monotone over the cache's lifetime.
+struct BundleCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class BundleCache {
+ public:
+  /// `capacity` is the maximum number of resident decoded bundles; must be
+  /// positive (a fleet daemon always keeps at least the active bundle warm).
+  explicit BundleCache(std::size_t capacity);
+  BundleCache(const BundleCache&) = delete;
+  BundleCache& operator=(const BundleCache&) = delete;
+
+  /// Looks up `key`, refreshing its recency on a hit. Returns nullptr on a
+  /// miss (counted).
+  [[nodiscard]] std::shared_ptr<const serve::VminPredictor> get(
+      const std::string& key);
+
+  /// Inserts (or replaces) `key`, making it most-recently-used, then evicts
+  /// the LRU entry while over capacity. `predictor` must be non-null.
+  void put(const std::string& key,
+           std::shared_ptr<const serve::VminPredictor> predictor);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] BundleCacheStats stats() const;
+
+ private:
+  using Entry =
+      std::pair<std::string, std::shared_ptr<const serve::VminPredictor>>;
+
+  std::size_t capacity_;
+  mutable parallel::Mutex mutex_;
+  /// Front = most recently used; back = eviction candidate.
+  std::list<Entry> order_;
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  BundleCacheStats stats_;
+};
+
+}  // namespace vmincqr::daemon

@@ -1,0 +1,22 @@
+#include "parallel/service_thread.hpp"
+
+#include <utility>
+
+#include "core/contracts.hpp"
+
+namespace vmincqr::parallel {
+
+ServiceThread::~ServiceThread() { join(); }
+
+void ServiceThread::start(std::function<void()> body) {
+  VMINCQR_REQUIRE(!started_, "ServiceThread: already started");
+  VMINCQR_REQUIRE(body != nullptr, "ServiceThread: null body");
+  thread_ = std::thread(std::move(body));
+  started_ = true;
+}
+
+void ServiceThread::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace vmincqr::parallel

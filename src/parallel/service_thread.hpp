@@ -1,0 +1,39 @@
+// A single long-lived background thread for control-plane service loops
+// (the daemon's batcher). Deliberately minimal: one thread, one body, join
+// on destruction — lifecycle structure lives with the caller, raw
+// std::thread stays inside src/parallel/ (raw-thread lint rule).
+//
+// This is NOT a compute primitive. Numeric work belongs on the deterministic
+// pool (parallel_for.hpp); a ServiceThread body may DISPATCH onto the pool
+// (it is an ordinary external caller), but must never run inside it.
+#pragma once
+
+#include <functional>
+#include <thread>
+
+namespace vmincqr::parallel {
+
+class ServiceThread {
+ public:
+  ServiceThread() = default;
+  /// Joins if still running; the body must already have been told to stop
+  /// (e.g. by closing the queue it drains) or this blocks forever.
+  ~ServiceThread();
+  ServiceThread(const ServiceThread&) = delete;
+  ServiceThread& operator=(const ServiceThread&) = delete;
+
+  /// Spawns the thread running `body` once; the body returning ends the
+  /// thread. Contract violation if already started.
+  void start(std::function<void()> body);
+
+  /// Blocks until the body returns. Idempotent; no-op when never started.
+  void join();
+
+  [[nodiscard]] bool started() const noexcept { return started_; }
+
+ private:
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace vmincqr::parallel

@@ -1,0 +1,68 @@
+// SwapCell<T>: atomic publication slot for immutable snapshot objects — the
+// epoch hot-swap primitive behind the serving daemon (DESIGN.md §11).
+//
+// The protocol it encodes:
+//   * Writers build a COMPLETE immutable T, then publish it with one
+//     store/exchange. There is no partially-constructed state a reader can
+//     ever observe — swap atomicity is structural, not locked-in.
+//   * Readers take a shared_ptr snapshot with load() and keep using it for
+//     as long as they like (one batch, in the daemon). A snapshot is
+//     guaranteed stable: swaps only redirect FUTURE load()s.
+//   * Retirement is reference-counted: the old T is destroyed when the last
+//     in-flight snapshot drops — "retire after drain" for free, with no
+//     epoch bookkeeping and no reclamation pause for the writer.
+//
+// Implementation note: this is a Mutex-guarded slot, not
+// std::atomic<std::shared_ptr>. libstdc++'s _Sp_atomic guards its pointer
+// with a lock *bit* spliced into the refcount word, a protocol
+// ThreadSanitizer cannot see through (a minimal store/load pair already
+// reports a race), and the TSan CI job runs with halt_on_error. A real
+// mutex is equivalent here and sanitizer-provable: the critical section is
+// a pointer copy/swap — never a batch, never a destructor (store() retires
+// the old value outside the lock) — so neither side ever waits on the
+// other's real work.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "parallel/sync.hpp"
+
+namespace vmincqr::parallel {
+
+template <typename T>
+class SwapCell {
+ public:
+  SwapCell() = default;
+  SwapCell(const SwapCell&) = delete;
+  SwapCell& operator=(const SwapCell&) = delete;
+
+  /// Snapshot of the current value; nullptr when nothing published yet.
+  [[nodiscard]] std::shared_ptr<const T> load() const {
+    ScopedLock lock(mutex_);
+    return cell_;
+  }
+
+  /// Publishes `next` for all future load()s.
+  void store(std::shared_ptr<const T> next) {
+    std::shared_ptr<const T> retired;
+    {
+      ScopedLock lock(mutex_);
+      retired = std::exchange(cell_, std::move(next));
+    }
+    // `retired` (possibly the last reference) destroys here, off-lock.
+  }
+
+  /// Publishes `next` and returns the previous value (the caller may
+  /// inspect it; it retires when the last snapshot drops).
+  std::shared_ptr<const T> exchange(std::shared_ptr<const T> next) {
+    ScopedLock lock(mutex_);
+    return std::exchange(cell_, std::move(next));
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::shared_ptr<const T> cell_;
+};
+
+}  // namespace vmincqr::parallel

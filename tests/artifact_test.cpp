@@ -78,6 +78,20 @@ void expect_bitexact(const linalg::Vector& a, const linalg::Vector& b) {
   }
 }
 
+/// Recomputes the trailing CSUM seal of a v3 artifact after the test has
+/// deliberately corrupted payload bytes — so the corruption reaches the
+/// parser it targets instead of being caught by the checksum gate.
+void reseal(std::vector<std::uint8_t>& bytes) {
+  constexpr std::size_t kSealBytes = 4 + 8 + 4;  // kind + size + crc
+  ASSERT_GE(bytes.size(), kSealBytes);
+  const std::size_t protected_size = bytes.size() - kSealBytes;
+  const std::uint32_t crc = artifact::crc32(bytes.data(), protected_size);
+  for (std::size_t i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + i] =
+        static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFFU);
+  }
+}
+
 // --- codec primitives -------------------------------------------------------
 
 TEST(ArtifactCodec, PrimitivesRoundTripBitExact) {
@@ -146,8 +160,10 @@ TEST(ArtifactCodec, ReaderRejectsCorruptEmbeddedLength) {
   writer.put_vec({1.0, 2.0});
   writer.end_chunk();
   auto bytes = writer.finish();
-  // The vec length u64 sits right after the 12-byte chunk header; blow it up.
+  // The vec length u64 sits right after the 12-byte chunk header; blow it up
+  // (and reseal, so the length guard is what fires, not the checksum).
   bytes[8 + 12] = 0xFF;
+  reseal(bytes);
   artifact::Reader reader = artifact::Reader::open(bytes);
   artifact::Reader body = reader.expect_chunk(artifact::ChunkKind::kColumns);
   EXPECT_THROW((void)body.get_vec(), artifact::ArtifactError);
@@ -321,8 +337,10 @@ TEST(ArtifactModels, DecodeRejectsBadCqrModeByte) {
   artifact::Writer writer;
   artifact::encode_interval_regressor(writer, cqr);
   auto bytes = writer.finish();
-  // CQRC payload layout: alpha f64, then the mode byte at offset 8.
+  // CQRC payload layout: alpha f64, then the mode byte at offset 8. Reseal
+  // so the decoder's own mode validation fires, not the checksum gate.
   bytes[8 + 12 + 8] = 7;
+  reseal(bytes);
   artifact::Reader reader = artifact::Reader::open(bytes);
   EXPECT_THROW((void)artifact::decode_interval_regressor(reader),
                artifact::ArtifactError);
@@ -391,6 +409,7 @@ TEST(ArtifactBundle, TruncatedBytesRejectedAtEveryPrefix) {
 TEST(ArtifactBundle, CorruptedChunkKindRejected) {
   auto bytes = artifact::encode_bundle(fitted_bundle());
   bytes[8] = 'Z';  // first chunk tag ("META") -> unknown kind
+  reseal(bytes);   // exercise the unknown-kind path, not the checksum gate
   EXPECT_THROW((void)artifact::decode_bundle(bytes), artifact::ArtifactError);
 }
 
@@ -414,7 +433,7 @@ TEST(ArtifactBundle, MissingPredictorRejected) {
 TEST(ArtifactBundle, DebugJsonRendersDecodedValues) {
   const auto bundle = fitted_bundle();
   const std::string json = artifact::debug_json(bundle);
-  EXPECT_NE(json.find("\"format_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"format_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("CQR"), std::string::npos);
   EXPECT_NE(json.find("\"read_point_hours\": 48"), std::string::npos);
   EXPECT_NE(json.find("\"selected_features\""), std::string::npos);
@@ -487,12 +506,40 @@ TEST(ArtifactGolden, CheckedInFixtureDecodesToExpectedPredictions) {
 TEST(ArtifactGolden, V1FixtureStillDecodesToExpectedPredictions) {
   // The pre-SoA (format version 1) fixture must keep decoding through the
   // legacy path: Reader::open accepts [1, kFormatVersion] and the decoders
-  // branch on format_version(). Same frozen forward pass as the v2 fixture.
+  // branch on format_version(). Same frozen forward pass as the current
+  // fixture.
   const auto bytes =
       read_file(std::string(VMINCQR_ARTIFACT_FIXTURE_DIR) +
                 "/golden_cqr_linear_v1.vqa");
   const auto bundle = artifact::decode_bundle(bytes);
   EXPECT_EQ(bundle.format_version, 1u);
+  EXPECT_EQ(bundle.label, "golden CQR linear");
+
+  const linalg::Matrix x{{0.0, 1.0, 2.0, 3.0},
+                         {1.0, -1.0, 0.5, -0.5},
+                         {-2.0, 0.25, 4.0, 8.0}};
+  const auto band =
+      bundle.predictor->predict_interval(x.take_cols(bundle.selected_features));
+  const double expected[3][2] = {
+      {0.44374999999999998, 0.52500000000000002},
+      {0.45156249999999998, 0.53281250000000002},
+      {0.42695312499999999, 0.50820312499999998},
+  };
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(band.lower[i], expected[i][0]) << "row " << i;
+    EXPECT_EQ(band.upper[i], expected[i][1]) << "row " << i;
+  }
+}
+
+TEST(ArtifactGolden, V2FixtureStillDecodesToExpectedPredictions) {
+  // The pre-checksum (format version 2) fixture: no trailing CSUM chunk, so
+  // Reader::open must not demand one, and the decode must match the same
+  // frozen forward pass.
+  const auto bytes =
+      read_file(std::string(VMINCQR_ARTIFACT_FIXTURE_DIR) +
+                "/golden_cqr_linear_v2.vqa");
+  const auto bundle = artifact::decode_bundle(bytes);
+  EXPECT_EQ(bundle.format_version, 2u);
   EXPECT_EQ(bundle.label, "golden CQR linear");
 
   const linalg::Matrix x{{0.0, 1.0, 2.0, 3.0},
@@ -559,6 +606,89 @@ TEST(ArtifactGolden, FormatIsByteStableAgainstFixture) {
       read_file(std::string(VMINCQR_ARTIFACT_FIXTURE_DIR) +
                 "/golden_cqr_linear.vqa");
   EXPECT_EQ(artifact::encode_bundle(golden_bundle()), fixture);
+}
+
+// --- corruption fuzzing -----------------------------------------------------
+//
+// The v3 CRC-32 seal is what makes this battery provable: a CRC-32 detects
+// every burst error up to 32 bits, so ANY single corrupted byte — header,
+// chunk framing, or payload (e.g. a damaged IEEE-754 coefficient that would
+// otherwise parse silently) — must surface as ArtifactError. Before v3 a
+// payload flip could decode into a plausible-but-wrong predictor.
+
+TEST(ArtifactFuzz, EveryByteInversionIsRejected) {
+  // Exhaustive single-byte sweep over the golden fixture: inverting any one
+  // byte (covers every chunk-header field and every payload byte) must
+  // throw, never crash, never yield a bundle.
+  const auto fixture =
+      read_file(std::string(VMINCQR_ARTIFACT_FIXTURE_DIR) +
+                "/golden_cqr_linear.vqa");
+  ASSERT_FALSE(fixture.empty());
+  for (std::size_t i = 0; i < fixture.size(); ++i) {
+    auto corrupted = fixture;
+    corrupted[i] ^= 0xFFU;
+    EXPECT_THROW((void)artifact::decode_bundle(corrupted),
+                 artifact::ArtifactError)
+        << "inverted byte " << i;
+  }
+}
+
+TEST(ArtifactFuzz, SeededSingleBitFlipsAreRejected) {
+  // 64 seeded random single-BIT flips: subtler than whole-byte inversion
+  // (a one-bit mantissa flip is the classic silent corruption). The stream
+  // is deterministic, so a failure reproduces exactly.
+  const auto fixture =
+      read_file(std::string(VMINCQR_ARTIFACT_FIXTURE_DIR) +
+                "/golden_cqr_linear.vqa");
+  ASSERT_FALSE(fixture.empty());
+  std::uint64_t state = 0x5EEDBEEFCAFEF00DULL;
+  for (int flip = 0; flip < 64; ++flip) {
+    const std::uint64_t draw = rng::splitmix64(state);
+    const std::size_t byte = static_cast<std::size_t>(draw % fixture.size());
+    const unsigned bit = static_cast<unsigned>((draw >> 32) % 8);
+    auto corrupted = fixture;
+    corrupted[byte] ^= static_cast<std::uint8_t>(1U << bit);
+    EXPECT_THROW((void)artifact::decode_bundle(corrupted),
+                 artifact::ArtifactError)
+        << "flip " << flip << ": byte " << byte << " bit " << bit;
+  }
+}
+
+TEST(ArtifactFuzz, VersionByteFlipsCannotSkipVerification) {
+  // Flipping the version field is the one corruption that could disable the
+  // checksum gate itself. Every reachable value must still reject: 0 and
+  // >kFormatVersion fail open(); 1 and 2 parse without the gate but then
+  // trip over the CSUM chunk, which is unknown to pre-v3 decoders.
+  const auto fixture =
+      read_file(std::string(VMINCQR_ARTIFACT_FIXTURE_DIR) +
+                "/golden_cqr_linear.vqa");
+  ASSERT_GE(fixture.size(), 8u);
+  ASSERT_EQ(fixture[4], 3u);  // little-endian version field
+  for (unsigned bit = 0; bit < 8; ++bit) {
+    auto corrupted = fixture;
+    corrupted[4] ^= static_cast<std::uint8_t>(1U << bit);
+    EXPECT_THROW((void)artifact::decode_bundle(corrupted),
+                 artifact::ArtifactError)
+        << "version flipped to " << static_cast<unsigned>(corrupted[4]);
+  }
+}
+
+TEST(ArtifactFuzz, TruncatedSealRejected) {
+  // Cutting anywhere inside the trailing CSUM chunk (or removing it
+  // entirely) must fail the "v3 artifact missing trailing CSUM" gate.
+  const auto fixture =
+      read_file(std::string(VMINCQR_ARTIFACT_FIXTURE_DIR) +
+                "/golden_cqr_linear.vqa");
+  constexpr std::size_t kSealBytes = 4 + 8 + 4;
+  ASSERT_GT(fixture.size(), kSealBytes);
+  for (std::size_t cut = 0; cut <= kSealBytes; ++cut) {
+    const std::vector<std::uint8_t> truncated(
+        fixture.begin(),
+        fixture.end() - static_cast<std::ptrdiff_t>(cut + 1));
+    EXPECT_THROW((void)artifact::decode_bundle(truncated),
+                 artifact::ArtifactError)
+        << "cut " << cut + 1 << " bytes off the tail";
+  }
 }
 
 }  // namespace

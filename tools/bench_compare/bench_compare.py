@@ -12,9 +12,18 @@ and classifies every leaf by its key:
 
   * higher-is-better  -- keys ending in ``rows_per_s``, ``speedup`` or
     ``qps``: FAIL when current < baseline * (1 - tolerance).
+  * latency           -- keys ending in ``p50_us``, ``p99_us``, ``p50_ms``
+    or ``p99_ms`` (checked BEFORE the generic ``_us``/``_ms`` suffixes):
+    lower-is-better, but gated by its own ``--latency-tol`` (default
+    +-50%). Tail percentiles of a queueing system are far noisier than
+    batch medians — a p99 that must sit inside a 15% band would flake on
+    every loaded CI host — yet an order-of-magnitude latency blow-up
+    should still fail, so the class exists with a wide band instead of
+    being exempted.
   * lower-is-better   -- keys ending in ``_ms``, ``_s`` or ``_us``
-    (checked after the higher-is-better suffixes, since ``rows_per_s``
-    also ends in ``_s``): FAIL when current > baseline * (1 + tolerance).
+    (checked after the higher-is-better and latency suffixes, since
+    ``rows_per_s`` also ends in ``_s`` and ``p99_us`` in ``_us``): FAIL
+    when current > baseline * (1 + tolerance).
   * statistical       -- keys ending in ``coverage`` gate on an ABSOLUTE
     two-sided band (``--stat-abs-tol``, default +-0.02): a coverage drop
     from 0.93 to 0.90 is a 3-point miscoverage regression no matter how
@@ -39,7 +48,8 @@ baseline diff, and reports the per-metric coefficient of variation
 (sample stddev / mean). The CV report is the evidence for promoting the
 +-15% comparator from soft-fail to hard gate: a metric whose CV across
 repeats approaches the tolerance band cannot gate anything. ``--max-cv``
-turns that judgment into a failure. Config leaves must be identical
+turns that judgment into a failure; latency-class keys can carry their
+own (looser) ``--latency-max-cv``. Config leaves must be identical
 across repeats — differing thread counts or shapes mean the runs are not
 repeats at all.
 
@@ -53,19 +63,23 @@ import json
 import math
 import sys
 
-# Per-class gate widths: perf (one-sided relative), stat_abs (two-sided
-# absolute, coverage points), stat_rel (two-sided relative, width).
+# Per-class gate widths: perf (one-sided relative), latency (one-sided
+# relative, wider — tail percentiles), stat_abs (two-sided absolute,
+# coverage points), stat_rel (two-sided relative, width).
 Tolerances = collections.namedtuple("Tolerances",
-                                    ["perf", "stat_abs", "stat_rel"])
+                                    ["perf", "latency", "stat_abs",
+                                     "stat_rel"])
 
 HIGHER_BETTER_SUFFIXES = ("rows_per_s", "speedup", "qps")
+LATENCY_SUFFIXES = ("p50_us", "p99_us", "p50_ms", "p99_ms")
 LOWER_BETTER_SUFFIXES = ("_ms", "_s", "_us")
 STAT_ABS_SUFFIXES = ("coverage",)
 STAT_REL_SUFFIXES = ("width_v",)
 
 
 def classify(key):
-    """Return 'higher', 'lower', 'stat_abs', 'stat_rel', or 'config'."""
+    """Return 'higher', 'latency', 'lower', 'stat_abs', 'stat_rel', or
+    'config'."""
     for suffix in STAT_ABS_SUFFIXES:
         if key.endswith(suffix):
             return "stat_abs"
@@ -75,6 +89,11 @@ def classify(key):
     for suffix in HIGHER_BETTER_SUFFIXES:
         if key.endswith(suffix):
             return "higher"
+    # Latency percentiles must outrank the raw unit suffixes: "p99_us"
+    # also ends in "_us" but gates on the wider latency band.
+    for suffix in LATENCY_SUFFIXES:
+        if key.endswith(suffix):
+            return "latency"
     for suffix in LOWER_BETTER_SUFFIXES:
         if key.endswith(suffix):
             return "lower"
@@ -175,8 +194,9 @@ def compare(base, cur, tols, path, failures, notes):
                 (path, base, cur, floor, 100.0 * (1.0 - cur / base)))
         elif cur > base:
             notes.append("%s: improved %.6g -> %.6g" % (path, base, cur))
-    else:  # lower-is-better
-        ceiling = base * (1.0 + tols.perf)
+    else:  # lower-is-better; latency class gets its own (wider) band
+        slack = tols.latency if kind == "latency" else tols.perf
+        ceiling = base * (1.0 + slack)
         if cur > ceiling:
             failures.append(
                 "%s: REGRESSION %.6g -> %.6g (ceiling %.6g, +%.0f%%)" %
@@ -274,6 +294,10 @@ def main(argv):
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="relative slack before a delta fails "
                              "(default 0.15 = 15%%)")
+    parser.add_argument("--latency-tol", type=float, default=0.50,
+                        help="one-sided relative slack for latency-class "
+                             "keys (p50_us/p99_us/p50_ms/p99_ms; default "
+                             "0.50 = 50%%)")
     parser.add_argument("--stat-abs-tol", type=float, default=0.02,
                         help="two-sided ABSOLUTE band for coverage-class "
                              "stats (default 0.02 = 2 coverage points)")
@@ -287,9 +311,17 @@ def main(argv):
                         help="fail when any metric's coefficient of "
                              "variation across repeats exceeds this "
                              "(requires --runs)")
+    parser.add_argument("--latency-max-cv", type=float, default=None,
+                        help="CV gate for latency-class keys only "
+                             "(default: --max-cv). Tail percentiles are "
+                             "legitimately noisier than batch medians, so "
+                             "a serve gate can hold timings to a tight CV "
+                             "while allowing p99 more spread")
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
+    if args.latency_tol < 0.0:
+        parser.error("--latency-tol must be >= 0")
     if not 0.0 <= args.stat_abs_tol <= 1.0:
         parser.error("--stat-abs-tol must be in [0, 1]")
     if args.stat_rel_tol < 0.0:
@@ -306,6 +338,8 @@ def main(argv):
                      (args.runs, len(args.current)))
     if args.max_cv is not None and args.runs is None:
         parser.error("--max-cv requires --runs")
+    if args.latency_max_cv is not None and args.max_cv is None:
+        parser.error("--latency-max-cv requires --max-cv")
 
     base = load(args.baseline)
     docs = [load(path) for path in args.current]
@@ -318,18 +352,26 @@ def main(argv):
     else:
         cur = docs[0]
         label = args.current[0]
-    tols = Tolerances(perf=args.tolerance, stat_abs=args.stat_abs_tol,
+    tols = Tolerances(perf=args.tolerance, latency=args.latency_tol,
+                      stat_abs=args.stat_abs_tol,
                       stat_rel=args.stat_rel_tol)
     compare(base, cur, tols, "", failures, notes)
 
     for path in sorted(cvs):
         flag = ""
-        if args.max_cv is not None and cvs[path] > args.max_cv:
+        key = path.rsplit(".", 1)[-1].rsplit("]", 1)[-1] or path
+        if classify(key) == "latency" and args.latency_max_cv is not None:
+            cv_gate = args.latency_max_cv
+            gate_name = "--latency-max-cv"
+        else:
+            cv_gate = args.max_cv
+            gate_name = "--max-cv"
+        if cv_gate is not None and cvs[path] > cv_gate:
             failures.append("%s: CV %.1f%% across %d runs exceeds the "
-                            "%.1f%% --max-cv gate; metric too noisy to "
+                            "%.1f%% %s gate; metric too noisy to "
                             "compare" % (path, 100.0 * cvs[path], args.runs,
-                                         100.0 * args.max_cv))
-            flag = "  <-- over --max-cv"
+                                         100.0 * cv_gate, gate_name))
+            flag = "  <-- over %s" % gate_name
         print("  cv: %-60s %6.2f%%%s" % (path, 100.0 * cvs[path], flag))
 
     for note in notes:
